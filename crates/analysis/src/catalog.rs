@@ -1,0 +1,237 @@
+//! The 76-feature catalog.
+//!
+//! Index layout: features `0..N_STATIC` are static (MAQAO substitute),
+//! `N_STATIC..N_FEATURES` are dynamic (Likwid substitute). The names below
+//! follow the paper's vocabulary where it names a feature (Table 2).
+
+/// Origin of a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureKind {
+    /// Computed by static binary analysis on the reference architecture.
+    Static,
+    /// Derived from hardware counters of a reference-architecture run.
+    Dynamic,
+}
+
+/// Descriptor of one feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureDef {
+    /// Index into feature vectors.
+    pub id: usize,
+    /// Stable, human-readable name.
+    pub name: &'static str,
+    /// Static or dynamic.
+    pub kind: FeatureKind,
+}
+
+/// Number of static features.
+pub const N_STATIC: usize = 43;
+/// Number of dynamic features.
+pub const N_DYNAMIC: usize = 33;
+/// Total features — 76, as in the paper.
+pub const N_FEATURES: usize = N_STATIC + N_DYNAMIC;
+
+const STATIC_NAMES: [&str; N_STATIC] = [
+    "Instructions per iteration",
+    "Micro-ops per iteration",
+    "Estimated IPC assuming only L1 hits",
+    "Estimated cycles per iteration (L1)",
+    "Bytes loaded per cycle assuming L1 hits",
+    "Bytes stored per cycle assuming L1 hits",
+    "Pressure in dispatch port P0",
+    "Pressure in dispatch port P1",
+    "Pressure in dispatch port P2",
+    "Pressure in dispatch port P3",
+    "Pressure in dispatch port P4",
+    "Pressure in dispatch port P5",
+    "Data dependencies stalls",
+    "Total operation latency per iteration",
+    "Number of FP ADD",
+    "Number of FP SUB",
+    "Number of FP MUL",
+    "Number of floating point DIV",
+    "Number of FP SQRT",
+    "Number of FP transcendental calls",
+    "Number of FP MAX/MIN",
+    "Number of FP logic ops",
+    "Number of vector shuffles",
+    "Number of INT ALU ops",
+    "Number of INT MUL",
+    "Number of loads",
+    "Number of stores",
+    "Number of branches",
+    "Number of SD instructions",
+    "Number of SS instructions",
+    "Ratio between ADD+SUB/MUL",
+    "Static FLOPs per byte",
+    "Vectorization ratio for All",
+    "Vectorization ratio for FP",
+    "Vectorization ratio for Additions (FP)",
+    "Vectorization ratio for Multiplications (FP)",
+    "Vectorization ratio for Divisions (FP)",
+    "Vectorization ratio for Other (FP+INT)",
+    "Vectorization ratio for Other (INT)",
+    "Vectorization ratio for Loads",
+    "Vectorization ratio for Stores",
+    "Loop nest depth",
+    "Loop-carried recurrence",
+];
+
+const DYNAMIC_NAMES: [&str; N_DYNAMIC] = [
+    "Time per invocation",
+    "Cycles per iteration",
+    "IPC",
+    "Floating point rate in MFLOPS.s-1",
+    "Instruction rate in MIPS",
+    "FP divide rate",
+    "Measured vector FLOP ratio",
+    "L1 miss rate",
+    "L1 misses per kilo-iteration",
+    "L2 miss rate",
+    "L2 misses per kilo-iteration",
+    "L2 bandwidth in MB.s-1",
+    "L2 bytes per iteration",
+    "L3 miss rate",
+    "L3 misses per kilo-iteration",
+    "L3 bandwidth in MB.s-1",
+    "L3 bytes per iteration",
+    "Memory bandwidth in MB.s-1",
+    "Memory bytes per iteration",
+    "Loads per iteration",
+    "Stores per iteration",
+    "Load/store ratio",
+    "Operational intensity",
+    "Branch fraction",
+    "FLOPs per iteration",
+    "Instructions per invocation",
+    "Cycles per invocation",
+    "Memory ops rate in Mops.s-1",
+    "Cache line transfers per iteration",
+    "DP fraction of FLOPs",
+    "SP fraction of FLOPs",
+    "Time per iteration in ns",
+    "FP fraction of instructions",
+];
+
+/// The full feature catalog, indexed by feature id.
+pub fn catalog() -> Vec<FeatureDef> {
+    let mut v = Vec::with_capacity(N_FEATURES);
+    for (i, name) in STATIC_NAMES.iter().enumerate() {
+        v.push(FeatureDef {
+            id: i,
+            name,
+            kind: FeatureKind::Static,
+        });
+    }
+    for (i, name) in DYNAMIC_NAMES.iter().enumerate() {
+        v.push(FeatureDef {
+            id: N_STATIC + i,
+            name,
+            kind: FeatureKind::Dynamic,
+        });
+    }
+    v
+}
+
+/// Look up a feature id by its exact name.
+///
+/// # Panics
+///
+/// Panics if the name is unknown — feature names are compile-time constants
+/// so a miss is a programming error.
+pub fn feature_id(name: &str) -> usize {
+    if let Some(i) = STATIC_NAMES.iter().position(|&n| n == name) {
+        return i;
+    }
+    if let Some(i) = DYNAMIC_NAMES.iter().position(|&n| n == name) {
+        return N_STATIC + i;
+    }
+    panic!("unknown feature name `{name}`");
+}
+
+/// The 14-feature set of the paper's Table 2 ("Best feature set found with
+/// a genetic algorithm evaluated with NR codelets on Atom and Sandy
+/// Bridge"): 4 Likwid dynamic features + 10 MAQAO static features.
+pub fn table2_features() -> Vec<usize> {
+    [
+        // Likwid dynamic features.
+        "Floating point rate in MFLOPS.s-1",
+        "L2 bandwidth in MB.s-1",
+        "L3 miss rate",
+        "Memory bandwidth in MB.s-1",
+        // MAQAO static features.
+        "Bytes stored per cycle assuming L1 hits",
+        "Data dependencies stalls",
+        "Estimated IPC assuming only L1 hits",
+        "Number of floating point DIV",
+        "Number of SD instructions",
+        "Pressure in dispatch port P1",
+        "Ratio between ADD+SUB/MUL",
+        "Vectorization ratio for Multiplications (FP)",
+        "Vectorization ratio for Other (FP+INT)",
+        "Vectorization ratio for Other (INT)",
+    ]
+    .iter()
+    .map(|n| feature_id(n))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_76_features() {
+        assert_eq!(N_FEATURES, 76);
+        assert_eq!(catalog().len(), 76);
+    }
+
+    #[test]
+    fn ids_are_positional_and_kinds_split() {
+        let c = catalog();
+        for (i, f) in c.iter().enumerate() {
+            assert_eq!(f.id, i);
+            if i < N_STATIC {
+                assert_eq!(f.kind, FeatureKind::Static);
+            } else {
+                assert_eq!(f.kind, FeatureKind::Dynamic);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = catalog();
+        for i in 0..c.len() {
+            for j in (i + 1)..c.len() {
+                assert_ne!(c[i].name, c[j].name, "duplicate feature name");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_id_roundtrip() {
+        for f in catalog() {
+            assert_eq!(feature_id(f.name), f.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown feature name")]
+    fn unknown_name_panics() {
+        feature_id("does not exist");
+    }
+
+    #[test]
+    fn table2_set_has_14_features_4_dynamic() {
+        let t = table2_features();
+        assert_eq!(t.len(), 14);
+        let dynamic = t.iter().filter(|&&i| i >= N_STATIC).count();
+        assert_eq!(dynamic, 4);
+        // All distinct.
+        let mut s = t.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 14);
+    }
+}

@@ -1,0 +1,167 @@
+//! The Likwid substitute: dynamic features derived from hardware counters.
+
+use fgbs_machine::{Arch, HwCounters};
+
+use crate::catalog::N_DYNAMIC;
+
+/// Compute the dynamic feature slots (ids `N_STATIC..N_FEATURES`) from
+/// counters aggregated over all profiled invocations of one codelet on the
+/// reference architecture.
+///
+/// `measured_cycles` is the *observed* cycle total (including probe
+/// overhead and noise, as a real Likwid measurement would be); the event
+/// counts come from `counters`.
+pub fn dynamic_features(counters: &HwCounters, arch: &Arch, measured_cycles: f64) -> Vec<f64> {
+    let iters = counters.iterations.max(1.0);
+    let invocations = (counters.invocations as f64).max(1.0);
+    let cycles = measured_cycles.max(1.0);
+    let secs = arch.seconds(cycles).max(1e-15);
+    let flops = counters.flops();
+    let insts = counters.instructions.max(1.0);
+    let total_misses: u64 = counters.cache_misses.iter().sum();
+
+    let mb = 1.0e6;
+    let l2_bytes = counters.bytes_from_l2;
+    let l3_bytes = counters.bytes_from_l3;
+    let mem_bytes = counters.bytes_from_mem;
+
+    let mut f = vec![0.0; N_DYNAMIC];
+    f[0] = secs / invocations; // time per invocation
+    f[1] = cycles / iters; // cycles per iteration
+    f[2] = insts / cycles; // IPC
+    f[3] = flops / secs / mb; // MFLOPS
+    f[4] = insts / secs / mb; // MIPS
+    f[5] = counters.fp_div / secs / mb; // FP divide rate (M/s)
+    f[6] = counters.vector_flop_ratio();
+    f[7] = counters.miss_rate(0); // L1 miss rate
+    f[8] = 1000.0 * *counters.cache_misses.first().unwrap_or(&0) as f64 / iters;
+    f[9] = counters.miss_rate(1);
+    f[10] = 1000.0 * *counters.cache_misses.get(1).unwrap_or(&0) as f64 / iters;
+    f[11] = l2_bytes / secs / mb; // L2 bandwidth MB/s
+    f[12] = l2_bytes / iters;
+    f[13] = counters.miss_rate(2); // L3 miss rate (0 if no L3)
+    f[14] = 1000.0 * *counters.cache_misses.get(2).unwrap_or(&0) as f64 / iters;
+    f[15] = l3_bytes / secs / mb;
+    f[16] = l3_bytes / iters;
+    f[17] = mem_bytes / secs / mb; // memory bandwidth MB/s
+    f[18] = mem_bytes / iters;
+    f[19] = counters.loads / iters;
+    f[20] = counters.stores / iters;
+    f[21] = counters.loads / counters.stores.max(1.0);
+    f[22] = if mem_bytes > 0.0 { flops / mem_bytes } else { flops }; // operational intensity
+    f[23] = counters.branches / insts;
+    f[24] = flops / iters;
+    f[25] = insts / invocations;
+    f[26] = cycles / invocations;
+    f[27] = (counters.loads + counters.stores) / secs / mb;
+    f[28] = total_misses as f64 / iters;
+    f[29] = dp_fraction(counters);
+    f[30] = sp_fraction(counters);
+    f[31] = secs / iters * 1e9; // ns per iteration
+    f[32] = flops / insts;
+    f
+}
+
+fn dp_fraction(c: &HwCounters) -> f64 {
+    let t = c.flops();
+    if t == 0.0 {
+        0.0
+    } else {
+        (c.flops_dp_scalar + c.flops_dp_vector) / t
+    }
+}
+
+fn sp_fraction(c: &HwCounters) -> f64 {
+    let t = c.flops();
+    if t == 0.0 {
+        0.0
+    } else {
+        (c.flops_sp_scalar + c.flops_sp_vector) / t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{feature_id, N_STATIC};
+    use fgbs_isa::{compile, BindingBuilder, CodeletBuilder, CompileMode, Precision};
+    use fgbs_machine::Machine;
+
+    /// Dynamic feature by name, offset into the dynamic-only slice.
+    fn dyn_slot(name: &str) -> usize {
+        feature_id(name) - N_STATIC
+    }
+
+    fn profile(n: u64) -> (Vec<f64>, HwCounters) {
+        let arch = Arch::nehalem();
+        let c = CodeletBuilder::new("tri", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("x", &[1]) * 2.0 + b.load("y", &[1]))
+            .build();
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        let b = BindingBuilder::new(0)
+            .vector(n, 8)
+            .vector(n, 8)
+            .param(n)
+            .build_for(&c);
+        let mut m = Machine::new(arch.clone());
+        let meas = m.run(&k, &b);
+        let f = dynamic_features(&meas.counters, &arch, meas.cycles);
+        (f, meas.counters)
+    }
+
+    #[test]
+    fn produces_all_dynamic_slots_finite() {
+        let (f, _) = profile(1 << 14);
+        assert_eq!(f.len(), N_DYNAMIC);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn mflops_is_plausible() {
+        let (f, c) = profile(1 << 14);
+        let mflops = f[dyn_slot("Floating point rate in MFLOPS.s-1")];
+        assert!(mflops > 10.0, "got {mflops}");
+        assert!(mflops < 20_000.0, "got {mflops}");
+        assert!(c.flops() > 0.0);
+    }
+
+    #[test]
+    fn bandwidth_features_track_bytes() {
+        let (f, c) = profile(1 << 16); // 1 MB arrays: stream from memory
+        assert!(c.bytes_from_mem > 0.0);
+        assert!(f[dyn_slot("Memory bandwidth in MB.s-1")] > 0.0);
+        assert!(f[dyn_slot("Memory bytes per iteration")] > 0.0);
+        assert!(f[dyn_slot("L2 bandwidth in MB.s-1")] > 0.0);
+    }
+
+    #[test]
+    fn dp_fraction_is_one_for_dp_kernel() {
+        let (f, _) = profile(1 << 12);
+        assert!((f[dyn_slot("DP fraction of FLOPs")] - 1.0).abs() < 1e-12);
+        assert_eq!(f[dyn_slot("SP fraction of FLOPs")], 0.0);
+    }
+
+    #[test]
+    fn measured_overhead_lowers_ipc() {
+        let arch = Arch::nehalem();
+        let c = HwCounters::new(3);
+        let mut c = c;
+        c.instructions = 1000.0;
+        c.iterations = 100.0;
+        c.invocations = 1;
+        let exact = dynamic_features(&c, &arch, 1000.0);
+        let padded = dynamic_features(&c, &arch, 2000.0);
+        assert!(padded[dyn_slot("IPC")] < exact[dyn_slot("IPC")]);
+    }
+
+    #[test]
+    fn zero_counters_do_not_blow_up() {
+        let arch = Arch::atom();
+        let c = HwCounters::new(2);
+        let f = dynamic_features(&c, &arch, 0.0);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,36 @@
+//! Static and dynamic performance-feature extraction.
+//!
+//! The paper characterises every codelet with **76 features**: static
+//! metrics from the MAQAO binary loop analyzer and dynamic metrics from
+//! Likwid hardware counters (§3.2). This crate reproduces that feature
+//! space over the simulator substrate:
+//!
+//! * [`static_features`] plays MAQAO: it analyses a compiled kernel against
+//!   the reference architecture's port model — instruction mix, per-port
+//!   pressure, estimated IPC assuming L1 hits, vectorization ratios per
+//!   operation class, scalar-double counts, dependency-chain stalls…
+//! * [`dynamic_features`] plays Likwid: it derives rates from the
+//!   simulated PMU ([`fgbs_machine::HwCounters`]) — MFLOPS, level
+//!   bandwidths, miss rates, memory bandwidth…
+//!
+//! [`catalog`] names all 76 features; [`table2_features`] returns the
+//! 14-feature subset the paper's genetic algorithm selected (Table 2),
+//! which `fgbs-core` can re-derive with its own GA run.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod archind;
+mod catalog;
+mod dynfeat;
+mod staticfeat;
+mod vector;
+
+pub use archind::{archind_features, ARCHIND_NAMES, N_ARCHIND};
+pub use catalog::{
+    catalog, feature_id, table2_features, FeatureDef, FeatureKind, N_DYNAMIC, N_FEATURES,
+    N_STATIC,
+};
+pub use dynfeat::dynamic_features;
+pub use staticfeat::static_features;
+pub use vector::{FeatureMask, FeatureMatrix, FeatureVector};

@@ -1,0 +1,248 @@
+//! The MAQAO substitute: static analysis of a compiled kernel.
+
+use fgbs_isa::{CompiledKernel, Precision, VOp};
+use fgbs_machine::{comp_bounds, Arch};
+
+use crate::catalog::N_STATIC;
+
+/// Compute the static feature slots (ids `0..N_STATIC`) for `kernel` as
+/// analysed against `arch` (the reference architecture's port model, per
+/// the paper's Step B).
+///
+/// ```
+/// use fgbs_analysis::{feature_id, static_features, N_STATIC};
+/// use fgbs_isa::{compile, CodeletBuilder, CompileMode, Precision};
+/// use fgbs_machine::Arch;
+///
+/// let scale = CodeletBuilder::new("scale", "demo")
+///     .array("x", Precision::F64)
+///     .param_loop("n")
+///     .store("x", &[1], |b| b.load("x", &[1]) * 0.5)
+///     .build();
+/// let arch = Arch::nehalem();
+/// let kernel = compile(&scale, &arch.target(), CompileMode::InApp);
+/// let f = static_features(&kernel, &arch);
+/// assert_eq!(f.len(), N_STATIC);
+/// assert!(f[feature_id("Vectorization ratio for Multiplications (FP)")] > 0.99);
+/// ```
+pub fn static_features(kernel: &CompiledKernel, arch: &Arch) -> Vec<f64> {
+    let b = comp_bounds(kernel, arch);
+    let l1_cycles = b.cycles().max(1e-12);
+    let insts = kernel.insts_per_iter();
+
+    let n_add = kernel.count_op(VOp::FAdd);
+    let n_sub = kernel.count_op(VOp::FSub);
+    let n_mul = kernel.count_op(VOp::FMul);
+    let n_div = kernel.count_op(VOp::FDiv);
+    let n_sqrt = kernel.count_op(VOp::FSqrt);
+    let n_call = kernel.count_op(VOp::FCall);
+    let n_max = kernel.count_op(VOp::FMax);
+    let n_logic = kernel.count_op(VOp::FLogic);
+    let n_shuf = kernel.count_op(VOp::Shuffle);
+    let n_iadd = kernel.count_op(VOp::IAdd);
+    let n_imul = kernel.count_op(VOp::IMul);
+    let n_load = kernel.count_op(VOp::Load);
+    let n_store = kernel.count_op(VOp::Store);
+    let n_branch = kernel.count_op(VOp::Branch);
+
+    // Scalar-single instruction count (the SD counterpart for F32).
+    let n_ss: f64 = kernel
+        .insts
+        .iter()
+        .filter(|i| i.op.is_flop() && i.lanes == 1 && i.prec == Precision::F32)
+        .map(|i| i.weight)
+        .sum();
+
+    // Ratio ADD+SUB / MUL, saturated so divide-by-zero kernels stay finite
+    // and the feature remains comparable across codelets.
+    let addsub_mul = ((n_add + n_sub + 1e-9) / (n_mul + 1e-9)).min(16.0);
+
+    let bytes_l = kernel.bytes_loaded_per_iter();
+    let bytes_s = kernel.bytes_stored_per_iter();
+    let bytes = bytes_l + bytes_s;
+    let flops = kernel.flops_per_iter();
+
+    let mut f = vec![0.0; N_STATIC];
+    f[0] = insts;
+    f[1] = b.uops;
+    f[2] = b.est_ipc(insts);
+    f[3] = l1_cycles;
+    f[4] = bytes_l / l1_cycles;
+    f[5] = bytes_s / l1_cycles;
+    f[6] = b.port_load[0];
+    f[7] = b.port_load[1];
+    f[8] = b.port_load[2];
+    f[9] = b.port_load[3];
+    f[10] = b.port_load[4];
+    f[11] = b.port_load[5];
+    f[12] = b.chain;
+    f[13] = b.latency_sum;
+    f[14] = n_add;
+    f[15] = n_sub;
+    f[16] = n_mul;
+    f[17] = n_div;
+    f[18] = n_sqrt;
+    f[19] = n_call;
+    f[20] = n_max;
+    f[21] = n_logic;
+    f[22] = n_shuf;
+    f[23] = n_iadd;
+    f[24] = n_imul;
+    f[25] = n_load;
+    f[26] = n_store;
+    f[27] = n_branch;
+    f[28] = kernel.count_sd();
+    f[29] = n_ss;
+    f[30] = addsub_mul;
+    f[31] = if bytes > 0.0 { flops / bytes } else { 0.0 };
+    f[32] = vector_ratio_all(kernel);
+    f[33] = kernel.vector_ratio_fp();
+    f[34] = kernel.vector_ratio_of(&[VOp::FAdd, VOp::FSub]);
+    f[35] = kernel.vector_ratio_of(&[VOp::FMul]);
+    f[36] = kernel.vector_ratio_of(&[VOp::FDiv, VOp::FSqrt]);
+    // "Other": everything that is neither an FP add/mul/div family op nor a
+    // memory/branch instruction — logic, shuffles, max/min, int ALU.
+    f[37] = kernel.vector_ratio_of(&[VOp::FLogic, VOp::Shuffle, VOp::FMax, VOp::IAdd, VOp::IMul]);
+    f[38] = kernel.vector_ratio_of(&[VOp::IAdd, VOp::IMul]);
+    f[39] = kernel.vector_ratio_of(&[VOp::Load]);
+    f[40] = kernel.vector_ratio_of(&[VOp::Store]);
+    f[41] = kernel.ndims as f64;
+    f[42] = if kernel.has_recurrence() { 1.0 } else { 0.0 };
+    f
+}
+
+fn vector_ratio_all(kernel: &CompiledKernel) -> f64 {
+    let (mut vec, mut tot) = (0.0, 0.0);
+    for i in &kernel.insts {
+        let elems = i.weight * i.lanes as f64;
+        tot += elems;
+        if i.lanes > 1 {
+            vec += elems;
+        }
+    }
+    if tot == 0.0 {
+        0.0
+    } else {
+        vec / tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::feature_id;
+    use fgbs_isa::{compile, BinOp, CodeletBuilder, CompileMode};
+
+    fn features_of(build: impl FnOnce() -> fgbs_isa::Codelet) -> Vec<f64> {
+        let arch = Arch::nehalem();
+        let c = build();
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        static_features(&k, &arch)
+    }
+
+    #[test]
+    fn produces_all_static_slots() {
+        let f = features_of(|| {
+            CodeletBuilder::new("dot", "t")
+                .array("x", Precision::F64)
+                .array("y", Precision::F64)
+                .param_loop("n")
+                .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+                .build()
+        });
+        assert_eq!(f.len(), N_STATIC);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!(f[feature_id("Estimated IPC assuming only L1 hits")] > 0.0);
+    }
+
+    #[test]
+    fn div_kernel_counts_divs() {
+        let f = features_of(|| {
+            CodeletBuilder::new("vdiv", "t")
+                .array("x", Precision::F64)
+                .array("y", Precision::F64)
+                .param_loop("n")
+                .store("y", &[1], |b| b.load("y", &[1]) / b.load("x", &[1]))
+                .build()
+        });
+        assert!(f[feature_id("Number of floating point DIV")] > 0.0);
+        assert!(f[feature_id("Vectorization ratio for Divisions (FP)")] > 0.99);
+    }
+
+    #[test]
+    fn recurrence_sets_stall_features() {
+        let f = features_of(|| {
+            CodeletBuilder::new("rec", "t")
+                .array("u", Precision::F64)
+                .array("r", Precision::F64)
+                .param_loop("n")
+                .store("u", &[1], |b| {
+                    let prev = b.load_off("u", &[1], -1);
+                    b.load("r", &[1]) - prev * 0.5
+                })
+                .build()
+        });
+        assert!(f[feature_id("Data dependencies stalls")] > 0.0);
+        assert_eq!(f[feature_id("Loop-carried recurrence")], 1.0);
+        assert_eq!(f[feature_id("Vectorization ratio for FP")], 0.0);
+    }
+
+    #[test]
+    fn sd_vs_ss_distinguish_precision() {
+        let dp = features_of(|| {
+            CodeletBuilder::new("rec64", "t")
+                .array("u", Precision::F64)
+                .param_loop("n")
+                .store("u", &[1], |b| {
+                    let p = b.load_off("u", &[1], -1);
+                    p * 0.5 + 1.0
+                })
+                .build()
+        });
+        assert!(dp[feature_id("Number of SD instructions")] > 0.0);
+        assert_eq!(dp[feature_id("Number of SS instructions")], 0.0);
+
+        let sp = features_of(|| {
+            CodeletBuilder::new("rec32", "t")
+                .array("u", Precision::F32)
+                .param_loop("n")
+                .store("u", &[1], |b| {
+                    let p = b.load_off("u", &[1], -1);
+                    p * 0.5 + 1.0
+                })
+                .build()
+        });
+        assert!(sp[feature_id("Number of SS instructions")] > 0.0);
+        assert_eq!(sp[feature_id("Number of SD instructions")], 0.0);
+    }
+
+    #[test]
+    fn addsub_mul_ratio_is_saturated() {
+        // Pure-add kernel: no multiplies, the ratio must stay finite.
+        let f = features_of(|| {
+            CodeletBuilder::new("sum", "t")
+                .array("x", Precision::F64)
+                .param_loop("n")
+                .update_acc("s", BinOp::Add, |b| b.load("x", &[1]))
+                .build()
+        });
+        let r = f[feature_id("Ratio between ADD+SUB/MUL")];
+        assert!(r.is_finite());
+        assert!(r > 1.0);
+        assert!(r <= 16.0);
+    }
+
+    #[test]
+    fn port_pressure_reflects_mix() {
+        // Store-heavy kernel pressures P4.
+        let f = features_of(|| {
+            CodeletBuilder::new("set0", "t")
+                .array("x", Precision::F64)
+                .param_loop("n")
+                .store("x", &[1], |b| b.constant(0.0))
+                .build()
+        });
+        assert!(f[feature_id("Pressure in dispatch port P4")] > 0.0);
+        assert_eq!(f[feature_id("Number of FP MUL")], 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Runtime ablations of the design choices DESIGN.md calls out:
+//! linkage criterion, feature-set width, and K policy. (Their *quality*
+//! impact is reported by the `exp_ablations` binary; these benches track
+//! the runtime cost of each choice.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgbs_analysis::FeatureMask;
+use fgbs_clustering::{linkage, normalize, DistanceMatrix, Linkage};
+use fgbs_core::{profile_reference, reduce_cached, KChoice, MicroCache, PipelineConfig};
+use fgbs_suites::{nr_suite, Class};
+
+fn bench_linkages(c: &mut Criterion) {
+    let data: Vec<Vec<f64>> = (0..67)
+        .map(|i| (0..14).map(|j| ((i * 29 + j * 13) % 19) as f64).collect())
+        .collect();
+    let norm = normalize(&data);
+    let d = DistanceMatrix::euclidean(&norm);
+    let mut g = c.benchmark_group("ablation/linkage");
+    for m in [
+        Linkage::Ward,
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{m:?}")), &m, |b, &m| {
+            b.iter(|| linkage(&d, m))
+        });
+    }
+    g.finish();
+}
+
+fn bench_feature_width(c: &mut Criterion) {
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(10).collect();
+    let suite = profile_reference(&apps, &cfg);
+    let cache = MicroCache::new();
+    // Warm the wellness cache so the bench isolates clustering cost.
+    let _ = reduce_cached(&suite, &cfg, &cache);
+
+    let mut g = c.benchmark_group("ablation/features");
+    for (label, mask) in [
+        ("table2_14", FeatureMask::from_ids(&fgbs_analysis::table2_features())),
+        ("all_76", FeatureMask::all()),
+    ] {
+        let fcfg = cfg.clone().with_features(mask);
+        g.bench_function(label, |b| b.iter(|| reduce_cached(&suite, &fcfg, &cache)));
+    }
+    g.finish();
+}
+
+fn bench_k_policy(c: &mut Criterion) {
+    let cfg = PipelineConfig::fast();
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(10).collect();
+    let suite = profile_reference(&apps, &cfg);
+    let cache = MicroCache::new();
+    let _ = reduce_cached(&suite, &cfg, &cache);
+
+    let mut g = c.benchmark_group("ablation/k_policy");
+    for (label, k) in [
+        ("fixed_5", KChoice::Fixed(5)),
+        ("elbow_10", KChoice::Elbow { max_k: 10 }),
+    ] {
+        let kcfg = cfg.clone().with_k(k);
+        g.bench_function(label, |b| b.iter(|| reduce_cached(&suite, &kcfg, &cache)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_linkages, bench_feature_width, bench_k_policy);
+criterion_main!(benches);

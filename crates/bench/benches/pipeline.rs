@@ -1,0 +1,121 @@
+//! Criterion benches of the pipeline stages: simulation throughput,
+//! feature extraction, clustering, GA, prediction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgbs_analysis::{dynamic_features, static_features};
+use fgbs_clustering::{linkage, normalize, DistanceMatrix, Linkage};
+use fgbs_core::{
+    predict_with_runs, profile_reference, profile_target, reduce_cached, KChoice, MicroCache,
+    PipelineConfig,
+};
+use fgbs_genetic::{minimize, BitGenome, GaConfig};
+use fgbs_isa::{compile, BindingBuilder, CodeletBuilder, CompileMode, Precision};
+use fgbs_machine::{Arch, Machine, PARK_SCALE};
+use fgbs_suites::{nr_suite, Class};
+
+fn bench_machine_simulation(c: &mut Criterion) {
+    let arch = Arch::nehalem().scaled(PARK_SCALE);
+    let codelet = CodeletBuilder::new("triad", "bench")
+        .array("a", Precision::F64)
+        .array("b", Precision::F64)
+        .array("c", Precision::F64)
+        .param_loop("n")
+        .store("c", &[1], |bd| bd.load("a", &[1]) * 2.0 + bd.load("b", &[1]))
+        .build();
+    let kernel = compile(&codelet, &arch.target(), CompileMode::InApp);
+    let n = 16_384u64;
+    let binding = BindingBuilder::new(0)
+        .vector(n, 8)
+        .vector(n, 8)
+        .vector(n, 8)
+        .param(n)
+        .build_for(&codelet);
+    let mut machine = Machine::new(arch);
+    c.bench_function("machine/triad_16k_invocation", |b| {
+        b.iter(|| machine.run(&kernel, &binding))
+    });
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let arch = Arch::nehalem().scaled(PARK_SCALE);
+    let codelet = CodeletBuilder::new("dot", "bench")
+        .array("x", Precision::F64)
+        .array("y", Precision::F64)
+        .param_loop("n")
+        .update_acc("s", fgbs_isa::BinOp::Add, |b| {
+            b.load("x", &[1]) * b.load("y", &[1])
+        })
+        .build();
+    let kernel = compile(&codelet, &arch.target(), CompileMode::InApp);
+    c.bench_function("analysis/static_features", |b| {
+        b.iter(|| static_features(&kernel, &arch))
+    });
+    let n = 8192u64;
+    let binding = BindingBuilder::new(0)
+        .vector(n, 8)
+        .vector(n, 8)
+        .param(n)
+        .build_for(&codelet);
+    let mut machine = Machine::new(arch.clone());
+    let meas = machine.run(&kernel, &binding);
+    c.bench_function("analysis/dynamic_features", |b| {
+        b.iter(|| dynamic_features(&meas.counters, &arch, meas.cycles))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // A 67 x 14 observation matrix, like the NAS clustering.
+    let data: Vec<Vec<f64>> = (0..67)
+        .map(|i| (0..14).map(|j| ((i * 31 + j * 17) % 23) as f64).collect())
+        .collect();
+    let norm = normalize(&data);
+    c.bench_function("clustering/ward_67x14", |b| {
+        b.iter(|| {
+            let d = DistanceMatrix::euclidean(&norm);
+            linkage(&d, Linkage::Ward)
+        })
+    });
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let cfg = GaConfig {
+        genome_len: 76,
+        population: 50,
+        generations: 10,
+        ..GaConfig::default()
+    };
+    c.bench_function("genetic/ga_50x10_onemax", |b| {
+        b.iter(|| minimize(&cfg, |g: &BitGenome| (76 - g.count_ones()) as f64))
+    });
+}
+
+fn bench_pipeline_steps(c: &mut Criterion) {
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(8).collect();
+    c.bench_function("pipeline/profile_reference_8xNR", |b| {
+        b.iter(|| profile_reference(&apps, &cfg))
+    });
+
+    let suite = profile_reference(&apps, &cfg);
+    let cache = MicroCache::new();
+    c.bench_function("pipeline/reduce_8xNR", |b| {
+        b.iter(|| reduce_cached(&suite, &cfg, &cache))
+    });
+
+    let reduced = reduce_cached(&suite, &cfg, &cache);
+    let atom = Arch::atom().scaled(PARK_SCALE);
+    let runs = profile_target(&suite, &atom, &cfg);
+    c.bench_function("pipeline/predict_8xNR_atom", |b| {
+        b.iter(|| predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_machine_simulation,
+    bench_feature_extraction,
+    bench_clustering,
+    bench_ga,
+    bench_pipeline_steps
+);
+criterion_main!(benches);

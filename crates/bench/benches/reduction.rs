@@ -1,0 +1,49 @@
+//! The value proposition, measured: benchmarking a target with the full
+//! suite vs with the reduced representative set. This is the simulated
+//! analogue of the paper's Table 5 — the reduced suite should be an order
+//! of magnitude cheaper to *run*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgbs_core::{profile_reference, reduce_cached, KChoice, MicroCache, PipelineConfig};
+use fgbs_extract::run_application;
+use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_suites::{nr_suite, Class};
+
+fn bench_full_vs_reduced(c: &mut Criterion) {
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(12).collect();
+    let suite = profile_reference(&apps, &cfg);
+    let cache = MicroCache::new();
+    let reduced = reduce_cached(&suite, &cfg, &cache);
+    let atom = Arch::atom().scaled(PARK_SCALE);
+
+    // Benchmarking the target the traditional way: run everything.
+    c.bench_function("benchmarking/full_suite_on_atom", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for app in &apps {
+                total += run_application(app, &atom, 0).total_seconds;
+            }
+            total
+        })
+    });
+
+    // Benchmarking the target the paper's way: run the representatives'
+    // microbenchmarks only (fresh measurements, no cache).
+    let reps: Vec<usize> = reduced.representatives();
+    c.bench_function("benchmarking/reduced_suite_on_atom", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for &r in &reps {
+                total += suite.codelets[r]
+                    .micro
+                    .run_with(&atom, 0, cfg.micro_min_seconds, cfg.micro_min_invocations)
+                    .total_seconds;
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_vs_reduced);
+criterion_main!(benches);

@@ -1,0 +1,203 @@
+//! Quality ablations of the design choices DESIGN.md calls out.
+//!
+//! 1. Linkage criterion (Ward vs single/complete/average).
+//! 2. Clustering features (GA-trained vs the paper's Table 2 list vs all
+//!    76 vs the architecture-independent extension of §5).
+//! 3. Representative policy (centroid-closest vs a random member).
+//! 4. Microbenchmark estimator (median vs mean of the invocations).
+//! 5. K policy (elbow vs the paper's K = 18).
+//!
+//! Each row reports the median per-codelet error averaged over the three
+//! targets, at a matched cluster count.
+
+use fgbs_analysis::{archind_features, table2_features, FeatureMask};
+use fgbs_bench::{f, render_table, NasLab, Options};
+use fgbs_clustering::Linkage;
+use fgbs_core::{
+    predict_with_runs, reduce_cached, reduce_with_observations, wellness, KChoice, ReducedSuite,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mean_median_error(lab: &NasLab, reduced: &ReducedSuite, cfg: &fgbs_core::PipelineConfig) -> f64 {
+    let mut total = 0.0;
+    for (ti, target) in lab.targets.iter().enumerate() {
+        let out =
+            predict_with_runs(&lab.suite, reduced, target, &lab.runs[ti], &lab.cache, cfg);
+        total += out.median_error_pct();
+    }
+    total / lab.targets.len() as f64
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NasLab::new(opts);
+    let elbow = reduce_cached(&lab.suite, &lab.cfg, &lab.cache);
+    let k = elbow.k_requested;
+    let kcfg = lab.cfg.clone().with_k(KChoice::Fixed(k));
+
+    // 1. Linkage criterion.
+    let mut rows = Vec::new();
+    for linkage in [
+        Linkage::Ward,
+        Linkage::Single,
+        Linkage::Complete,
+        Linkage::Average,
+    ] {
+        let mut cfg = kcfg.clone();
+        cfg.linkage = linkage;
+        let reduced = reduce_cached(&lab.suite, &cfg, &lab.cache);
+        rows.push(vec![
+            format!("{linkage:?}"),
+            reduced.n_representatives().to_string(),
+            f(mean_median_error(&lab, &reduced, &cfg), 1),
+        ]);
+    }
+    render_table(
+        &format!("Ablation 1 — linkage criterion (K = {k})"),
+        &["Linkage", "reps", "mean median err %"],
+        &rows,
+    );
+
+    // 2. Feature sets.
+    let mut rows = Vec::new();
+    let archind: Vec<Vec<f64>> = lab
+        .suite
+        .codelets
+        .iter()
+        .map(|c| {
+            let app = &lab.suite.apps[c.app];
+            let binding = app.first_context(c.local).expect("detected codelets run");
+            archind_features(&app.codelets[c.local], binding)
+        })
+        .collect();
+    for (label, reduced) in [
+        (
+            "GA-trained",
+            reduce_cached(&lab.suite, &kcfg, &lab.cache),
+        ),
+        (
+            "paper Table 2",
+            reduce_cached(
+                &lab.suite,
+                &kcfg.clone().with_features(FeatureMask::from_ids(&table2_features())),
+                &lab.cache,
+            ),
+        ),
+        (
+            "all 76",
+            reduce_cached(
+                &lab.suite,
+                &kcfg.clone().with_features(FeatureMask::all()),
+                &lab.cache,
+            ),
+        ),
+        (
+            "arch-independent (§5)",
+            reduce_with_observations(&lab.suite, &kcfg, &lab.cache, &archind),
+        ),
+    ] {
+        rows.push(vec![
+            label.to_string(),
+            reduced.n_representatives().to_string(),
+            f(mean_median_error(&lab, &reduced, &kcfg), 1),
+        ]);
+    }
+    render_table(
+        &format!("Ablation 2 — clustering features (K = {k})"),
+        &["Features", "reps", "mean median err %"],
+        &rows,
+    );
+
+    // 3. Representative policy: medoid vs random eligible member.
+    let eligible = wellness(&lab.suite, &lab.cfg, &lab.cache);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut random_reps = elbow.clone();
+    for c in &mut random_reps.clusters {
+        let ok: Vec<usize> = c
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| eligible[m])
+            .collect();
+        if !ok.is_empty() {
+            c.representative = ok[rng.gen_range(0..ok.len())];
+        }
+    }
+    render_table(
+        &format!("Ablation 3 — representative policy (K = {k})"),
+        &["Policy", "mean median err %"],
+        &[
+            vec![
+                "centroid-closest (paper)".into(),
+                f(mean_median_error(&lab, &elbow, &lab.cfg), 1),
+            ],
+            vec![
+                "random eligible member".into(),
+                f(mean_median_error(&lab, &random_reps, &lab.cfg), 1),
+            ],
+        ],
+    );
+
+    // 4. Median vs mean estimator for the representative measurement.
+    let mut rows = Vec::new();
+    for (ti, target) in lab.targets.iter().enumerate() {
+        let out = predict_with_runs(
+            &lab.suite,
+            &elbow,
+            target,
+            &lab.runs[ti],
+            &lab.cache,
+            &lab.cfg,
+        );
+        // Re-predict with the mean estimator.
+        let mut mean_errs: Vec<f64> = Vec::new();
+        for p in &out.predictions {
+            if let Some(c) = p.cluster {
+                let rep = elbow.clusters[c].representative;
+                let m = lab.cache.measure(
+                    rep,
+                    &lab.suite.codelets[rep].micro,
+                    target,
+                    lab.cfg.noise_seed,
+                    lab.cfg.micro_min_seconds,
+                    lab.cfg.micro_min_invocations,
+                );
+                let tref_rk = lab.cfg.reference.seconds(lab.suite.codelets[rep].tref_cycles);
+                let pred = p.ref_seconds * m.mean_seconds / tref_rk;
+                mean_errs.push(100.0 * (pred - p.real_seconds).abs() / p.real_seconds);
+            }
+        }
+        mean_errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean_med = mean_errs[mean_errs.len() / 2];
+        rows.push(vec![
+            target.name.clone(),
+            f(out.median_error_pct(), 1),
+            f(mean_med, 1),
+        ]);
+    }
+    render_table(
+        "Ablation 4 — microbenchmark estimator",
+        &["Target", "median (paper) err %", "mean err %"],
+        &rows,
+    );
+
+    // 5. K policy.
+    let k18 = reduce_cached(&lab.suite, &lab.cfg.clone().with_k(KChoice::Fixed(18)), &lab.cache);
+    render_table(
+        "Ablation 5 — cluster-count policy",
+        &["Policy", "reps", "mean median err %"],
+        &[
+            vec![
+                format!("elbow (K = {k})"),
+                elbow.n_representatives().to_string(),
+                f(mean_median_error(&lab, &elbow, &lab.cfg), 1),
+            ],
+            vec![
+                "paper's K = 18".into(),
+                k18.n_representatives().to_string(),
+                f(mean_median_error(&lab, &k18, &lab.cfg), 1),
+            ],
+        ],
+    );
+}

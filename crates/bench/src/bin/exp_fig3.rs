@@ -1,0 +1,39 @@
+//! Figure 3 — evolution of prediction error and benchmarking-reduction
+//! factor on the NAS codelets as the cluster count increases, per target.
+//! The elbow-selected K is marked with `*`.
+
+use fgbs_bench::{f, render_table, NasLab, Options};
+use fgbs_core::{reduce_cached, sweep_k};
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NasLab::new(opts);
+    let elbow = reduce_cached(&lab.suite, &lab.cfg, &lab.cache).k_requested;
+
+    for (ti, target) in lab.targets.iter().enumerate() {
+        eprintln!("[exp] sweeping K on {}…", target.name);
+        let pts = sweep_k(&lab.suite, target, 24, &lab.cache, &lab.cfg);
+        let rows: Vec<Vec<String>> = pts
+            .iter()
+            .map(|p| {
+                vec![
+                    if p.k == elbow {
+                        format!("{}*", p.k)
+                    } else {
+                        p.k.to_string()
+                    },
+                    p.representatives.to_string(),
+                    f(p.median_error_pct, 1),
+                    f(p.reduction_total, 1),
+                ]
+            })
+            .collect();
+        render_table(
+            &format!("Figure 3 — {} (elbow K = {elbow})", target.name),
+            &["K", "reps", "median err %", "reduction x"],
+            &rows,
+        );
+        let _ = ti;
+    }
+    println!("\nPaper at its elbow (18): Atom 8 % / x44, Core 2 3.9 % / x25, Sandy Bridge 5.8 % / x23.");
+}

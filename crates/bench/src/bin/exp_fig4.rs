@@ -1,0 +1,74 @@
+//! Figure 4 — predicted vs real per-codelet execution times on Sandy
+//! Bridge, grouped by NAS application, at the elbow cluster count.
+
+use fgbs_bench::{render_table, secs, NasLab, Options};
+use fgbs_core::predict_with_runs;
+use fgbs_core::reduce_cached;
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NasLab::new(opts);
+    let reduced = reduce_cached(&lab.suite, &lab.cfg, &lab.cache);
+    let ti = lab
+        .targets
+        .iter()
+        .position(|t| t.name == "Sandy Bridge")
+        .expect("SB is a target");
+    let sb = &lab.targets[ti];
+    let out = predict_with_runs(&lab.suite, &reduced, sb, &lab.runs[ti], &lab.cache, &lab.cfg);
+
+    for (ai, app) in lab.suite.apps.iter().enumerate() {
+        let rows: Vec<Vec<String>> = out
+            .predictions
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| lab.suite.codelets[*i].app == ai)
+            .map(|(i, p)| {
+                vec![
+                    lab.suite.codelets[i].name.clone(),
+                    secs(p.ref_seconds),
+                    secs(p.real_seconds),
+                    secs(p.predicted_seconds.unwrap_or(f64::NAN)),
+                    format!("{:.1}", p.error_pct.unwrap_or(f64::NAN)),
+                ]
+            })
+            .collect();
+        render_table(
+            &format!("Figure 4 — {} codelets on Sandy Bridge (K = {})", app.name, reduced.k_requested),
+            &["Codelet", "Reference", "SB real", "SB predicted", "err %"],
+            &rows,
+        );
+    }
+    println!(
+        "\nOverall median error on Sandy Bridge: {:.1} % (paper: 5.8 %).",
+        out.median_error_pct()
+    );
+
+    // The paper attributes the residual error to short-lived codelets,
+    // "more affected by measurement errors such as instrumentation
+    // overhead". Split the population at the median invocation length.
+    let mut lengths: Vec<f64> = out.predictions.iter().map(|p| p.ref_seconds).collect();
+    lengths.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let cut = lengths[lengths.len() / 2];
+    let median_err = |short: bool| -> f64 {
+        let mut errs: Vec<f64> = out
+            .predictions
+            .iter()
+            .filter(|p| (p.ref_seconds < cut) == short)
+            .filter_map(|p| p.error_pct)
+            .collect();
+        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if errs.is_empty() {
+            f64::NAN
+        } else {
+            errs[errs.len() / 2]
+        }
+    };
+    println!(
+        "Short-lived codelets (< {:.0} us/invocation): median {:.1} %; longer: {:.1} % — \
+the paper's instrumentation-overhead effect.",
+        cut * 1e6,
+        median_err(true),
+        median_err(false)
+    );
+}

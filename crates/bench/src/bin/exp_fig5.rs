@@ -1,0 +1,50 @@
+//! Figure 5 — per-application execution times: reference, target real,
+//! target predicted, for every NAS application on the three targets.
+
+use fgbs_bench::{render_table, secs, NasLab, Options};
+use fgbs_core::{aggregate_apps, predict_with_runs, reduce_cached};
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NasLab::new(opts);
+    for k in [None, Some(18)] {
+        let cfg = match k {
+            None => lab.cfg.clone(),
+            Some(k) => lab.cfg.clone().with_k(fgbs_core::KChoice::Fixed(k)),
+        };
+        let reduced = reduce_cached(&lab.suite, &cfg, &lab.cache);
+        run(&lab, &cfg, &reduced);
+    }
+    println!("\nPaper: all apps slower on Atom (CG mispredicted by the cache-state anomaly),");
+    println!("all faster on Sandy Bridge, and mixed on Core 2 (BT/FT faster, LU slower).");
+}
+
+fn run(lab: &NasLab, cfg: &fgbs_core::PipelineConfig, reduced: &fgbs_core::ReducedSuite) {
+    for (ti, target) in lab.targets.iter().enumerate() {
+        let out =
+            predict_with_runs(&lab.suite, reduced, target, &lab.runs[ti], &lab.cache, cfg);
+        let apps = aggregate_apps(&lab.suite, &out, target, cfg);
+        let rows: Vec<Vec<String>> = apps
+            .iter()
+            .map(|a| {
+                vec![
+                    a.app.clone(),
+                    secs(a.ref_seconds),
+                    secs(a.real_seconds),
+                    a.predicted_seconds.map(secs).unwrap_or_else(|| "-".into()),
+                    a.error_pct()
+                        .map(|e| format!("{e:.1}"))
+                        .unwrap_or_else(|| "-".into()),
+                ]
+            })
+            .collect();
+        render_table(
+            &format!(
+                "Figure 5 — application times on {} (K = {})",
+                target.name, reduced.k_requested
+            ),
+            &["App", "Reference", "Real", "Predicted", "err %"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 6 — geometric-mean speedup per architecture, real vs predicted.
+//! This is the system-selection headline: the reduced suite must rank the
+//! candidate machines like the full suite does.
+
+use fgbs_bench::{f, render_table, NasLab, Options};
+use fgbs_core::{aggregate_apps, geometric_mean_speedup, predict_with_runs, reduce_cached};
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NasLab::new(opts);
+    for k in [None, Some(18)] {
+        let cfg = match k {
+            None => lab.cfg.clone(),
+            Some(k) => lab.cfg.clone().with_k(fgbs_core::KChoice::Fixed(k)),
+        };
+        let reduced = reduce_cached(&lab.suite, &cfg, &lab.cache);
+        run(&lab, &cfg, &reduced);
+    }
+    println!("\nPaper: Atom 0.15/0.19, Core 2 0.97/1.00, Sandy Bridge 1.98/1.89.");
+}
+
+fn run(lab: &NasLab, cfg: &fgbs_core::PipelineConfig, reduced: &fgbs_core::ReducedSuite) {
+    let mut rows = Vec::new();
+    let mut ranking_real = Vec::new();
+    let mut ranking_pred = Vec::new();
+    for (ti, target) in lab.targets.iter().enumerate() {
+        let out =
+            predict_with_runs(&lab.suite, reduced, target, &lab.runs[ti], &lab.cache, cfg);
+        let apps = aggregate_apps(&lab.suite, &out, target, cfg);
+        let (real, pred) = geometric_mean_speedup(&apps);
+        ranking_real.push((target.name.clone(), real));
+        ranking_pred.push((target.name.clone(), pred));
+        rows.push(vec![target.name.clone(), f(real, 2), f(pred, 2)]);
+    }
+    render_table(
+        &format!(
+            "Figure 6 — geometric-mean speedup vs the Nehalem reference (K = {})",
+            reduced.k_requested
+        ),
+        &["Target", "Real", "Predicted"],
+        &rows,
+    );
+    let best = |v: &mut Vec<(String, f64)>| {
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        v[0].0.clone()
+    };
+    let br = best(&mut ranking_real);
+    let bp = best(&mut ranking_pred);
+    println!("System selection: real best = {br}, predicted best = {bp} ({}).",
+        if br == bp { "correct" } else { "WRONG" });
+}

@@ -1,0 +1,58 @@
+//! Table 1 — test architectures.
+//!
+//! Prints the nominal machine park of the paper's Table 1 and the
+//! uniformly scaled park the experiments actually simulate on
+//! (capacities ÷ `PARK_SCALE`, all ratios preserved).
+
+use fgbs_bench::render_table;
+use fgbs_machine::{Arch, PARK_SCALE};
+
+fn kb(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MB", bytes as f64 / (1024.0 * 1024.0))
+    } else {
+        format!("{} KB", bytes / 1024)
+    }
+}
+
+fn rows(park: &[Arch]) -> Vec<Vec<String>> {
+    park.iter()
+        .map(|a| {
+            let lvl = |i: usize| {
+                a.caches
+                    .get(i)
+                    .map(|c| kb(c.size))
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            vec![
+                a.name.clone(),
+                a.cpu.clone(),
+                format!("{:.2}", a.freq_ghz),
+                a.cores.to_string(),
+                if a.in_order { "in-order" } else { "OOO" }.to_string(),
+                lvl(0),
+                lvl(1),
+                lvl(2),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let headers = [
+        "Machine", "CPU", "GHz", "Cores", "Pipeline", "L1D", "L2", "L3",
+    ];
+    render_table(
+        "Table 1 — nominal machine park (paper values)",
+        &headers,
+        &rows(&Arch::table1()),
+    );
+    render_table(
+        &format!("Table 1 — simulated park (capacities / {PARK_SCALE})"),
+        &headers,
+        &rows(&Arch::park_scaled()),
+    );
+    println!(
+        "\nReference: Nehalem. Targets: Atom, Core 2, Sandy Bridge (as in the paper)."
+    );
+}

@@ -1,0 +1,90 @@
+//! Table 2 — genetic-algorithm feature selection on Numerical Recipes.
+//!
+//! Trains a feature mask on the 28 NR codelets against Atom and Sandy
+//! Bridge with the paper's fitness `max(err_Atom, err_SB) × K`, then
+//! prints the winning set next to the paper's published Table 2 list.
+//! `--quick` shrinks the GA; without it the search uses a sizeable
+//! population (the paper used population 1000 × 100 generations in R).
+
+use fgbs_analysis::{catalog, table2_features};
+use fgbs_bench::{render_table, Options};
+use fgbs_core::{profile_reference, select_features_ga, PipelineConfig};
+use fgbs_genetic::GaConfig;
+use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_suites::nr_suite;
+
+fn main() {
+    let opts = Options::from_args();
+    let cfg = PipelineConfig::default();
+    eprintln!("[exp] profiling NR…");
+    let nr = profile_reference(&nr_suite(opts.class), &cfg);
+    let train = vec![
+        Arch::atom().scaled(PARK_SCALE),
+        Arch::sandy_bridge().scaled(PARK_SCALE),
+    ];
+    let ga = if opts.quick {
+        GaConfig {
+            population: 40,
+            generations: 12,
+            seed: 1,
+            ..GaConfig::default()
+        }
+    } else {
+        GaConfig {
+            population: 200,
+            generations: 60,
+            seed: 1,
+            ..GaConfig::default()
+        }
+    };
+    eprintln!(
+        "[exp] running GA (population {}, {} generations)…",
+        ga.population, ga.generations
+    );
+    let sel = select_features_ga(&nr, &train, &ga, &cfg);
+
+    let cat = catalog();
+    let paper: Vec<usize> = table2_features();
+    let rows: Vec<Vec<String>> = sel
+        .feature_ids
+        .iter()
+        .map(|&id| {
+            vec![
+                cat[id].name.to_string(),
+                format!("{:?}", cat[id].kind),
+                if paper.contains(&id) { "also in paper's set" } else { "" }.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 2 — GA-selected feature set (this reproduction)",
+        &["Feature", "Kind", "Note"],
+        &rows,
+    );
+    let overlap = sel.feature_ids.iter().filter(|i| paper.contains(i)).count();
+    println!(
+        "\nselected {} features ({} overlap with the paper's 14), fitness {:.2}, elbow K {}",
+        sel.feature_ids.len(),
+        overlap,
+        sel.fitness,
+        sel.k
+    );
+    println!(
+        "GA: {} distinct evaluations, best fitness per generation: {:?}",
+        sel.evaluations,
+        sel.history
+            .iter()
+            .step_by((sel.history.len() / 10).max(1))
+            .map(|v| (v * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    let paper_rows: Vec<Vec<String>> = paper
+        .iter()
+        .map(|&id| vec![cat[id].name.to_string(), format!("{:?}", cat[id].kind)])
+        .collect();
+    render_table(
+        "Table 2 — the paper's published feature set, for reference",
+        &["Feature", "Kind"],
+        &paper_rows,
+    );
+}

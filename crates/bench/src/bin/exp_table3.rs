@@ -1,0 +1,74 @@
+//! Table 3 — the NR clustering at K = 14.
+//!
+//! For every Numerical Recipes codelet: its cluster, computation pattern,
+//! stride vocabulary, vectorization ratio and measured Atom speedup; the
+//! selected representative of each cluster is wrapped in angle brackets,
+//! as in the paper.
+
+use fgbs_bench::{f, render_table, NrLab, Options};
+use fgbs_core::{predict_with_runs, reduce_cached, KChoice};
+use fgbs_isa::{compile, CompileMode};
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NrLab::new(opts);
+    let cfg = lab.cfg.clone().with_k(KChoice::Fixed(14));
+    let reduced = reduce_cached(&lab.suite, &cfg, &lab.cache);
+    // Atom is the first NR target; measure reps there for the speedups.
+    let atom = &lab.targets[0];
+    let out = predict_with_runs(&lab.suite, &reduced, atom, &lab.runs[0], &lab.cache, &cfg);
+
+    // Rows ordered by cluster then name, mirroring the dendrogram listing.
+    let mut order: Vec<usize> = (0..lab.suite.len()).collect();
+    order.sort_by_key(|&i| (reduced.assignment[i], i));
+
+    let rows: Vec<Vec<String>> = order
+        .iter()
+        .map(|&i| {
+            let info = &lab.suite.codelets[i];
+            let app = &lab.suite.apps[info.app];
+            let codelet = &app.codelets[info.local];
+            let kernel = compile(codelet, &cfg.reference.target(), CompileMode::InApp);
+            let p = &out.predictions[i];
+            let speedup = p.ref_seconds / p.real_seconds;
+            let s = if p.is_representative {
+                format!("<{}>", f(speedup, 2))
+            } else {
+                f(speedup, 2)
+            };
+            vec![
+                reduced.assignment[i]
+                    .map(|c| (c + 1).to_string())
+                    .unwrap_or_else(|| "-".into()),
+                codelet.name.clone(),
+                codelet.pattern.clone(),
+                codelet.stride_summary(),
+                format!("{:.0}", 100.0 * kernel.vector_ratio_fp()),
+                s,
+            ]
+        })
+        .collect();
+
+    render_table(
+        "Table 3 — NR clustering (K = 14) with Atom speedups",
+        &["C", "Codelet", "Computation Pattern", "Stride", "Vec. %", "s(Atom)"],
+        &rows,
+    );
+    println!(
+        "\n{} clusters survived selection; representatives marked <>. Paper: 14 clusters over 28 codelets.",
+        reduced.n_representatives()
+    );
+
+    // The dendrogram of the hierarchical clustering (Table 3's left edge).
+    let labels: Vec<String> = lab
+        .suite
+        .codelets
+        .iter()
+        .map(|c| c.name.split('/').next().unwrap_or(&c.name).to_string())
+        .collect();
+    println!("\n== Dendrogram (Ward; '+' marks a merge, height grows left) ==");
+    print!(
+        "{}",
+        fgbs_clustering::render_dendrogram(&reduced.dendrogram, &labels, 40)
+    );
+}

@@ -1,0 +1,42 @@
+//! Table 4 — NR prediction errors at K = 14 and K = 24 (the elbow choice
+//! in the paper) on Atom and Sandy Bridge.
+
+use fgbs_bench::{f, render_table, NrLab, Options};
+use fgbs_core::{predict_with_runs, reduce_cached, KChoice};
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NrLab::new(opts);
+
+    let elbow_cfg = lab.cfg.clone();
+    let elbow_reduced = reduce_cached(&lab.suite, &elbow_cfg, &lab.cache);
+    let elbow_k = elbow_reduced.k_requested;
+
+    let mut rows = Vec::new();
+    for (ti, target) in lab.targets.iter().enumerate() {
+        let mut row = vec![target.name.clone()];
+        for k in [14usize, 24, elbow_k] {
+            let cfg = lab.cfg.clone().with_k(KChoice::Fixed(k));
+            let reduced = reduce_cached(&lab.suite, &cfg, &lab.cache);
+            let out =
+                predict_with_runs(&lab.suite, &reduced, target, &lab.runs[ti], &lab.cache, &cfg);
+            row.push(f(out.median_error_pct(), 1));
+            row.push(f(out.average_error_pct(), 1));
+        }
+        rows.push(row);
+    }
+    render_table(
+        &format!("Table 4 — NR prediction errors (%) — elbow chose K = {elbow_k}"),
+        &[
+            "Target",
+            "K=14 med",
+            "K=14 avg",
+            "K=24 med",
+            "K=24 avg",
+            "elbow med",
+            "elbow avg",
+        ],
+        &rows,
+    );
+    println!("\nPaper: K=14 Atom 1.8/12, SB 3.2/9.3; K=24 (elbow) Atom 0/1.7, SB 0/0.97.");
+}

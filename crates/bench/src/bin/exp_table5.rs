@@ -1,0 +1,49 @@
+//! Table 5 — benchmarking-reduction factor breakdown
+//! (`total = reduced-invocations × clustering`), per target, at the elbow
+//! representative count.
+
+use fgbs_bench::{f, render_table, NasLab, Options};
+use fgbs_core::{predict_with_runs, reduce_cached, reduction_factor};
+
+fn main() {
+    let opts = Options::from_args();
+    let lab = NasLab::new(opts);
+    let reduced = reduce_cached(&lab.suite, &lab.cfg, &lab.cache);
+
+    let mut rows = Vec::new();
+    for (ti, target) in lab.targets.iter().enumerate() {
+        let out =
+            predict_with_runs(&lab.suite, &reduced, target, &lab.runs[ti], &lab.cache, &lab.cfg);
+        let b = reduction_factor(&lab.suite, &reduced, &out, target, &lab.cache, &lab.cfg);
+        rows.push(vec![
+            target.name.clone(),
+            f(b.total, 1),
+            f(b.invocation_factor, 1),
+            f(b.clustering_factor, 1),
+            format!("{:.2} s", b.full_seconds),
+            format!("{:.4} s", b.reduced_seconds),
+        ]);
+    }
+    render_table(
+        &format!(
+            "Table 5 — reduction breakdown with {} representatives",
+            reduced.n_representatives()
+        ),
+        &[
+            "Target",
+            "Total x",
+            "Reduced invocations x",
+            "Clustering x",
+            "Full suite",
+            "Reduced suite",
+        ],
+        &rows,
+    );
+    println!("\nPaper (18 reps): Atom 44.3 = 12 x 3.7; Core 2 24.7 = 8.7 x 2.8; SB 22.5 = 6.3 x 3.6.");
+    println!(
+        "Clustering factor ~ codelets/representatives = {}/{} = {:.1} (paper: 67/18 = 3.7).",
+        lab.suite.len(),
+        reduced.n_representatives(),
+        lab.suite.len() as f64 / reduced.n_representatives() as f64
+    );
+}

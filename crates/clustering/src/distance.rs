@@ -1,0 +1,106 @@
+//! Condensed pairwise distance matrices.
+
+/// A symmetric pairwise distance matrix over `n` observations, stored in
+/// condensed upper-triangular form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceMatrix {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl DistanceMatrix {
+    /// Euclidean distances between rows of `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn euclidean(data: &[Vec<f64>]) -> DistanceMatrix {
+        let n = data.len();
+        let mut d = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(data[i].len(), data[j].len(), "ragged distance input");
+                let s: f64 = data[i]
+                    .iter()
+                    .zip(&data[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                d.push(s.sqrt());
+            }
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Build from an explicit full matrix accessor (for tests/ablations).
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> DistanceMatrix {
+        let mut d = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                d.push(f(i, j));
+            }
+        }
+        DistanceMatrix { n, d }
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty matrix.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between observations `i` and `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        // Offset of row a in the condensed triangle.
+        let row_start = a * self.n - a * (a + 1) / 2;
+        self.d[row_start + (b - a - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_hand_computation() {
+        let data = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let d = DistanceMatrix::euclidean(&data);
+        assert_eq!(d.len(), 3);
+        assert!((d.get(0, 1) - 5.0).abs() < 1e-12);
+        assert!((d.get(0, 2) - 1.0).abs() < 1e-12);
+        assert!((d.get(1, 0) - 5.0).abs() < 1e-12); // symmetric
+        assert_eq!(d.get(2, 2), 0.0);
+    }
+
+    #[test]
+    fn condensed_indexing_is_consistent() {
+        let n = 7;
+        let d = DistanceMatrix::from_fn(n, |i, j| (i * 10 + j) as f64);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(d.get(i, j), (i * 10 + j) as f64);
+                assert_eq!(d.get(j, i), (i * 10 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn out_of_range_panics() {
+        let d = DistanceMatrix::euclidean(&[vec![0.0], vec![1.0]]);
+        let _ = d.get(0, 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! The Elbow method (Thorndike 1953): pick the cluster count where the
+//! within-cluster variance stops improving significantly (§3.3).
+
+use crate::dendrogram::Dendrogram;
+
+/// Within-cluster variance `W(k)` for `k = 1..=k_max` cuts of the
+/// dendrogram, computed over the observation matrix the clustering used.
+pub fn within_variance_curve(
+    data: &[Vec<f64>],
+    dendro: &Dendrogram,
+    k_max: usize,
+) -> Vec<(usize, f64)> {
+    let k_max = k_max.min(dendro.len()).max(1);
+    (1..=k_max)
+        .map(|k| (k, dendro.cut(k).wcss(data)))
+        .collect()
+}
+
+/// Select `k` from a within-variance curve by maximising the distance to
+/// the chord joining the curve's endpoints (a standard formalisation of
+/// "where the curve bends").
+///
+/// Returns 1 for degenerate curves (fewer than 3 points or no decrease).
+///
+/// ```
+/// use fgbs_clustering::elbow_k;
+/// // A sharp knee at k = 3.
+/// let curve = vec![(1, 100.0), (2, 50.0), (3, 5.0), (4, 4.0), (5, 3.0)];
+/// assert_eq!(elbow_k(&curve), 3);
+/// ```
+pub fn elbow_k(curve: &[(usize, f64)]) -> usize {
+    if curve.len() < 3 {
+        return curve.first().map(|&(k, _)| k).unwrap_or(1);
+    }
+    let (x0, y0) = (curve[0].0 as f64, curve[0].1);
+    let (x1, y1) = (
+        curve[curve.len() - 1].0 as f64,
+        curve[curve.len() - 1].1,
+    );
+    let dy = y0 - y1;
+    if dy <= 0.0 {
+        return curve[0].0;
+    }
+    let dx = x1 - x0;
+    let mut best_k = curve[0].0;
+    let mut best_dist = f64::NEG_INFINITY;
+    for &(k, w) in curve {
+        // Normalised coordinates in [0,1]².
+        let x = (k as f64 - x0) / dx;
+        let y = (w - y1) / dy;
+        // Distance from (x, y) to the descending diagonal y = 1 - x is
+        // proportional to (1 - x - y); maximise its negation's magnitude.
+        let d = 1.0 - x - y;
+        if d > best_dist {
+            best_dist = d;
+            best_k = k;
+        }
+    }
+    best_k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+    use crate::hierarchy::{linkage, Linkage};
+    use crate::normalize::normalize;
+
+    /// Three well-separated blobs of 4 points each.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)] {
+            for (dx, dy) in [(0.0, 0.0), (0.4, 0.1), (0.1, 0.4), (0.3, 0.3)] {
+                v.push(vec![cx + dx, cy + dy]);
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let data = normalize(&blobs());
+        let d = DistanceMatrix::euclidean(&data);
+        let dendro = linkage(&d, Linkage::Ward);
+        let curve = within_variance_curve(&data, &dendro, 12);
+        for w in curve.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-9,
+                "W(k) must not increase with k: {curve:?}"
+            );
+        }
+        assert_eq!(curve.len(), 12);
+        assert!(curve.last().unwrap().1.abs() < 1e-9, "W(n) == 0");
+    }
+
+    #[test]
+    fn elbow_finds_three_blobs() {
+        let data = normalize(&blobs());
+        let d = DistanceMatrix::euclidean(&data);
+        let dendro = linkage(&d, Linkage::Ward);
+        let curve = within_variance_curve(&data, &dendro, 12);
+        let k = elbow_k(&curve);
+        assert_eq!(k, 3, "curve: {curve:?}");
+    }
+
+    #[test]
+    fn degenerate_curves_return_first_k() {
+        assert_eq!(elbow_k(&[]), 1);
+        assert_eq!(elbow_k(&[(1, 5.0)]), 1);
+        assert_eq!(elbow_k(&[(1, 5.0), (2, 4.0)]), 1);
+        // Flat curve: no structure, keep one cluster.
+        assert_eq!(elbow_k(&[(1, 1.0), (2, 1.0), (3, 1.0)]), 1);
+    }
+
+    #[test]
+    fn elbow_on_synthetic_knee() {
+        // Sharp knee at k = 4.
+        let curve: Vec<(usize, f64)> = (1..=10)
+            .map(|k| {
+                let w = if k < 4 {
+                    100.0 - 30.0 * (k - 1) as f64
+                } else {
+                    10.0 - (k - 4) as f64
+                };
+                (k, w)
+            })
+            .collect();
+        assert_eq!(elbow_k(&curve), 4);
+    }
+}

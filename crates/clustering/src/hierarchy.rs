@@ -1,0 +1,183 @@
+//! Agglomerative clustering via the Lance–Williams recurrence.
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::distance::DistanceMatrix;
+
+/// Linkage criterion. The paper uses Ward; the others exist for the
+/// ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Linkage {
+    /// Ward's minimum-variance criterion (§3.3): each merge minimises the
+    /// increase in total within-cluster variance.
+    Ward,
+    /// Nearest-neighbour linkage.
+    Single,
+    /// Furthest-neighbour linkage.
+    Complete,
+    /// Unweighted average linkage (UPGMA).
+    Average,
+}
+
+/// Cluster observations bottom-up, recording every merge.
+///
+/// Leaves are clusters `0..n`; the merge at step `t` creates cluster
+/// `n + t` (SciPy convention). The process runs until a single cluster
+/// remains.
+///
+/// # Panics
+///
+/// Panics on an empty distance matrix.
+pub fn linkage(dist: &DistanceMatrix, method: Linkage) -> Dendrogram {
+    let n = dist.len();
+    assert!(n > 0, "cannot cluster zero observations");
+
+    // Active-cluster distance matrix (full, for simplicity; n is small).
+    let mut d = vec![vec![0.0f64; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = dist.get(i, j);
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<f64> = vec![1.0; n];
+    // Current dendrogram id of each active slot.
+    let mut ids: Vec<usize> = (0..n).collect();
+
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+    for step in 0..n.saturating_sub(1) {
+        // Find the closest active pair.
+        let (mut bi, mut bj, mut best) = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                if d[i][j] < best {
+                    best = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+
+        // Merge bj into bi's slot; record with dendrogram ids.
+        merges.push(Merge {
+            a: ids[bi],
+            b: ids[bj],
+            height: best,
+            size: (size[bi] + size[bj]) as usize,
+        });
+
+        // Lance–Williams update of distances from the new cluster to every
+        // other active cluster.
+        let (ni, nj) = (size[bi], size[bj]);
+        for k in 0..n {
+            if !active[k] || k == bi || k == bj {
+                continue;
+            }
+            let dik = d[bi][k];
+            let djk = d[bj][k];
+            let dij = d[bi][bj];
+            let nk = size[k];
+            let new = match method {
+                Linkage::Ward => {
+                    let t = ni + nj + nk;
+                    (((ni + nk) * dik * dik + (nj + nk) * djk * djk - nk * dij * dij) / t)
+                        .max(0.0)
+                        .sqrt()
+                }
+                Linkage::Single => dik.min(djk),
+                Linkage::Complete => dik.max(djk),
+                Linkage::Average => (ni * dik + nj * djk) / (ni + nj),
+            };
+            d[bi][k] = new;
+            d[k][bi] = new;
+        }
+
+        active[bj] = false;
+        size[bi] += size[bj];
+        ids[bi] = n + step;
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blob_data() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.2],
+            vec![10.0, 10.0],
+            vec![10.2, 9.9],
+        ]
+    }
+
+    #[test]
+    fn ward_separates_blobs() {
+        let d = DistanceMatrix::euclidean(&two_blob_data());
+        let dendro = linkage(&d, Linkage::Ward);
+        let p = dendro.cut(2);
+        assert_eq!(p.assignment(0), p.assignment(1));
+        assert_eq!(p.assignment(0), p.assignment(2));
+        assert_eq!(p.assignment(3), p.assignment(4));
+        assert_ne!(p.assignment(0), p.assignment(3));
+    }
+
+    #[test]
+    fn all_linkages_agree_on_clear_structure() {
+        let d = DistanceMatrix::euclidean(&two_blob_data());
+        for m in [
+            Linkage::Ward,
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+        ] {
+            let p = linkage(&d, m).cut(2);
+            assert_eq!(p.assignment(0), p.assignment(2), "{m:?}");
+            assert_ne!(p.assignment(0), p.assignment(4), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn ward_heights_are_monotone() {
+        let d = DistanceMatrix::euclidean(&two_blob_data());
+        let dendro = linkage(&d, Linkage::Ward);
+        let hs: Vec<f64> = dendro.merges().iter().map(|m| m.height).collect();
+        for w in hs.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "heights must not decrease: {hs:?}");
+        }
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let d = DistanceMatrix::euclidean(&two_blob_data());
+        let dendro = linkage(&d, Linkage::Average);
+        assert_eq!(dendro.merges().len(), 4);
+        assert_eq!(dendro.merges().last().unwrap().size, 5);
+    }
+
+    #[test]
+    fn single_observation() {
+        let d = DistanceMatrix::euclidean(&[vec![1.0]]);
+        let dendro = linkage(&d, Linkage::Ward);
+        assert!(dendro.merges().is_empty());
+        assert_eq!(dendro.cut(1).k(), 1);
+    }
+
+    #[test]
+    fn last_merge_joins_everything() {
+        let data = two_blob_data();
+        let d = DistanceMatrix::euclidean(&data);
+        let dendro = linkage(&d, Linkage::Ward);
+        let p = dendro.cut(1);
+        assert_eq!(p.k(), 1);
+        assert!((0..data.len()).all(|i| p.assignment(i) == 0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Hierarchical clustering for codelet signatures (the paper's Step C).
+//!
+//! Feature vectors are z-normalised ([`normalize`]) so every feature
+//! weighs equally in the Euclidean distance ([`DistanceMatrix`]), then
+//! clustered bottom-up with Ward's minimum-variance criterion
+//! ([`linkage`], [`Linkage::Ward`]) — exactly the recipe of §3.3. The
+//! resulting [`Dendrogram`] can be cut at any height to produce a
+//! [`Partition`]; [`elbow_k`] implements the Elbow method the paper uses
+//! to pick the cluster count automatically.
+//!
+//! [`medoid`] selects the representative of each cluster (the codelet
+//! closest to the centroid, §3.4), and [`random_partition`] generates the
+//! random clusterings of the paper's Figure 7 baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use fgbs_clustering::{normalize, DistanceMatrix, linkage, Linkage, elbow_k};
+//!
+//! let data = vec![
+//!     vec![0.0, 0.1], vec![0.1, 0.0],      // cluster A
+//!     vec![10.0, 9.9], vec![9.9, 10.1],    // cluster B
+//! ];
+//! let norm = normalize(&data);
+//! let d = DistanceMatrix::euclidean(&norm);
+//! let dendro = linkage(&d, Linkage::Ward);
+//! let part = dendro.cut(2);
+//! assert_eq!(part.k(), 2);
+//! assert_eq!(part.assignment(0), part.assignment(1));
+//! assert_ne!(part.assignment(0), part.assignment(2));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dendrogram;
+mod distance;
+mod elbow;
+mod hierarchy;
+mod medoid;
+mod normalize;
+mod partition;
+mod random;
+mod render;
+
+pub use dendrogram::{Dendrogram, Merge};
+pub use distance::DistanceMatrix;
+pub use elbow::{elbow_k, within_variance_curve};
+pub use hierarchy::{linkage, Linkage};
+pub use medoid::{centroid, medoid};
+pub use normalize::normalize;
+pub use partition::Partition;
+pub use random::random_partition;
+pub use render::render_dendrogram;

@@ -1,0 +1,116 @@
+//! Representative selection: the codelet closest to its cluster centroid
+//! (§3.4).
+
+use crate::partition::Partition;
+
+/// Centroid of the rows of `data` indexed by `members`.
+///
+/// # Panics
+///
+/// Panics if `members` is empty.
+pub fn centroid(data: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
+    assert!(!members.is_empty(), "centroid of an empty cluster");
+    let m = data[members[0]].len();
+    let mut c = vec![0.0; m];
+    for &i in members {
+        for (j, &v) in data[i].iter().enumerate() {
+            c[j] += v;
+        }
+    }
+    for v in &mut c {
+        *v /= members.len() as f64;
+    }
+    c
+}
+
+/// The member of cluster `c` of `partition` closest (Euclidean) to the
+/// cluster centroid, skipping observations listed in `ineligible`.
+///
+/// Returns `None` when every member is ineligible — the caller then
+/// dissolves the cluster, as the paper's selection process prescribes.
+pub fn medoid(
+    data: &[Vec<f64>],
+    partition: &Partition,
+    c: usize,
+    ineligible: &[usize],
+) -> Option<usize> {
+    let members = partition.members(c);
+    let eligible: Vec<usize> = members
+        .iter()
+        .copied()
+        .filter(|i| !ineligible.contains(i))
+        .collect();
+    if eligible.is_empty() {
+        return None;
+    }
+    let cen = centroid(data, &members);
+    let mut best = eligible[0];
+    let mut best_d = f64::INFINITY;
+    for &i in &eligible {
+        let d: f64 = data[i]
+            .iter()
+            .zip(&cen)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.5, 2.0], // off-centre member
+            vec![9.0, 9.0],
+        ]
+    }
+
+    #[test]
+    fn centroid_is_mean() {
+        let c = centroid(&data(), &[0, 1]);
+        assert_eq!(c, vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn medoid_is_closest_to_centroid() {
+        let p = Partition::from_labels(&[0, 0, 0, 1]);
+        // Centroid of {0,1,2} = (0.5, 0.667); closest is 0 or 1 — both at
+        // distance² 0.25+0.44; point 2 is farther.
+        let m = medoid(&data(), &p, 0, &[]).unwrap();
+        assert!(m == 0 || m == 1);
+        assert_ne!(m, 2);
+    }
+
+    #[test]
+    fn ineligible_members_are_skipped() {
+        let p = Partition::from_labels(&[0, 0, 0, 1]);
+        let m = medoid(&data(), &p, 0, &[0, 1]).unwrap();
+        assert_eq!(m, 2);
+    }
+
+    #[test]
+    fn fully_ineligible_cluster_yields_none() {
+        let p = Partition::from_labels(&[0, 0, 0, 1]);
+        assert_eq!(medoid(&data(), &p, 0, &[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn singleton_cluster_is_its_own_medoid() {
+        let p = Partition::from_labels(&[0, 0, 0, 1]);
+        assert_eq!(medoid(&data(), &p, 1, &[]), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cluster")]
+    fn centroid_of_empty_panics() {
+        let _ = centroid(&data(), &[]);
+    }
+}

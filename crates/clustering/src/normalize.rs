@@ -1,0 +1,107 @@
+//! Feature normalisation.
+
+/// Z-normalise columns: each feature is centred on zero and scaled to unit
+/// variance, so that all features weigh equally in Euclidean distances
+/// (§3.3). Constant columns (zero variance) are mapped to all-zeros rather
+/// than dividing by zero.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn normalize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let n = data.len();
+    let m = data[0].len();
+    for (i, r) in data.iter().enumerate() {
+        assert_eq!(r.len(), m, "row {i} has length {} != {m}", r.len());
+    }
+    let mut means = vec![0.0; m];
+    for r in data {
+        for (j, &v) in r.iter().enumerate() {
+            means[j] += v;
+        }
+    }
+    for mj in &mut means {
+        *mj /= n as f64;
+    }
+    let mut vars = vec![0.0; m];
+    for r in data {
+        for (j, &v) in r.iter().enumerate() {
+            let d = v - means[j];
+            vars[j] += d * d;
+        }
+    }
+    // Population variance, as R's `scale` with n-1 would differ only by a
+    // constant factor that cancels in relative distances; use n-1 when
+    // possible for conventional z-scores.
+    let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
+    let sds: Vec<f64> = vars.iter().map(|v| (v / denom).sqrt()).collect();
+
+    data.iter()
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .map(|(j, &v)| {
+                    if sds[j] > 0.0 {
+                        (v - means[j]) / sds[j]
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_unit_variance() {
+        let data = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let z = normalize(&data);
+        for j in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = z.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / 2.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_column_becomes_zero() {
+        let data = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let z = normalize(&data);
+        assert_eq!(z[0][0], 0.0);
+        assert_eq!(z[1][0], 0.0);
+        assert!(z[0][1] != 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_row_is_all_zeros() {
+        let z = normalize(&[vec![3.0, -4.0]]);
+        assert_eq!(z, vec![vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1 has length")]
+    fn ragged_input_panics() {
+        let _ = normalize(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn scale_invariance_of_relative_order() {
+        // Scaling a feature must not change normalised values.
+        let a = vec![vec![1.0], vec![2.0], vec![4.0]];
+        let b = vec![vec![1000.0], vec![2000.0], vec![4000.0]];
+        assert_eq!(normalize(&a), normalize(&b));
+    }
+}

@@ -1,0 +1,76 @@
+//! Random partitions — the baseline of the paper's Figure 7, which
+//! compares the GA-feature-guided clustering against 1000 random
+//! clusterings for each cluster count.
+
+use rand::Rng;
+
+use crate::partition::Partition;
+
+/// A uniformly random partition of `n` observations into exactly `k`
+/// non-empty clusters.
+///
+/// The first `k` observations (in a random order) seed the clusters so
+/// none is empty; the rest are assigned uniformly.
+///
+/// # Panics
+///
+/// Panics when `k` is zero or exceeds `n`.
+pub fn random_partition(n: usize, k: usize, rng: &mut impl Rng) -> Partition {
+    assert!(k >= 1 && k <= n, "cannot split {n} observations into {k}");
+    let mut labels = vec![0usize; n];
+    // Choose k distinct seed positions via partial Fisher-Yates.
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        order.swap(i, j);
+    }
+    for (c, &i) in order[..k].iter().enumerate() {
+        labels[i] = c;
+    }
+    for &i in &order[k..] {
+        labels[i] = rng.gen_range(0..k);
+    }
+    Partition::from_labels(&labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_exactly_k_nonempty_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for k in 1..=10 {
+            for _ in 0..50 {
+                let p = random_partition(10, k, &mut rng);
+                assert_eq!(p.k(), k);
+                assert!(p.sizes().iter().all(|&s| s > 0));
+                assert_eq!(p.len(), 10);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = random_partition(20, 5, &mut StdRng::seed_from_u64(9));
+        let b = random_partition(20, 5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn varies_across_draws() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_partition(20, 5, &mut rng);
+        let b = random_partition(20, 5, &mut rng);
+        assert_ne!(a, b, "two draws should differ with overwhelming probability");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn k_greater_than_n_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_partition(3, 4, &mut rng);
+    }
+}

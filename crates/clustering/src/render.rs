@@ -1,0 +1,150 @@
+//! ASCII dendrogram rendering — the left edge of the paper's Table 3.
+
+use crate::dendrogram::Dendrogram;
+
+/// Render the dendrogram as ASCII art, one leaf per line in merge order,
+/// with labels. Merge heights grow to the left: earlier (tighter) merges
+/// join close to the labels, the final merge spans the left margin.
+///
+/// ```
+/// use fgbs_clustering::{linkage, DistanceMatrix, Linkage, render_dendrogram};
+/// let data = vec![vec![0.0], vec![0.1], vec![5.0]];
+/// let d = linkage(&DistanceMatrix::euclidean(&data), Linkage::Ward);
+/// let art = render_dendrogram(&d, &["a".into(), "b".into(), "c".into()], 12);
+/// assert!(art.contains("a"));
+/// ```
+///
+/// # Panics
+///
+/// Panics when the label count does not match the leaf count.
+pub fn render_dendrogram(dendro: &Dendrogram, labels: &[String], width: usize) -> String {
+    let n = dendro.len();
+    assert_eq!(labels.len(), n, "one label per leaf");
+    if n == 0 {
+        return String::new();
+    }
+    if n == 1 {
+        return format!("- {}\n", labels[0]);
+    }
+
+    // Leaf display order: depth-first walk of the final merge tree, so
+    // merged leaves are adjacent (the standard dendrogram layout).
+    let merges = dendro.merges();
+    let mut order = Vec::with_capacity(n);
+    let mut stack = vec![n + merges.len() - 1];
+    while let Some(id) = stack.pop() {
+        if id < n {
+            order.push(id);
+        } else {
+            let m = &merges[id - n];
+            stack.push(m.b);
+            stack.push(m.a);
+        }
+    }
+
+    let max_h = merges.last().map(|m| m.height).unwrap_or(0.0).max(1e-12);
+    // Column at which a cluster's bracket sits: proportional to its merge
+    // height (leaves sit at the right edge, `width`).
+    let col_of = |height: f64| -> usize {
+        let frac = (height / max_h).clamp(0.0, 1.0);
+        ((1.0 - frac) * (width.saturating_sub(1)) as f64).round() as usize
+    };
+
+    // For every leaf, the heights at which its cluster participates in a
+    // merge, ascending: each becomes a `+` on the leaf's line moving left.
+    let mut join_heights: Vec<Vec<f64>> = vec![Vec::new(); n];
+    // Track cluster membership as merges are applied.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    for m in merges {
+        let a = &members[m.a];
+        let b = &members[m.b];
+        // The newly joined representative edge: the first leaf (in display
+        // order) of each side carries the vertical bar.
+        for &leaf in a.iter().chain(b.iter()) {
+            join_heights[leaf].push(m.height);
+        }
+        let mut merged = members[m.a].clone();
+        merged.extend(members[m.b].iter().copied());
+        members.push(merged);
+    }
+
+    let label_w = labels.iter().map(|l| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for &leaf in &order {
+        let mut line = vec![b' '; width];
+        // Draw a rule from the leaf's first merge towards the left margin,
+        // with a tick at every merge the leaf's cluster participates in.
+        if let Some(&first) = join_heights[leaf].first() {
+            let start = col_of(first);
+            for c in line.iter_mut().take(start + 1) {
+                *c = b'-';
+            }
+            for &h in &join_heights[leaf] {
+                line[col_of(h)] = b'+';
+            }
+        }
+        out.push_str(&String::from_utf8(line).expect("ascii"));
+        out.push(' ');
+        out.push_str(&format!("{:<label_w$}", labels[leaf]));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::DistanceMatrix;
+    use crate::hierarchy::{linkage, Linkage};
+
+    fn dendro(data: &[Vec<f64>]) -> Dendrogram {
+        linkage(&DistanceMatrix::euclidean(data), Linkage::Ward)
+    }
+
+    #[test]
+    fn renders_all_labels_once() {
+        let data = vec![vec![0.0], vec![0.2], vec![5.0], vec![5.1], vec![20.0]];
+        let labels: Vec<String> = (0..5).map(|i| format!("leaf{i}")).collect();
+        let art = render_dendrogram(&dendro(&data), &labels, 20);
+        for l in &labels {
+            assert_eq!(art.matches(l.as_str()).count(), 1, "{art}");
+        }
+        assert_eq!(art.lines().count(), 5);
+    }
+
+    #[test]
+    fn merged_leaves_are_adjacent() {
+        let data = vec![vec![0.0], vec![100.0], vec![0.1]];
+        let labels = vec!["a".to_string(), "far".to_string(), "b".to_string()];
+        let art = render_dendrogram(&dendro(&data), &labels, 16);
+        let lines: Vec<&str> = art.lines().collect();
+        // a and b (the tight pair) must be on neighbouring lines.
+        let pos = |needle: &str| lines.iter().position(|l| l.contains(needle)).unwrap();
+        let (pa, pb) = (pos("a"), pos("b"));
+        assert_eq!(pa.abs_diff(pb), 1, "{art}");
+    }
+
+    #[test]
+    fn tight_merges_sit_right_of_loose_merges() {
+        let data = vec![vec![0.0], vec![0.1], vec![50.0], vec![50.3]];
+        let labels: Vec<String> = ["a", "b", "c", "d"].iter().map(|s| s.to_string()).collect();
+        let art = render_dendrogram(&dendro(&data), &labels, 30);
+        // Every line's dashes must reach column 0 only through the final
+        // merge: at least one line starts with '+'.
+        assert!(art.lines().any(|l| l.starts_with('+')), "{art}");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let one = dendro(&[vec![1.0]]);
+        let art = render_dendrogram(&one, &["solo".into()], 10);
+        assert!(art.contains("solo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per leaf")]
+    fn wrong_label_count_panics() {
+        let d = dendro(&[vec![0.0], vec![1.0]]);
+        let _ = render_dendrogram(&d, &["x".into()], 10);
+    }
+}

@@ -1,0 +1,187 @@
+//! Whole-application prediction (Figures 5 and 6).
+//!
+//! Codelet predictions are aggregated per application, weighted by their
+//! invocation counts; the uncovered residue (the ~8 % of time CF cannot
+//! outline) is assumed to speed up like the covered part (§4.4,
+//! "Application performance prediction").
+
+use fgbs_machine::Arch;
+
+use crate::config::PipelineConfig;
+use crate::predict::PredictionOutcome;
+use crate::profile::ProfiledSuite;
+
+/// Per-application prediction vs ground truth on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppPrediction {
+    /// Application name.
+    pub app: String,
+    /// True total seconds on the reference.
+    pub ref_seconds: f64,
+    /// True total seconds on the target (ground truth).
+    pub real_seconds: f64,
+    /// Predicted total seconds on the target (`None` when some codelet of
+    /// the application has no surviving cluster).
+    pub predicted_seconds: Option<f64>,
+}
+
+impl AppPrediction {
+    /// Real speedup `ref / real` (>1: the target is faster).
+    pub fn real_speedup(&self) -> f64 {
+        self.ref_seconds / self.real_seconds
+    }
+
+    /// Predicted speedup `ref / predicted`.
+    pub fn predicted_speedup(&self) -> Option<f64> {
+        self.predicted_seconds.map(|p| self.ref_seconds / p)
+    }
+
+    /// Relative error of the application-level prediction, in percent.
+    pub fn error_pct(&self) -> Option<f64> {
+        self.predicted_seconds
+            .map(|p| 100.0 * (p - self.real_seconds).abs() / self.real_seconds)
+    }
+}
+
+/// Aggregate codelet predictions into per-application predictions.
+pub fn aggregate_apps(
+    suite: &ProfiledSuite,
+    outcome: &PredictionOutcome,
+    _target: &Arch,
+    cfg: &PipelineConfig,
+) -> Vec<AppPrediction> {
+    let reference = &cfg.reference;
+    suite
+        .apps
+        .iter()
+        .enumerate()
+        .map(|(ai, app)| {
+            let ref_total = suite.runs[ai].total_seconds;
+            let real_total = outcome.target_runs[ai].total_seconds;
+
+            // Covered part: detected codelets of this application.
+            let mut covered_ref = 0.0;
+            let mut covered_pred = Some(0.0f64);
+            for (i, c) in suite.codelets.iter().enumerate() {
+                if c.app != ai {
+                    continue;
+                }
+                let inv = c.invocations as f64;
+                // Weight by invocations; use the true in-app reference time
+                // for the covered-share accounting.
+                let ref_inv = reference.seconds(suite.runs[ai].profiles[c.local].true_cycles);
+                covered_ref += ref_inv;
+                covered_pred = match (covered_pred, outcome.predictions[i].predicted_seconds) {
+                    (Some(acc), Some(p)) => Some(acc + p * inv),
+                    _ => None,
+                };
+            }
+
+            let predicted_seconds = covered_pred.map(|cp| {
+                if cp <= 0.0 || covered_ref <= 0.0 {
+                    return real_total; // degenerate: no covered time
+                }
+                let uncovered_ref = (ref_total - covered_ref).max(0.0);
+                // The unknown part speeds up like the covered part.
+                let covered_speedup = covered_ref / cp;
+                cp + uncovered_ref / covered_speedup
+            });
+
+            AppPrediction {
+                app: app.name.clone(),
+                ref_seconds: ref_total,
+                real_seconds: real_total,
+                predicted_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Geometric-mean speedup over applications: `(real, predicted)`.
+/// Applications without a prediction are excluded from both means.
+pub fn geometric_mean_speedup(apps: &[AppPrediction]) -> (f64, f64) {
+    let usable: Vec<&AppPrediction> = apps
+        .iter()
+        .filter(|a| a.predicted_seconds.is_some())
+        .collect();
+    if usable.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let n = usable.len() as f64;
+    let real = usable
+        .iter()
+        .map(|a| a.real_speedup().ln())
+        .sum::<f64>()
+        / n;
+    let pred = usable
+        .iter()
+        .map(|a| a.predicted_speedup().expect("filtered").ln())
+        .sum::<f64>()
+        / n;
+    (real.exp(), pred.exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KChoice;
+    use crate::micras::MicroCache;
+    use crate::predict::predict_with_runs;
+    use crate::profile::{profile_reference, profile_target};
+    use crate::reduce::reduce_cached;
+    use fgbs_suites::{nr_suite, Class};
+
+    #[test]
+    fn app_predictions_track_reality_at_full_k() {
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(6));
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(6).collect();
+        let suite = profile_reference(&apps, &cfg);
+        let cache = MicroCache::new();
+        let reduced = reduce_cached(&suite, &cfg, &cache);
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg);
+        let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
+        let preds = aggregate_apps(&suite, &out, &atom, &cfg);
+        assert_eq!(preds.len(), 6);
+        for p in &preds {
+            let e = p.error_pct().expect("all predicted");
+            assert!(e < 25.0, "{}: {e}%", p.app);
+            assert!(p.real_speedup() > 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_mean_is_between_extremes() {
+        let mk = |r: f64, p: f64| AppPrediction {
+            app: "x".into(),
+            ref_seconds: 10.0,
+            real_seconds: 10.0 / r,
+            predicted_seconds: Some(10.0 / p),
+        };
+        let apps = vec![mk(2.0, 2.0), mk(0.5, 0.5)];
+        let (real, pred) = geometric_mean_speedup(&apps);
+        assert!((real - 1.0).abs() < 1e-12); // geo-mean of 2 and 0.5
+        assert!((pred - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpredicted_apps_are_excluded() {
+        let a = AppPrediction {
+            app: "ok".into(),
+            ref_seconds: 4.0,
+            real_seconds: 2.0,
+            predicted_seconds: Some(2.0),
+        };
+        let b = AppPrediction {
+            app: "mg".into(),
+            ref_seconds: 4.0,
+            real_seconds: 1.0,
+            predicted_seconds: None,
+        };
+        let (real, pred) = geometric_mean_speedup(&[a, b]);
+        assert!((real - 2.0).abs() < 1e-12);
+        assert!((pred - 2.0).abs() < 1e-12);
+        let (nan_r, _) = geometric_mean_speedup(&[]);
+        assert!(nan_r.is_nan());
+    }
+}

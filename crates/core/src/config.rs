@@ -1,0 +1,116 @@
+//! Pipeline configuration.
+
+use fgbs_analysis::FeatureMask;
+use fgbs_clustering::Linkage;
+use fgbs_extract::CodeletFinder;
+use fgbs_machine::Arch;
+
+/// How the number of clusters is chosen (§3.3: "the user manually sets K"
+/// or "K is automatically selected using the Elbow method").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KChoice {
+    /// Cut the dendrogram into exactly K clusters.
+    Fixed(usize),
+    /// Elbow method over `1..=max_k` clusters.
+    Elbow {
+        /// Largest cluster count considered.
+        max_k: usize,
+    },
+}
+
+/// Configuration shared by every pipeline stage.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// The reference architecture (the paper profiles on Nehalem).
+    pub reference: Arch,
+    /// Cluster-count policy.
+    pub k_choice: KChoice,
+    /// Feature subset used for clustering (defaults to the paper's
+    /// Table 2 GA-selected set).
+    pub features: FeatureMask,
+    /// Linkage criterion (Ward in the paper; others for ablations).
+    pub linkage: Linkage,
+    /// Codelet detection policy.
+    pub finder: CodeletFinder,
+    /// Minimum standalone run time per microbenchmark measurement
+    /// (Step D's 1 ms rule; scaled-down pipelines lower it).
+    pub micro_min_seconds: f64,
+    /// Minimum invocation count per microbenchmark measurement.
+    pub micro_min_invocations: u64,
+    /// Seed for measurement noise; identical seeds reproduce runs
+    /// bit-for-bit.
+    pub noise_seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            // The experiments run on the uniformly scaled park (see
+            // `Arch::scaled`); suite dataset classes are calibrated to it.
+            reference: Arch::reference_scaled(),
+            k_choice: KChoice::Elbow { max_k: 24 },
+            features: FeatureMask::from_ids(&fgbs_analysis::table2_features()),
+            linkage: Linkage::Ward,
+            finder: CodeletFinder::default(),
+            // The paper's rule is "run at least 1 ms" on invocations that
+            // last milliseconds. On the scaled park invocations last tens
+            // of microseconds, so the floor scales with them; the ≥10
+            // invocation rule is unchanged.
+            micro_min_seconds: 2.0e-5,
+            micro_min_invocations: fgbs_extract::MIN_INVOCATIONS,
+            noise_seed: 0,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A configuration tuned for fast tests: low micro-run floor, small
+    /// elbow range.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            micro_min_seconds: 2.0e-5,
+            k_choice: KChoice::Elbow { max_k: 16 },
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// Same configuration with a different K policy.
+    pub fn with_k(mut self, k: KChoice) -> Self {
+        self.k_choice = k;
+        self
+    }
+
+    /// Same configuration with a different feature mask.
+    pub fn with_features(mut self, features: FeatureMask) -> Self {
+        self.features = features;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.reference.name, "Nehalem");
+        assert_eq!(c.k_choice, KChoice::Elbow { max_k: 24 });
+        assert_eq!(c.features.len(), 14);
+        assert_eq!(c.linkage, Linkage::Ward);
+        assert_eq!(c.micro_min_invocations, 10);
+        // The run floor follows the invocation time scale of the scaled
+        // park (the paper's 1 ms rule over ms-scale invocations).
+        assert!(c.micro_min_seconds > 0.0 && c.micro_min_seconds < 1e-3);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = PipelineConfig::fast()
+            .with_k(KChoice::Fixed(14))
+            .with_features(FeatureMask::all());
+        assert_eq!(c.k_choice, KChoice::Fixed(14));
+        assert_eq!(c.features.len(), fgbs_analysis::N_FEATURES);
+        assert!(c.micro_min_seconds < 1e-3);
+    }
+}

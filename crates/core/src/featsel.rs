@@ -1,0 +1,131 @@
+//! Genetic feature selection (§4.2, Table 2).
+//!
+//! Each GA individual is a 76-bit mask over the feature catalog. Fitness
+//! (minimised) is `max(err_A, err_B, …) × K`: the worst average prediction
+//! error across the training targets, scaled by the elbow-selected cluster
+//! count — rewarding masks that predict well with few representatives.
+
+use fgbs_analysis::{FeatureMask, N_FEATURES};
+use fgbs_extract::AppRun;
+use fgbs_genetic::{minimize, BitGenome, GaConfig};
+use fgbs_machine::Arch;
+
+use crate::config::PipelineConfig;
+use crate::micras::MicroCache;
+use crate::predict::predict_with_runs;
+use crate::profile::{profile_target, ProfiledSuite};
+use crate::reduce::reduce_cached;
+
+/// Result of the GA search.
+#[derive(Debug, Clone)]
+pub struct FeatureSelection {
+    /// The winning mask.
+    pub mask: FeatureMask,
+    /// Selected feature ids, ascending.
+    pub feature_ids: Vec<usize>,
+    /// Winning fitness value.
+    pub fitness: f64,
+    /// Elbow cluster count under the winning mask.
+    pub k: usize,
+    /// Best fitness per generation.
+    pub history: Vec<f64>,
+    /// Distinct fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Average prediction error (percent) of `suite` on `target` under `mask`,
+/// together with the elbow K used.
+fn mask_error(
+    suite: &ProfiledSuite,
+    mask: &FeatureMask,
+    target: &Arch,
+    runs: &[AppRun],
+    cache: &MicroCache,
+    cfg: &PipelineConfig,
+) -> (f64, usize) {
+    let mcfg = cfg.clone().with_features(mask.clone());
+    let reduced = reduce_cached(suite, &mcfg, cache);
+    let out = predict_with_runs(suite, &reduced, target, runs, cache, &mcfg);
+    let err = out.average_error_pct();
+    (err, reduced.n_representatives())
+}
+
+/// Run the GA over feature masks, training on `targets` (the paper uses
+/// Atom and Sandy Bridge, leaving Core 2 and the NAS suite out for
+/// validation).
+pub fn select_features_ga(
+    suite: &ProfiledSuite,
+    targets: &[Arch],
+    ga: &GaConfig,
+    cfg: &PipelineConfig,
+) -> FeatureSelection {
+    assert!(!targets.is_empty(), "need at least one training target");
+    let cache = MicroCache::new();
+    let runs: Vec<Vec<AppRun>> = targets
+        .iter()
+        .map(|t| profile_target(suite, t, cfg))
+        .collect();
+
+    let mut ga_cfg = ga.clone();
+    ga_cfg.genome_len = N_FEATURES;
+
+    let fitness = |g: &BitGenome| -> f64 {
+        if g.count_ones() == 0 {
+            return f64::MAX / 2.0; // empty masks cannot cluster
+        }
+        let mask = FeatureMask::from_bits(g.bits().to_vec());
+        let mut worst = 0.0f64;
+        let mut k_used = 1usize;
+        for (t, r) in targets.iter().zip(&runs) {
+            let (err, k) = mask_error(suite, &mask, t, r, &cache, cfg);
+            if !err.is_finite() {
+                return f64::MAX / 2.0;
+            }
+            worst = worst.max(err);
+            k_used = k;
+        }
+        worst * k_used as f64
+    };
+
+    let result = minimize(&ga_cfg, fitness);
+    let mask = FeatureMask::from_bits(result.best.bits().to_vec());
+    // Recompute K for the winner on the first target.
+    let (_, k) = mask_error(suite, &mask, &targets[0], &runs[0], &cache, cfg);
+    FeatureSelection {
+        feature_ids: mask.ids(),
+        mask,
+        fitness: result.best_fitness,
+        k,
+        history: result.history,
+        evaluations: result.evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::profile_reference;
+    use fgbs_suites::{nr_suite, Class};
+
+    #[test]
+    fn ga_finds_a_workable_feature_set() {
+        let cfg = PipelineConfig::fast();
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(8).collect();
+        let suite = profile_reference(&apps, &cfg);
+        let ga = GaConfig {
+            population: 12,
+            generations: 4,
+            ..GaConfig::default()
+        };
+        let sel = select_features_ga(&suite, &[Arch::atom().scaled(fgbs_machine::PARK_SCALE)], &ga, &cfg);
+        assert!(!sel.feature_ids.is_empty());
+        assert!(sel.fitness.is_finite());
+        assert!(sel.k >= 1);
+        assert_eq!(sel.mask.len(), sel.feature_ids.len());
+        assert!(sel.evaluations > 0);
+        // Elitist GA: history is monotone non-increasing.
+        for w in sel.history.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Memoised microbenchmark measurements.
+//!
+//! Sweeps re-select representatives for many cluster counts; each
+//! representative's standalone time on a given architecture never changes,
+//! so measurements are cached per `(codelet, architecture)`.
+
+use std::collections::HashMap;
+
+use fgbs_extract::{MicroResult, Microbenchmark};
+use fgbs_machine::Arch;
+use parking_lot::Mutex;
+
+/// A thread-safe `(codelet index, arch name) → MicroResult` cache.
+#[derive(Debug, Default)]
+pub struct MicroCache {
+    inner: Mutex<HashMap<(usize, String), MicroResult>>,
+}
+
+impl MicroCache {
+    /// Empty cache.
+    pub fn new() -> MicroCache {
+        MicroCache::default()
+    }
+
+    /// Measure codelet `idx`'s microbenchmark on `arch`, or return the
+    /// cached result of a previous measurement.
+    pub fn measure(
+        &self,
+        idx: usize,
+        micro: &Microbenchmark,
+        arch: &Arch,
+        noise_seed: u64,
+        min_seconds: f64,
+        min_invocations: u64,
+    ) -> MicroResult {
+        let key = (idx, arch.name.clone());
+        if let Some(hit) = self.inner.lock().get(&key) {
+            return hit.clone();
+        }
+        let r = micro.run_with(arch, noise_seed ^ idx as u64, min_seconds, min_invocations);
+        self.inner.lock().insert(key, r.clone());
+        r
+    }
+
+    /// Number of distinct measurements performed.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_extract::{Application, ApplicationBuilder};
+    use fgbs_isa::{BindingBuilder, CodeletBuilder, Precision};
+
+    fn app() -> Application {
+        let c = CodeletBuilder::new("k", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("x", &[1]))
+            .build();
+        let b = BindingBuilder::new(0)
+            .vector(4096, 8)
+            .vector(4096, 8)
+            .param(4096)
+            .build_for(&c);
+        let mut ab = ApplicationBuilder::new("t");
+        let i = ab.codelet(c, vec![b]);
+        ab.invoke(i, 0, 2);
+        ab.build()
+    }
+
+    #[test]
+    fn caches_per_codelet_and_arch() {
+        let app = app();
+        let m = Microbenchmark::extract(&app, 0).unwrap();
+        let cache = MicroCache::new();
+        let a = cache.measure(0, &m, &Arch::nehalem(), 0, 1e-5, 5);
+        let b = cache.measure(0, &m, &Arch::nehalem(), 0, 1e-5, 5);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        let _ = cache.measure(0, &m, &Arch::atom().scaled(fgbs_machine::PARK_SCALE), 0, 1e-5, 5);
+        let _ = cache.measure(1, &m, &Arch::atom().scaled(fgbs_machine::PARK_SCALE), 0, 1e-5, 5);
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,123 @@
+//! Parallel evaluation over targets.
+//!
+//! System selection evaluates many candidate machines; every target's
+//! ground-truth run, prediction and reduction factor are independent, so
+//! they fan out across threads. Results come back in target order.
+
+use fgbs_machine::Arch;
+
+use crate::appagg::{aggregate_apps, geometric_mean_speedup, AppPrediction};
+use crate::config::PipelineConfig;
+use crate::micras::MicroCache;
+use crate::predict::{predict_with_runs, PredictionOutcome};
+use crate::profile::{profile_target, ProfiledSuite};
+use crate::reduce::ReducedSuite;
+use crate::reduction::{reduction_factor, ReductionBreakdown};
+
+/// Everything Step E produces for one target machine.
+#[derive(Debug, Clone)]
+pub struct TargetEvaluation {
+    /// Target name.
+    pub target: String,
+    /// Per-codelet predictions and ground truth.
+    pub outcome: PredictionOutcome,
+    /// Benchmarking-cost comparison.
+    pub reduction: ReductionBreakdown,
+    /// Per-application aggregation.
+    pub apps: Vec<AppPrediction>,
+    /// Geometric-mean speedups `(real, predicted)`.
+    pub geomean: (f64, f64),
+}
+
+/// Evaluate the reduced suite on every target, in parallel (one thread per
+/// target). The microbenchmark cache is shared across threads.
+pub fn evaluate_targets(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    targets: &[Arch],
+    cache: &MicroCache,
+    cfg: &PipelineConfig,
+) -> Vec<TargetEvaluation> {
+    let mut out: Vec<Option<TargetEvaluation>> = targets.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, target) in out.iter_mut().zip(targets) {
+            scope.spawn(move |_| {
+                let runs = profile_target(suite, target, cfg);
+                let outcome = predict_with_runs(suite, reduced, target, &runs, cache, cfg);
+                let reduction = reduction_factor(suite, reduced, &outcome, target, cache, cfg);
+                let apps = aggregate_apps(suite, &outcome, target, cfg);
+                let geomean = geometric_mean_speedup(&apps);
+                *slot = Some(TargetEvaluation {
+                    target: target.name.clone(),
+                    outcome,
+                    reduction,
+                    apps,
+                    geomean,
+                });
+            });
+        }
+    })
+    .expect("target evaluation threads do not panic");
+    out.into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+/// Rank targets by predicted geometric-mean speedup, best first.
+/// Returns `(name, predicted, real)` triples.
+pub fn rank_targets(evals: &[TargetEvaluation]) -> Vec<(String, f64, f64)> {
+    let mut v: Vec<(String, f64, f64)> = evals
+        .iter()
+        .map(|e| (e.target.clone(), e.geomean.1, e.geomean.0))
+        .collect();
+    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KChoice;
+    use crate::profile::profile_reference;
+    use crate::reduce::reduce_cached;
+    use fgbs_machine::PARK_SCALE;
+    use fgbs_suites::{nr_suite, Class};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(8).collect();
+        let suite = profile_reference(&apps, &cfg);
+        let cache = MicroCache::new();
+        let reduced = reduce_cached(&suite, &cfg, &cache);
+        let targets = Arch::targets_scaled();
+
+        let evals = evaluate_targets(&suite, &reduced, &targets, &cache, &cfg);
+        assert_eq!(evals.len(), 3);
+        for (e, t) in evals.iter().zip(&targets) {
+            assert_eq!(e.target, t.name);
+            // Cross-check against a sequential run with the same seeds.
+            let runs = profile_target(&suite, t, &cfg);
+            let seq = predict_with_runs(&suite, &reduced, t, &runs, &cache, &cfg);
+            assert_eq!(seq.predictions, e.outcome.predictions);
+        }
+    }
+
+    #[test]
+    fn ranking_is_descending_by_prediction() {
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(6).collect();
+        let suite = profile_reference(&apps, &cfg);
+        let cache = MicroCache::new();
+        let reduced = reduce_cached(&suite, &cfg, &cache);
+        let targets = vec![
+            Arch::atom().scaled(PARK_SCALE),
+            Arch::sandy_bridge().scaled(PARK_SCALE),
+        ];
+        let evals = evaluate_targets(&suite, &reduced, &targets, &cache, &cfg);
+        let rank = rank_targets(&evals);
+        assert_eq!(rank.len(), 2);
+        assert!(rank[0].1 >= rank[1].1);
+        assert_eq!(rank[0].0, "Sandy Bridge", "SB must out-predict Atom");
+    }
+}

@@ -1,0 +1,106 @@
+//! Per-application subsetting (the Figure 8 baseline).
+//!
+//! SimPoint-style approaches cannot share representatives across programs;
+//! the paper simulates this by running Steps A–E on each application
+//! separately, distributing the representative budget evenly. MG drops
+//! out entirely: all its codelets are ill-behaved, so no per-application
+//! representative exists (§4.4).
+
+use fgbs_extract::Application;
+use fgbs_machine::Arch;
+
+use crate::config::{KChoice, PipelineConfig};
+use crate::micras::MicroCache;
+use crate::predict::predict_with_runs;
+use crate::profile::{profile_reference, profile_target};
+use crate::reduce::reduce_cached;
+
+/// One point of the per-application subsetting curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerAppPoint {
+    /// Representatives allotted to each application.
+    pub reps_per_app: usize,
+    /// Total representatives actually used.
+    pub total_representatives: usize,
+    /// Median per-codelet error (percent) over all predictable apps.
+    pub median_error_pct: f64,
+    /// Applications excluded because none of their codelets could serve
+    /// as a representative.
+    pub excluded_apps: Vec<String>,
+}
+
+/// Run per-application subsetting for `reps_per_app` ∈ `1..=max_reps` on
+/// one target.
+pub fn per_app_subsetting(
+    apps: &[Application],
+    target: &Arch,
+    max_reps: usize,
+    cfg: &PipelineConfig,
+) -> Vec<PerAppPoint> {
+    // Profile each application separately (its own Steps A+B).
+    let suites: Vec<_> = apps
+        .iter()
+        .map(|a| profile_reference(std::slice::from_ref(a), cfg))
+        .collect();
+    let caches: Vec<MicroCache> = suites.iter().map(|_| MicroCache::new()).collect();
+    let runs: Vec<_> = suites
+        .iter()
+        .map(|s| profile_target(s, target, cfg))
+        .collect();
+
+    (1..=max_reps)
+        .map(|r| {
+            let mut errors: Vec<f64> = Vec::new();
+            let mut total_reps = 0;
+            let mut excluded = Vec::new();
+            for ((suite, cache), truns) in suites.iter().zip(&caches).zip(&runs) {
+                if suite.is_empty() {
+                    continue;
+                }
+                let kcfg = cfg.clone().with_k(KChoice::Fixed(r));
+                let reduced = reduce_cached(suite, &kcfg, cache);
+                if reduced.clusters.is_empty() {
+                    excluded.push(suite.apps[0].name.clone());
+                    continue;
+                }
+                total_reps += reduced.n_representatives();
+                let out = predict_with_runs(suite, &reduced, target, truns, cache, &kcfg);
+                errors.extend(out.predictions.iter().filter_map(|p| p.error_pct));
+            }
+            errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+            let median = if errors.is_empty() {
+                f64::NAN
+            } else {
+                errors[errors.len() / 2]
+            };
+            PerAppPoint {
+                reps_per_app: r,
+                total_representatives: total_reps,
+                median_error_pct: median,
+                excluded_apps: excluded,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_suites::{nr_suite, Class};
+
+    #[test]
+    fn per_app_on_single_codelet_apps_is_exact_per_app() {
+        // NR applications have one codelet each: per-app subsetting with
+        // one representative measures everything directly.
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(5).collect();
+        let cfg = PipelineConfig::fast();
+        let pts = per_app_subsetting(&apps, &Arch::atom().scaled(fgbs_machine::PARK_SCALE), 2, &cfg);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].reps_per_app, 1);
+        assert_eq!(pts[0].total_representatives, 5);
+        assert!(pts[0].excluded_apps.is_empty());
+        // Every codelet is its own representative: errors are the
+        // standalone-vs-in-app gap only.
+        assert!(pts[0].median_error_pct < 15.0, "{}", pts[0].median_error_pct);
+    }
+}

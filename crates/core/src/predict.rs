@@ -1,0 +1,296 @@
+//! Step E: the prediction model.
+//!
+//! Codelets in a cluster share their representative's speedup when moving
+//! to a new architecture (§3.5): `t_tar_i ≈ t_ref_i / s_rk` with
+//! `s_rk = t_ref_rk / t_tar_rk`. In matrix form `t_tar_all ≈ M · t_tar_repr`
+//! with `M[i][k] = t_ref_i / t_ref_rk` for `p_i ∈ C_k` ([`model_matrix`]).
+
+use fgbs_extract::AppRun;
+use fgbs_machine::Arch;
+
+use crate::config::PipelineConfig;
+use crate::micras::MicroCache;
+use crate::profile::{profile_target, ProfiledSuite};
+use crate::reduce::ReducedSuite;
+
+/// Per-codelet prediction vs ground truth on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeletPrediction {
+    /// Codelet index (into [`ProfiledSuite::codelets`]).
+    pub codelet: usize,
+    /// Cluster the codelet belongs to, if any survived.
+    pub cluster: Option<usize>,
+    /// Whether the codelet is its cluster's representative.
+    pub is_representative: bool,
+    /// Predicted seconds per invocation on the target.
+    pub predicted_seconds: Option<f64>,
+    /// Real (measured) seconds per invocation on the target.
+    pub real_seconds: f64,
+    /// Reference seconds per invocation (Step B).
+    pub ref_seconds: f64,
+    /// Relative error in percent, when a prediction exists.
+    pub error_pct: Option<f64>,
+}
+
+/// The outcome of Step E on one target architecture.
+#[derive(Debug, Clone)]
+pub struct PredictionOutcome {
+    /// Target architecture name.
+    pub target: String,
+    /// Per-codelet predictions, aligned with the profiled suite.
+    pub predictions: Vec<CodeletPrediction>,
+    /// Ground-truth full application runs on the target.
+    pub target_runs: Vec<AppRun>,
+    /// Standalone seconds-per-invocation of each cluster representative on
+    /// the target (cluster order).
+    pub rep_seconds: Vec<f64>,
+}
+
+impl PredictionOutcome {
+    /// Median per-codelet error (percent) over predicted codelets.
+    pub fn median_error_pct(&self) -> f64 {
+        percentile_errors(&self.predictions, 0.5)
+    }
+
+    /// Mean per-codelet error (percent) over predicted codelets.
+    pub fn average_error_pct(&self) -> f64 {
+        let errs: Vec<f64> = self
+            .predictions
+            .iter()
+            .filter_map(|p| p.error_pct)
+            .collect();
+        if errs.is_empty() {
+            f64::NAN
+        } else {
+            errs.iter().sum::<f64>() / errs.len() as f64
+        }
+    }
+}
+
+fn percentile_errors(preds: &[CodeletPrediction], q: f64) -> f64 {
+    let mut errs: Vec<f64> = preds.iter().filter_map(|p| p.error_pct).collect();
+    if errs.is_empty() {
+        return f64::NAN;
+    }
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    let pos = q * (errs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        errs[lo]
+    } else {
+        errs[lo] + (errs[hi] - errs[lo]) * (pos - lo as f64)
+    }
+}
+
+/// The model matrix `M` of §3.5: `N × K`, `M[i][k] = t_ref_i / t_ref_rk`
+/// when codelet `i` belongs to cluster `k`, else 0.
+pub fn model_matrix(suite: &ProfiledSuite, reduced: &ReducedSuite) -> Vec<Vec<f64>> {
+    let k = reduced.clusters.len();
+    let mut m = vec![vec![0.0; k]; suite.len()];
+    for (i, row) in m.iter_mut().enumerate() {
+        if let Some(c) = reduced.assignment[i] {
+            let rep = reduced.clusters[c].representative;
+            row[c] = suite.codelets[i].tref_cycles / suite.codelets[rep].tref_cycles;
+        }
+    }
+    m
+}
+
+/// Step E against precomputed ground-truth runs (sweeps reuse the runs
+/// across many cluster counts).
+pub fn predict_with_runs(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    target: &Arch,
+    target_runs: &[AppRun],
+    cache: &MicroCache,
+    cfg: &PipelineConfig,
+) -> PredictionOutcome {
+    // Measure each representative's standalone microbenchmark on the
+    // target (the only target-side cost of the method).
+    let rep_seconds: Vec<f64> = reduced
+        .clusters
+        .iter()
+        .map(|cl| {
+            let rep = cl.representative;
+            let r = cache.measure(
+                rep,
+                &suite.codelets[rep].micro,
+                target,
+                cfg.noise_seed,
+                cfg.micro_min_seconds,
+                cfg.micro_min_invocations,
+            );
+            r.median_seconds
+        })
+        .collect();
+
+    let reference = &cfg.reference;
+    let predictions = suite
+        .codelets
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let run = &target_runs[c.app];
+            let real_seconds = target.seconds(run.profiles[c.local].mean_cycles());
+            let ref_seconds = reference.seconds(c.tref_cycles);
+            let cluster = reduced.assignment[i];
+            let predicted_seconds = cluster.map(|k| {
+                let rep = reduced.clusters[k].representative;
+                let tref_rk = reference.seconds(suite.codelets[rep].tref_cycles);
+                ref_seconds * rep_seconds[k] / tref_rk
+            });
+            let error_pct = predicted_seconds.map(|p| {
+                if real_seconds > 0.0 {
+                    100.0 * (p - real_seconds).abs() / real_seconds
+                } else {
+                    0.0
+                }
+            });
+            CodeletPrediction {
+                codelet: i,
+                cluster,
+                is_representative: cluster
+                    .map(|k| reduced.clusters[k].representative == i)
+                    .unwrap_or(false),
+                predicted_seconds,
+                real_seconds,
+                ref_seconds,
+                error_pct,
+            }
+        })
+        .collect();
+
+    PredictionOutcome {
+        target: target.name.clone(),
+        predictions,
+        target_runs: target_runs.to_vec(),
+        rep_seconds,
+    }
+}
+
+/// Step E: run the ground truth on the target, measure the
+/// representatives and predict every codelet.
+pub fn predict(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    target: &Arch,
+    cfg: &PipelineConfig,
+) -> PredictionOutcome {
+    let runs = profile_target(suite, target, cfg);
+    predict_with_runs(suite, reduced, target, &runs, &MicroCache::new(), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KChoice;
+    use crate::profile::profile_reference;
+    use crate::reduce::reduce_cached;
+    use fgbs_suites::{nr_suite, Class};
+
+    fn setup(n: usize, k: usize) -> (ProfiledSuite, ReducedSuite, MicroCache, PipelineConfig) {
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(k));
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(n).collect();
+        let suite = profile_reference(&apps, &cfg);
+        let cache = MicroCache::new();
+        let reduced = reduce_cached(&suite, &cfg, &cache);
+        (suite, reduced, cache, cfg)
+    }
+
+    #[test]
+    fn representatives_are_predicted_near_exactly() {
+        let (suite, reduced, cache, cfg) = setup(8, 3);
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg);
+        let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
+        for p in out.predictions.iter().filter(|p| p.is_representative) {
+            // The representative is measured directly: its prediction is
+            // its own standalone time, which by well-behavedness is within
+            // ~10 % of its in-app time (plus noise).
+            let e = p.error_pct.expect("reps are predicted");
+            assert!(e < 15.0, "rep error {e}% too large");
+        }
+    }
+
+    #[test]
+    fn full_k_gives_small_errors_everywhere() {
+        // One cluster per codelet: every codelet is its own representative.
+        let (suite, reduced, cache, cfg) = setup(6, 6);
+        let sb = Arch::sandy_bridge().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &sb, &cfg);
+        let out = predict_with_runs(&suite, &reduced, &sb, &runs, &cache, &cfg);
+        assert!(out.median_error_pct() < 15.0, "{}", out.median_error_pct());
+        assert_eq!(out.rep_seconds.len(), 6);
+    }
+
+    #[test]
+    fn model_matrix_reproduces_predictions() {
+        let (suite, reduced, cache, cfg) = setup(8, 3);
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg);
+        let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
+        let m = model_matrix(&suite, &reduced);
+        for (i, p) in out.predictions.iter().enumerate() {
+            let via_matrix: f64 = m[i]
+                .iter()
+                .zip(&out.rep_seconds)
+                .map(|(a, b)| a * b)
+                .sum();
+            let direct = p.predicted_seconds.unwrap();
+            assert!(
+                (via_matrix - direct).abs() <= 1e-12 * direct.max(1.0),
+                "matrix and direct predictions must agree"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_rows_have_single_nonzero() {
+        let (suite, reduced, _, _) = setup(8, 3);
+        let m = model_matrix(&suite, &reduced);
+        for row in &m {
+            let nz = row.iter().filter(|v| **v != 0.0).count();
+            assert_eq!(nz, 1);
+        }
+    }
+
+    #[test]
+    fn errors_shrink_with_more_clusters() {
+        let cfg1 = PipelineConfig::fast().with_k(KChoice::Fixed(2));
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(10).collect();
+        let suite = profile_reference(&apps, &cfg1);
+        let cache = MicroCache::new();
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg1);
+
+        let median_at = |k: usize| {
+            let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(k));
+            let reduced = reduce_cached(&suite, &cfg, &cache);
+            predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg).median_error_pct()
+        };
+        let coarse = median_at(2);
+        let fine = median_at(10);
+        assert!(
+            fine <= coarse + 1e-9,
+            "more clusters must not hurt: K=2 -> {coarse}%, K=10 -> {fine}%"
+        );
+    }
+
+    #[test]
+    fn percentile_is_median_for_odd_counts() {
+        let mk = |e: f64| CodeletPrediction {
+            codelet: 0,
+            cluster: Some(0),
+            is_representative: false,
+            predicted_seconds: Some(1.0),
+            real_seconds: 1.0,
+            ref_seconds: 1.0,
+            error_pct: Some(e),
+        };
+        let preds = vec![mk(5.0), mk(1.0), mk(3.0)];
+        assert_eq!(percentile_errors(&preds, 0.5), 3.0);
+        assert!(percentile_errors(&[], 0.5).is_nan());
+    }
+}

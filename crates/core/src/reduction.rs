@@ -1,0 +1,137 @@
+//! The benchmarking-reduction factor and its breakdown (Table 5).
+//!
+//! `total = invocation_factor × clustering_factor`:
+//!
+//! * the **invocation factor** comes from running each microbenchmark for
+//!   a handful of invocations instead of the application's full schedule;
+//! * the **clustering factor** comes from running only one representative
+//!   per cluster instead of every codelet.
+
+use fgbs_machine::Arch;
+
+use crate::config::PipelineConfig;
+use crate::micras::MicroCache;
+use crate::predict::PredictionOutcome;
+use crate::profile::ProfiledSuite;
+use crate::reduce::ReducedSuite;
+
+/// Benchmarking-cost comparison on one target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReductionBreakdown {
+    /// Target architecture name.
+    pub target: String,
+    /// Seconds to run the original full suite on the target.
+    pub full_seconds: f64,
+    /// Seconds to run every detected codelet as a microbenchmark.
+    pub all_micro_seconds: f64,
+    /// Seconds to run only the representatives' microbenchmarks.
+    pub reduced_seconds: f64,
+    /// Overall reduction: `full / reduced`.
+    pub total: f64,
+    /// Contribution of invocation reduction: `full / all_micro`.
+    pub invocation_factor: f64,
+    /// Contribution of clustering: `all_micro / reduced`.
+    pub clustering_factor: f64,
+}
+
+/// Compute the reduction breakdown for one target, reusing the ground
+/// truth runs recorded in `outcome`.
+pub fn reduction_factor(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    outcome: &PredictionOutcome,
+    target: &Arch,
+    cache: &MicroCache,
+    cfg: &PipelineConfig,
+) -> ReductionBreakdown {
+    let full_seconds: f64 = outcome.target_runs.iter().map(|r| r.total_seconds).sum();
+
+    let micro_cost = |idx: usize| {
+        cache
+            .measure(
+                idx,
+                &suite.codelets[idx].micro,
+                target,
+                cfg.noise_seed,
+                cfg.micro_min_seconds,
+                cfg.micro_min_invocations,
+            )
+            .total_seconds
+    };
+
+    let all_micro_seconds: f64 = (0..suite.len()).map(micro_cost).sum();
+    let reduced_seconds: f64 = reduced
+        .clusters
+        .iter()
+        .map(|c| micro_cost(c.representative))
+        .sum();
+
+    ReductionBreakdown {
+        target: target.name.clone(),
+        full_seconds,
+        all_micro_seconds,
+        reduced_seconds,
+        total: ratio(full_seconds, reduced_seconds),
+        invocation_factor: ratio(full_seconds, all_micro_seconds),
+        clustering_factor: ratio(all_micro_seconds, reduced_seconds),
+    }
+}
+
+fn ratio(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KChoice;
+    use crate::predict::predict_with_runs;
+    use crate::profile::{profile_reference, profile_target};
+    use crate::reduce::reduce_cached;
+    use fgbs_suites::{nr_suite, Class};
+
+    #[test]
+    fn breakdown_identity_holds() {
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(3));
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(8).collect();
+        let suite = profile_reference(&apps, &cfg);
+        let cache = MicroCache::new();
+        let reduced = reduce_cached(&suite, &cfg, &cache);
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg);
+        let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
+        let b = reduction_factor(&suite, &reduced, &out, &atom, &cache, &cfg);
+
+        assert!(b.full_seconds > 0.0);
+        assert!(b.reduced_seconds > 0.0);
+        assert!(b.reduced_seconds <= b.all_micro_seconds);
+        let recomposed = b.invocation_factor * b.clustering_factor;
+        assert!(
+            (recomposed - b.total).abs() < 1e-9 * b.total,
+            "total must factor exactly"
+        );
+        // 8 codelets, 3 reps: clustering factor must exceed 1.
+        assert!(b.clustering_factor > 1.0);
+    }
+
+    #[test]
+    fn more_clusters_means_less_reduction() {
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(8).collect();
+        let cfg0 = PipelineConfig::fast();
+        let suite = profile_reference(&apps, &cfg0);
+        let cache = MicroCache::new();
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg0);
+        let total_at = |k: usize| {
+            let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(k));
+            let reduced = reduce_cached(&suite, &cfg, &cache);
+            let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
+            reduction_factor(&suite, &reduced, &out, &atom, &cache, &cfg).total
+        };
+        assert!(total_at(2) > total_at(8));
+    }
+}

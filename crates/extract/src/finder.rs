@@ -1,0 +1,153 @@
+//! The hotspot detector: which codelets are worth (and capable of)
+//! extraction.
+
+use fgbs_machine::Arch;
+
+use crate::app::Application;
+use crate::profile::AppRun;
+
+/// Detection policy (the paper's Step A + the §3.2 measurability filter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CodeletFinder {
+    /// Codelets whose *per-invocation* time on the reference architecture
+    /// is below this many cycles are discarded as unmeasurable. The paper
+    /// uses 10⁶ cycles on full-size NAS inputs; the default here is scaled
+    /// to the suites' reduced datasets.
+    pub min_cycles_per_invocation: f64,
+}
+
+impl Default for CodeletFinder {
+    fn default() -> Self {
+        CodeletFinder {
+            min_cycles_per_invocation: 2_000.0,
+        }
+    }
+}
+
+/// Result of running detection over a profiled application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Indices of detected (extractable, measurable) codelets.
+    pub detected: Vec<usize>,
+    /// Fraction of the application's true execution time covered by the
+    /// detected codelets.
+    pub coverage: f64,
+}
+
+impl CodeletFinder {
+    /// A finder with an explicit measurability threshold.
+    pub fn with_min_cycles(min_cycles_per_invocation: f64) -> Self {
+        CodeletFinder {
+            min_cycles_per_invocation,
+        }
+    }
+
+    /// Detect the extractable codelets of `app`, using its reference
+    /// profile `run` for the measurability filter and coverage accounting.
+    pub fn detect(&self, app: &Application, run: &AppRun, _arch: &Arch) -> Detection {
+        let mut detected = Vec::new();
+        let mut covered = 0.0;
+        for (i, codelet) in app.codelets.iter().enumerate() {
+            let p = &run.profiles[i];
+            let per_inv = if p.invocations == 0 {
+                0.0
+            } else {
+                p.true_cycles / p.invocations as f64
+            };
+            if codelet.extractable && per_inv >= self.min_cycles_per_invocation {
+                detected.push(i);
+                covered += p.true_cycles;
+            }
+        }
+        Detection {
+            detected,
+            coverage: if run.total_cycles > 0.0 {
+                covered / run.total_cycles
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::ApplicationBuilder;
+    use crate::profile::run_application;
+    use fgbs_isa::{BindingBuilder, CodeletBuilder, Precision};
+
+    fn app_with_mixed_codelets() -> Application {
+        let big = CodeletBuilder::new("big", "T")
+            .array("s", Precision::F64)
+            .array("d", Precision::F64)
+            .param_loop("n")
+            .store("d", &[1], |b| b.load("s", &[1]) * 2.0)
+            .build();
+        let tiny = CodeletBuilder::new("tiny", "T")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .store("x", &[1], |b| b.constant(0.0))
+            .build();
+        let hidden = CodeletBuilder::new("hidden", "T")
+            .array("s", Precision::F64)
+            .array("d", Precision::F64)
+            .param_loop("n")
+            .store("d", &[1], |b| b.load("s", &[1]))
+            .non_extractable()
+            .build();
+        let nb = 65536u64;
+        let nt = 16u64;
+        let b_big = BindingBuilder::new(0)
+            .vector(nb, 8)
+            .vector(nb, 8)
+            .param(nb)
+            .build_for(&big);
+        let b_tiny = BindingBuilder::new(1 << 24)
+            .vector(nt, 8)
+            .param(nt)
+            .build_for(&tiny);
+        let b_hidden = BindingBuilder::new(1 << 25)
+            .vector(4096, 8)
+            .vector(4096, 8)
+            .param(4096)
+            .build_for(&hidden);
+        let mut ab = ApplicationBuilder::new("T");
+        let i_big = ab.codelet(big, vec![b_big]);
+        let i_tiny = ab.codelet(tiny, vec![b_tiny]);
+        let i_hidden = ab.codelet(hidden, vec![b_hidden]);
+        ab.invoke(i_big, 0, 2)
+            .invoke(i_tiny, 0, 2)
+            .invoke(i_hidden, 0, 1)
+            .rounds(2);
+        ab.build()
+    }
+
+    #[test]
+    fn detects_only_measurable_extractable_codelets() {
+        let app = app_with_mixed_codelets();
+        let arch = Arch::nehalem();
+        let run = run_application(&app, &arch, 0);
+        let det = CodeletFinder::default().detect(&app, &run, &arch);
+        assert_eq!(det.detected, vec![0], "only `big` passes both filters");
+    }
+
+    #[test]
+    fn coverage_is_a_proper_fraction() {
+        let app = app_with_mixed_codelets();
+        let arch = Arch::nehalem();
+        let run = run_application(&app, &arch, 0);
+        let det = CodeletFinder::default().detect(&app, &run, &arch);
+        assert!(det.coverage > 0.5, "big dominates: {}", det.coverage);
+        assert!(det.coverage < 1.0, "hidden+tiny keep it below 1");
+    }
+
+    #[test]
+    fn zero_threshold_admits_tiny_codelets() {
+        let app = app_with_mixed_codelets();
+        let arch = Arch::nehalem();
+        let run = run_application(&app, &arch, 0);
+        let det = CodeletFinder::with_min_cycles(0.0).detect(&app, &run, &arch);
+        assert_eq!(det.detected, vec![0, 1]); // hidden stays out: not extractable
+    }
+}

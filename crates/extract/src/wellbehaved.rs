@@ -1,0 +1,64 @@
+//! The well-behavedness check of Step D.
+//!
+//! A representative is only trustworthy if its standalone microbenchmark
+//! reproduces its in-application time on the *reference* architecture.
+//! Akel et al. (the paper's companion study) found 19 % of NAS codelets
+//! ill-behaved; the selection loop in `fgbs-core` uses this predicate to
+//! reject them.
+
+/// Tolerance of the standalone-vs-in-app comparison (the paper's 10 %).
+pub const WELL_BEHAVED_TOLERANCE: f64 = 0.10;
+
+/// Relative difference `|a - b| / b`, with `b` the in-app baseline.
+///
+/// Returns infinity when the baseline is zero but the candidate is not.
+pub fn relative_difference(standalone: f64, in_app: f64) -> f64 {
+    if in_app == 0.0 {
+        if standalone == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (standalone - in_app).abs() / in_app
+    }
+}
+
+/// Does the standalone time reproduce the in-app time within
+/// [`WELL_BEHAVED_TOLERANCE`]?
+pub fn behaves_well(standalone_cycles: f64, in_app_cycles: f64) -> bool {
+    relative_difference(standalone_cycles, in_app_cycles) <= WELL_BEHAVED_TOLERANCE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_is_well_behaved() {
+        assert!(behaves_well(100.0, 100.0));
+        assert_eq!(relative_difference(100.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        assert!(behaves_well(110.0, 100.0));
+        assert!(!behaves_well(110.1, 100.0));
+        assert!(behaves_well(90.0, 100.0));
+        assert!(!behaves_well(89.9, 100.0));
+    }
+
+    #[test]
+    fn zero_baseline() {
+        assert!(behaves_well(0.0, 0.0));
+        assert!(!behaves_well(1.0, 0.0));
+        assert!(relative_difference(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn asymmetry_is_relative_to_in_app() {
+        // 50 vs 100 is 50% off; 100 vs 50 is 100% off.
+        assert!((relative_difference(50.0, 100.0) - 0.5).abs() < 1e-12);
+        assert!((relative_difference(100.0, 50.0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,253 @@
+//! The GA driver.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::genome::BitGenome;
+
+/// GA hyper-parameters. The defaults are the paper's §4.2 settings scaled
+/// down; use `population: 1000, generations: 100` for the full Table 2
+/// reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaConfig {
+    /// Genome length (76 for the feature-selection problem).
+    pub genome_len: usize,
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Per-bit mutation probability (the paper uses 0.01).
+    pub mutation_prob: f64,
+    /// Probability that a child is produced by crossover (vs cloning the
+    /// fitter parent).
+    pub crossover_prob: f64,
+    /// Number of best individuals copied unchanged each generation.
+    pub elitism: usize,
+    /// Initial bit density of random individuals.
+    pub init_density: f64,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            genome_len: 76,
+            population: 100,
+            generations: 40,
+            mutation_prob: 0.01,
+            crossover_prob: 0.9,
+            elitism: 4,
+            init_density: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+impl GaConfig {
+    /// The paper's full setting: population 1000, 100 generations,
+    /// mutation 0.01 (§4.2).
+    pub fn paper() -> GaConfig {
+        GaConfig {
+            population: 1000,
+            generations: 100,
+            ..GaConfig::default()
+        }
+    }
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaResult {
+    /// Best genome found across all generations.
+    pub best: BitGenome,
+    /// Its fitness (minimised).
+    pub best_fitness: f64,
+    /// Best fitness after each generation (monotone with elitism).
+    pub history: Vec<f64>,
+    /// Distinct fitness evaluations performed (memoised).
+    pub evaluations: usize,
+}
+
+/// Minimise `fitness` over bit genomes.
+///
+/// Selection is 2-tournament, crossover is uniform, elitism preserves the
+/// best individuals, and fitness values are memoised so repeated genomes
+/// cost nothing.
+///
+/// # Panics
+///
+/// Panics when `population < 2` or `genome_len == 0`.
+pub fn minimize<F>(cfg: &GaConfig, mut fitness: F) -> GaResult
+where
+    F: FnMut(&BitGenome) -> f64,
+{
+    assert!(cfg.population >= 2, "population must be at least 2");
+    assert!(cfg.genome_len > 0, "empty genomes cannot evolve");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut memo: HashMap<BitGenome, f64> = HashMap::new();
+    let mut evals = 0usize;
+
+    let mut eval = |g: &BitGenome, memo: &mut HashMap<BitGenome, f64>, evals: &mut usize| -> f64 {
+        if let Some(&v) = memo.get(g) {
+            return v;
+        }
+        let v = fitness(g);
+        assert!(!v.is_nan(), "fitness must not be NaN");
+        memo.insert(g.clone(), v);
+        *evals += 1;
+        v
+    };
+
+    let mut pop: Vec<(BitGenome, f64)> = (0..cfg.population)
+        .map(|_| {
+            let g = BitGenome::random(cfg.genome_len, cfg.init_density, &mut rng);
+            let f = eval(&g, &mut memo, &mut evals);
+            (g, f)
+        })
+        .collect();
+
+    let mut history = Vec::with_capacity(cfg.generations);
+    let mut best = pop[0].clone();
+    for p in &pop {
+        if p.1 < best.1 {
+            best = p.clone();
+        }
+    }
+
+    for _gen in 0..cfg.generations {
+        // Rank ascending (minimisation).
+        pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is not NaN"));
+        if pop[0].1 < best.1 {
+            best = pop[0].clone();
+        }
+        history.push(best.1);
+
+        let mut next: Vec<(BitGenome, f64)> =
+            pop.iter().take(cfg.elitism.min(pop.len())).cloned().collect();
+        while next.len() < cfg.population {
+            let a = tournament(&pop, &mut rng);
+            let b = tournament(&pop, &mut rng);
+            let mut child = if rng.gen_bool(cfg.crossover_prob) {
+                pop[a].0.crossover(&pop[b].0, &mut rng)
+            } else {
+                // Clone the fitter parent.
+                let w = if pop[a].1 <= pop[b].1 { a } else { b };
+                pop[w].0.clone()
+            };
+            child.mutate(cfg.mutation_prob, &mut rng);
+            let f = eval(&child, &mut memo, &mut evals);
+            next.push((child, f));
+        }
+        pop = next;
+    }
+
+    // Final sweep.
+    for p in &pop {
+        if p.1 < best.1 {
+            best = p.clone();
+        }
+    }
+
+    GaResult {
+        best: best.0,
+        best_fitness: best.1,
+        history,
+        evaluations: evals,
+    }
+}
+
+/// 2-tournament selection: pick two uniformly, keep the fitter index.
+fn tournament(pop: &[(BitGenome, f64)], rng: &mut impl Rng) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    if pop[a].1 <= pop[b].1 {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(len: usize, pop: usize, gens: usize, seed: u64) -> GaConfig {
+        GaConfig {
+            genome_len: len,
+            population: pop,
+            generations: gens,
+            seed,
+            ..GaConfig::default()
+        }
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let cfg = small(32, 60, 60, 1);
+        let r = minimize(&cfg, |g| (32 - g.count_ones()) as f64);
+        assert_eq!(r.best_fitness, 0.0, "should find the all-ones genome");
+        assert_eq!(r.best.count_ones(), 32);
+    }
+
+    #[test]
+    fn history_is_monotone_with_elitism() {
+        let cfg = small(24, 40, 40, 2);
+        let r = minimize(&cfg, |g| (g.count_ones() as f64 - 12.0).abs());
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0], "elitism forbids regression: {:?}", r.history);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small(20, 30, 20, 7);
+        let f = |g: &BitGenome| (g.count_ones() as f64 - 5.0).powi(2);
+        let a = minimize(&cfg, f);
+        let b = minimize(&cfg, f);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn different_seeds_explore_differently() {
+        let f = |g: &BitGenome| {
+            // Rugged objective so distinct paths are visible.
+            g.bits()
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| if b { ((i * 37) % 11) as f64 - 5.0 } else { 0.0 })
+                .sum::<f64>()
+                .abs()
+        };
+        let a = minimize(&small(40, 30, 10, 1), f);
+        let b = minimize(&small(40, 30, 10, 2), f);
+        // They may tie on fitness but histories almost surely differ.
+        assert!(a.history != b.history || a.best != b.best);
+    }
+
+    #[test]
+    fn memoisation_limits_evaluations() {
+        let cfg = small(4, 50, 50, 3); // only 16 possible genomes
+        let r = minimize(&cfg, |g| g.count_ones() as f64);
+        assert!(r.evaluations <= 16, "got {}", r.evaluations);
+        assert_eq!(r.best_fitness, 0.0);
+    }
+
+    #[test]
+    fn paper_config_matches_section_4_2() {
+        let c = GaConfig::paper();
+        assert_eq!(c.population, 1000);
+        assert_eq!(c.generations, 100);
+        assert!((c.mutation_prob - 0.01).abs() < 1e-12);
+        assert_eq!(c.genome_len, 76);
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be at least 2")]
+    fn tiny_population_panics() {
+        let _ = minimize(&small(4, 1, 1, 0), |_| 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Genetic algorithm over boolean genomes.
+//!
+//! The paper selects its 14-feature set (Table 2) with a GA over 76-bit
+//! individuals — "each individual represents a candidate feature set"
+//! (§4.2) — run with a population of 1000 for 100 generations and a
+//! mutation probability of 0.01, using the GNU R `genalg` package. This
+//! crate is that substrate: rank-elitist selection, uniform crossover,
+//! per-bit mutation, memoised fitness evaluation, deterministic per seed.
+//!
+//! # Example
+//!
+//! ```
+//! use fgbs_genetic::{minimize, GaConfig};
+//!
+//! // Toy objective: prefer genomes with exactly 3 ones.
+//! let cfg = GaConfig { genome_len: 16, population: 40, generations: 30, ..GaConfig::default() };
+//! let r = minimize(&cfg, |g| (g.count_ones() as f64 - 3.0).abs());
+//! assert_eq!(r.best.count_ones(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ga;
+mod genome;
+
+pub use ga::{minimize, GaConfig, GaResult};
+pub use genome::BitGenome;

@@ -1,0 +1,475 @@
+//! Ergonomic construction of codelets.
+//!
+//! The builder mirrors how the paper's kernels read in Fortran: declare the
+//! operand arrays, open the loop nest, then write the body as arithmetic on
+//! loaded values.
+
+use crate::access::{Access, AffineExpr};
+use crate::codelet::{ArrayDecl, ArrayId, Codelet, Fragility, SourceLoc};
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::nest::{LoopDim, LoopNest, Stmt};
+use crate::types::{AccId, Precision};
+
+/// An owned expression under construction. Supports the usual arithmetic
+/// operators plus method forms for unary operations.
+#[derive(Debug, Clone)]
+pub struct ExprHandle(pub(crate) Expr);
+
+impl ExprHandle {
+    /// Consume the handle, yielding the IR expression.
+    pub fn into_expr(self) -> Expr {
+        self.0
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> ExprHandle {
+        ExprHandle(Expr::Un(UnOp::Sqrt, Box::new(self.0)))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> ExprHandle {
+        ExprHandle(Expr::Un(UnOp::Abs, Box::new(self.0)))
+    }
+
+    /// Exponential (stands in for any libm transcendental).
+    pub fn exp(self) -> ExprHandle {
+        ExprHandle(Expr::Un(UnOp::Exp, Box::new(self.0)))
+    }
+
+    /// Negation (named `negate` to avoid clashing with `std::ops::Neg`,
+    /// which `ExprHandle` does not implement).
+    pub fn negate(self) -> ExprHandle {
+        ExprHandle(Expr::Un(UnOp::Neg, Box::new(self.0)))
+    }
+
+    /// Reciprocal (lowers to a division).
+    pub fn recip(self) -> ExprHandle {
+        ExprHandle(Expr::Un(UnOp::Recip, Box::new(self.0)))
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, other: ExprHandle) -> ExprHandle {
+        ExprHandle(Expr::Bin(BinOp::Max, Box::new(self.0), Box::new(other.0)))
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, other: ExprHandle) -> ExprHandle {
+        ExprHandle(Expr::Bin(BinOp::Min, Box::new(self.0), Box::new(other.0)))
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl std::ops::$trait for ExprHandle {
+            type Output = ExprHandle;
+            fn $method(self, rhs: ExprHandle) -> ExprHandle {
+                ExprHandle(Expr::Bin($op, Box::new(self.0), Box::new(rhs.0)))
+            }
+        }
+        impl std::ops::$trait<f64> for ExprHandle {
+            type Output = ExprHandle;
+            fn $method(self, rhs: f64) -> ExprHandle {
+                ExprHandle(Expr::Bin($op, Box::new(self.0), Box::new(Expr::Const(rhs))))
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, BinOp::Add);
+impl_binop!(Sub, sub, BinOp::Sub);
+impl_binop!(Mul, mul, BinOp::Mul);
+impl_binop!(Div, div, BinOp::Div);
+
+/// Expression-construction context handed to body closures.
+///
+/// Resolves array and accumulator names and produces [`ExprHandle`]s.
+#[derive(Debug)]
+pub struct ExprBuilder<'a> {
+    arrays: &'a [ArrayDecl],
+    accs: &'a mut Vec<String>,
+}
+
+impl<'a> ExprBuilder<'a> {
+    fn array_id(&self, name: &str) -> ArrayId {
+        ArrayId(
+            self.arrays
+                .iter()
+                .position(|a| a.name == name)
+                .unwrap_or_else(|| panic!("unknown array `{name}` in codelet body")),
+        )
+    }
+
+    fn acc_id(&mut self, name: &str) -> AccId {
+        if let Some(i) = self.accs.iter().position(|a| a == name) {
+            AccId(i)
+        } else {
+            self.accs.push(name.to_string());
+            AccId(self.accs.len() - 1)
+        }
+    }
+
+    /// Load with literal strides, outermost loop first.
+    pub fn load(&mut self, array: &str, strides: &[i64]) -> ExprHandle {
+        ExprHandle(Expr::Load(Access::affine(self.array_id(array), strides)))
+    }
+
+    /// Load with literal strides and a constant element offset.
+    pub fn load_off(&mut self, array: &str, strides: &[i64], offset: i64) -> ExprHandle {
+        ExprHandle(Expr::Load(Access::affine_expr(
+            self.array_id(array),
+            strides.iter().map(|&s| AffineExpr::lit(s)).collect(),
+            AffineExpr::lit(offset),
+        )))
+    }
+
+    /// Load with full stride/offset expressions (for `LDA` patterns).
+    pub fn load_expr(
+        &mut self,
+        array: &str,
+        strides: Vec<AffineExpr>,
+        offset: AffineExpr,
+    ) -> ExprHandle {
+        ExprHandle(Expr::Load(Access::affine_expr(
+            self.array_id(array),
+            strides,
+            offset,
+        )))
+    }
+
+    /// Load at a data-dependent pseudo-random index within `span` elements.
+    pub fn load_random(&mut self, array: &str, span: u64) -> ExprHandle {
+        ExprHandle(Expr::Load(Access::random(self.array_id(array), span)))
+    }
+
+    /// A compile-time constant.
+    pub fn constant(&mut self, v: f64) -> ExprHandle {
+        ExprHandle(Expr::Const(v))
+    }
+
+    /// Read a scalar accumulator (registering it on first use).
+    pub fn acc(&mut self, name: &str) -> ExprHandle {
+        let id = self.acc_id(name);
+        ExprHandle(Expr::Acc(id))
+    }
+}
+
+/// Builder for [`Codelet`]s. See the crate-level example.
+#[derive(Debug)]
+pub struct CodeletBuilder {
+    name: String,
+    app: String,
+    source: SourceLoc,
+    arrays: Vec<ArrayDecl>,
+    accs: Vec<String>,
+    n_params: usize,
+    dims: Vec<LoopDim>,
+    body: Vec<Stmt>,
+    fragility: Fragility,
+    pattern: String,
+    extractable: bool,
+}
+
+impl CodeletBuilder {
+    /// Start building a codelet named `name` belonging to application `app`.
+    pub fn new(name: impl Into<String>, app: impl Into<String>) -> Self {
+        CodeletBuilder {
+            name: name.into(),
+            app: app.into(),
+            source: SourceLoc::default(),
+            arrays: Vec::new(),
+            accs: Vec::new(),
+            n_params: 0,
+            dims: Vec::new(),
+            body: Vec::new(),
+            fragility: Fragility::Robust,
+            pattern: String::new(),
+            extractable: true,
+        }
+    }
+
+    /// Set the source location (`file.f:first-last`).
+    pub fn source(mut self, file: &str, first: u32, last: u32) -> Self {
+        self.source = SourceLoc {
+            file: file.to_string(),
+            first_line: first,
+            last_line: last,
+        };
+        self
+    }
+
+    /// Declare an array operand.
+    pub fn array(mut self, name: &str, elem: Precision) -> Self {
+        assert!(
+            self.arrays.iter().all(|a| a.name != name),
+            "duplicate array `{name}`"
+        );
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            elem,
+        });
+        self
+    }
+
+    /// Open a loop with a fixed trip count (outermost first).
+    pub fn fixed_loop(mut self, n: u64) -> Self {
+        self.dims.push(LoopDim::fixed(n));
+        self
+    }
+
+    /// Open a loop whose trip count is a fresh invocation parameter.
+    /// The `_name` is documentation only; parameters are positional.
+    pub fn param_loop(mut self, _name: &str) -> Self {
+        self.dims.push(LoopDim::param(self.n_params));
+        self.n_params += 1;
+        self
+    }
+
+    /// Open a triangular loop (`0..=outer_index`).
+    pub fn tri_loop(mut self) -> Self {
+        assert!(
+            !self.dims.is_empty(),
+            "triangular loop requires an enclosing loop"
+        );
+        self.dims.push(LoopDim::triangular());
+        self
+    }
+
+    /// Describe the computation pattern (Table 3 wording).
+    pub fn pattern(mut self, p: &str) -> Self {
+        self.pattern = p.to_string();
+        self
+    }
+
+    /// Mark the codelet's compilation-context sensitivity.
+    pub fn fragility(mut self, f: Fragility) -> Self {
+        self.fragility = f;
+        self
+    }
+
+    /// Mark the codelet as impossible to outline (contributes to the
+    /// uncovered ~8 % of application time).
+    pub fn non_extractable(mut self) -> Self {
+        self.extractable = false;
+        self
+    }
+
+    /// Append `array[strides·idx] = value`.
+    pub fn store(
+        mut self,
+        array: &str,
+        strides: &[i64],
+        f: impl FnOnce(&mut ExprBuilder) -> ExprHandle,
+    ) -> Self {
+        let value = self.run_body(f);
+        let id = self.lookup_array(array);
+        self.body.push(Stmt::Store {
+            access: Access::affine(id, strides),
+            value,
+        });
+        self
+    }
+
+    /// Append a store through an explicit [`Access`].
+    pub fn store_at(
+        mut self,
+        array: &str,
+        strides: Vec<AffineExpr>,
+        offset: AffineExpr,
+        f: impl FnOnce(&mut ExprBuilder) -> ExprHandle,
+    ) -> Self {
+        let value = self.run_body(f);
+        let id = self.lookup_array(array);
+        self.body.push(Stmt::Store {
+            access: Access::affine_expr(id, strides, offset),
+            value,
+        });
+        self
+    }
+
+    /// Append a store at a pseudo-random index (histogram scatter).
+    pub fn store_random(
+        mut self,
+        array: &str,
+        span: u64,
+        f: impl FnOnce(&mut ExprBuilder) -> ExprHandle,
+    ) -> Self {
+        let value = self.run_body(f);
+        let id = self.lookup_array(array);
+        self.body.push(Stmt::Store {
+            access: Access::random(id, span),
+            value,
+        });
+        self
+    }
+
+    /// Append `acc = acc <op> value`.
+    pub fn update_acc(
+        mut self,
+        acc: &str,
+        op: BinOp,
+        f: impl FnOnce(&mut ExprBuilder) -> ExprHandle,
+    ) -> Self {
+        let value = self.run_body(f);
+        let id = self.register_acc(acc);
+        self.body.push(Stmt::Update { acc: id, op, value });
+        self
+    }
+
+    /// Append `acc = value`.
+    pub fn set_acc(
+        mut self,
+        acc: &str,
+        f: impl FnOnce(&mut ExprBuilder) -> ExprHandle,
+    ) -> Self {
+        let value = self.run_body(f);
+        let id = self.register_acc(acc);
+        self.body.push(Stmt::SetAcc { acc: id, value });
+        self
+    }
+
+    fn run_body(&mut self, f: impl FnOnce(&mut ExprBuilder) -> ExprHandle) -> Expr {
+        let mut eb = ExprBuilder {
+            arrays: &self.arrays,
+            accs: &mut self.accs,
+        };
+        f(&mut eb).into_expr()
+    }
+
+    fn lookup_array(&self, name: &str) -> ArrayId {
+        ArrayId(
+            self.arrays
+                .iter()
+                .position(|a| a.name == name)
+                .unwrap_or_else(|| panic!("unknown array `{name}`")),
+        )
+    }
+
+    fn register_acc(&mut self, name: &str) -> AccId {
+        if let Some(i) = self.accs.iter().position(|a| a == name) {
+            AccId(i)
+        } else {
+            self.accs.push(name.to_string());
+            AccId(self.accs.len() - 1)
+        }
+    }
+
+    /// Finish the codelet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no loop was opened or the body is empty — an empty codelet
+    /// cannot be profiled.
+    pub fn build(self) -> Codelet {
+        assert!(!self.dims.is_empty(), "codelet `{}` has no loops", self.name);
+        assert!(!self.body.is_empty(), "codelet `{}` has an empty body", self.name);
+        Codelet {
+            name: self.name,
+            app: self.app,
+            source: self.source,
+            arrays: self.arrays,
+            n_accs: self.accs.len(),
+            n_params: self.n_params,
+            nest: LoopNest {
+                dims: self.dims,
+                body: self.body,
+            },
+            fragility: self.fragility,
+            pattern: self.pattern,
+            extractable: self.extractable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_saxpy() {
+        let c = CodeletBuilder::new("saxpy", "NR")
+            .array("x", Precision::F32)
+            .array("y", Precision::F32)
+            .param_loop("n")
+            .store("y", &[1], |b| {
+                b.constant(2.0) * b.load("x", &[1]) + b.load("y", &[1])
+            })
+            .build();
+        assert_eq!(c.nest.depth(), 1);
+        assert_eq!(c.n_params, 1);
+        assert_eq!(c.nest.accesses().len(), 3);
+        assert_eq!(c.n_accs, 0);
+    }
+
+    #[test]
+    fn builds_two_simultaneous_reductions() {
+        // toeplz_1-like: two reductions in one loop.
+        let c = CodeletBuilder::new("toeplz_1", "NR")
+            .array("r", Precision::F64)
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s1", BinOp::Add, |b| b.load("r", &[1]) * b.load("x", &[-1]))
+            .update_acc("s2", BinOp::Add, |b| b.load("r", &[-1]) * b.load("x", &[1]))
+            .build();
+        assert_eq!(c.n_accs, 2);
+        assert_eq!(c.nest.body.len(), 2);
+    }
+
+    #[test]
+    fn acc_registered_on_read() {
+        let c = CodeletBuilder::new("rec", "NR")
+            .array("b", Precision::F64)
+            .param_loop("n")
+            .set_acc("bet", |b| {
+                let prev = b.acc("bet");
+                b.load("b", &[1]) - prev
+            })
+            .build();
+        assert_eq!(c.n_accs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate array")]
+    fn duplicate_array_panics() {
+        let _ = CodeletBuilder::new("k", "t")
+            .array("x", Precision::F64)
+            .array("x", Precision::F64);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no loops")]
+    fn no_loop_panics() {
+        let _ = CodeletBuilder::new("k", "t")
+            .array("x", Precision::F64)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty body")]
+    fn empty_body_panics() {
+        let _ = CodeletBuilder::new("k", "t")
+            .array("x", Precision::F64)
+            .fixed_loop(4)
+            .build();
+    }
+
+    #[test]
+    fn triangular_requires_outer() {
+        let c = CodeletBuilder::new("tri", "t")
+            .array("a", Precision::F32)
+            .param_loop("n")
+            .tri_loop()
+            .update_acc("s", BinOp::Add, |b| b.load("a", &[0, 1]))
+            .build();
+        assert!(matches!(c.nest.dims[1].trip, crate::nest::Trip::Triangular));
+    }
+
+    #[test]
+    fn operator_overloads_on_f64() {
+        let c = CodeletBuilder::new("k", "t")
+            .array("x", Precision::F64)
+            .fixed_loop(4)
+            .store("x", &[1], |b| b.load("x", &[1]) * 3.0 + 1.0)
+            .build();
+        assert_eq!(c.nest.body[0].value().op_count(), 2);
+    }
+}

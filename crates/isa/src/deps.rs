@@ -1,0 +1,273 @@
+//! Loop-carried dependence analysis.
+//!
+//! The vectorizer must prove that an innermost loop's iterations are
+//! independent. We reproduce the decision procedure a production compiler
+//! applies to the paper's kernels:
+//!
+//! * **Reductions** (`acc = acc ⊕ expr` with `⊕` associative and `expr`
+//!   independent of any accumulator) are vectorizable with partial sums.
+//! * **Scalar recurrences** (an accumulator read feeding its own update, as
+//!   in `tridag`'s first-order recurrence) are loop-carried.
+//! * **Memory recurrences**: a store to array `A` combined with a load from
+//!   `A` at a *constant* element distance (e.g. `x[i]` written, `x[i-1]`
+//!   read) is loop-carried. A distance containing an `LDA` component (a
+//!   different matrix row/column) cannot overlap within one innermost sweep
+//!   and is independent — this is why `elmhes_10` (column combination)
+//!   vectorizes while `relax2_26` (five-point stencil in place) does not.
+
+use crate::access::{Access, AccessIndex};
+use crate::codelet::Codelet;
+use crate::nest::Stmt;
+
+/// Could a load at `load` observe a value written by `store` in a different
+/// iteration of the innermost loop?
+fn may_carry(store: &Access, load: &Access) -> bool {
+    if store.array != load.array {
+        return false;
+    }
+    match (&store.index, &load.index) {
+        // Any random access aliasing a store on the same array is treated as
+        // a potential dependence: the compiler cannot prove independence.
+        (AccessIndex::Random { .. }, _) | (_, AccessIndex::Random { .. }) => true,
+        (
+            AccessIndex::Affine {
+                strides: ss,
+                offset: so,
+            },
+            AccessIndex::Affine {
+                strides: ls,
+                offset: lo,
+            },
+        ) => {
+            // Different stride vectors on the same array: assume dependence
+            // (the compiler's conservative answer for unproven aliasing).
+            let n = ss.len().max(ls.len());
+            let pad = crate::access::AffineExpr::zero();
+            for d in 0..n {
+                let a = ss.get(d).unwrap_or(&pad);
+                let b = ls.get(d).unwrap_or(&pad);
+                if a != b {
+                    return true;
+                }
+            }
+            // Same strides: dependence distance is the offset difference.
+            let dc = so.consts - lo.consts;
+            let dl = so.lda - lo.lda;
+            if dl != 0 {
+                // Distance includes an LDA component: distinct rows/columns,
+                // no overlap within the innermost sweep.
+                false
+            } else {
+                // Pure constant distance: zero means "same element, same
+                // iteration" (read-modify-write, fine); non-zero means a
+                // neighbouring iteration's value is observed.
+                dc != 0
+            }
+        }
+    }
+}
+
+/// Does `stmt` carry a dependence across innermost iterations, considering
+/// every statement of the codelet body (stores in one statement may feed
+/// loads in another)?
+pub fn stmt_has_carried_dependence(stmt: &Stmt, codelet: &Codelet) -> bool {
+    // 1. Scalar chains through accumulators.
+    match stmt {
+        Stmt::Update { acc, op, value } => {
+            if value.references_acc() {
+                return true; // recurrence through the operand
+            }
+            if !op.is_associative() {
+                return true; // e.g. acc = acc / x cannot use partial sums
+            }
+            // A pure reduction; but if any *other* statement reads this
+            // accumulator inside the loop, the chain is exposed.
+            for other in &codelet.nest.body {
+                if !std::ptr::eq(other, stmt) && other.value().references_acc_id(*acc) {
+                    return true;
+                }
+            }
+        }
+        Stmt::SetAcc { value, .. } => {
+            if value.references_acc() {
+                return true;
+            }
+        }
+        Stmt::Store { .. } => {}
+    }
+
+    // 2. Memory recurrences: every store in the body vs every load in this
+    //    statement, and this statement's store vs every load in the body.
+    let mut my_loads = Vec::new();
+    stmt.loads(&mut my_loads);
+    for other in &codelet.nest.body {
+        if let Some(st) = other.store_access() {
+            if my_loads.iter().any(|l| may_carry(st, l)) {
+                return true;
+            }
+        }
+    }
+    if let Some(st) = stmt.store_access() {
+        for other in &codelet.nest.body {
+            let mut loads = Vec::new();
+            other.loads(&mut loads);
+            if loads.iter().any(|l| may_carry(st, l)) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Does any statement of the codelet carry a dependence?
+///
+/// ```
+/// use fgbs_isa::{carried_dependence, CodeletBuilder, Precision};
+///
+/// // A prefix sum reads its own previous element: loop-carried.
+/// let scan = CodeletBuilder::new("scan", "demo")
+///     .array("x", Precision::F64)
+///     .param_loop("n")
+///     .store_at(
+///         "x",
+///         vec![fgbs_isa::AffineExpr::lit(1)],
+///         fgbs_isa::AffineExpr::lit(1),
+///         |b| b.load("x", &[1]) + b.load_off("x", &[1], 1),
+///     )
+///     .build();
+/// assert!(carried_dependence(&scan));
+/// ```
+pub fn carried_dependence(codelet: &Codelet) -> bool {
+    codelet
+        .nest
+        .body
+        .iter()
+        .any(|s| stmt_has_carried_dependence(s, codelet))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CodeletBuilder;
+    use crate::expr::BinOp;
+    use crate::types::Precision;
+
+    #[test]
+    fn reduction_is_independent() {
+        let c = CodeletBuilder::new("dot", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+            .build();
+        assert!(!carried_dependence(&c));
+    }
+
+    #[test]
+    fn first_order_recurrence_is_carried() {
+        // tridag-like: u[i] = (r[i] - a[i] * u[i-1]) / bet
+        let c = CodeletBuilder::new("tridag", "t")
+            .array("u", Precision::F64)
+            .array("r", Precision::F64)
+            .array("a", Precision::F64)
+            .param_loop("n")
+            .store("u", &[1], |b| {
+                let prev = b.load_off("u", &[1], -1);
+                (b.load("r", &[1]) - b.load("a", &[1]) * prev) / 2.0
+            })
+            .build();
+        assert!(carried_dependence(&c));
+    }
+
+    #[test]
+    fn scalar_recurrence_is_carried() {
+        let c = CodeletBuilder::new("rec", "t")
+            .array("b", Precision::F64)
+            .param_loop("n")
+            .set_acc("bet", |b| {
+                let prev = b.acc("bet");
+                b.load("b", &[1]) * prev + 1.0
+            })
+            .build();
+        assert!(carried_dependence(&c));
+    }
+
+    #[test]
+    fn nonassociative_update_is_carried() {
+        let c = CodeletBuilder::new("divacc", "t")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Div, |b| b.load("x", &[1]))
+            .build();
+        assert!(carried_dependence(&c));
+    }
+
+    #[test]
+    fn lda_distance_is_independent() {
+        use crate::access::AffineExpr;
+        // a[:, i] += c * a[:, k]: column combination, distance = (i-k)*LDA.
+        let c = CodeletBuilder::new("elmhes_10", "t")
+            .array("a", Precision::F64)
+            .param_loop("rows")
+            .store_at(
+                "a",
+                vec![AffineExpr::lit(1)],
+                AffineExpr::lda(3),
+                |b| {
+                    let other = b.load_expr("a", vec![AffineExpr::lit(1)], AffineExpr::lda(5));
+                    b.load_expr("a", vec![AffineExpr::lit(1)], AffineExpr::lda(3)) + other * 2.0
+                },
+            )
+            .build();
+        assert!(!carried_dependence(&c));
+    }
+
+    #[test]
+    fn constant_distance_is_carried() {
+        use crate::access::AffineExpr;
+        // In-place stencil: u[i] = u[i-1] + u[i+1]
+        let c = CodeletBuilder::new("stencil", "t")
+            .array("u", Precision::F64)
+            .param_loop("n")
+            .store_at("u", vec![AffineExpr::lit(1)], AffineExpr::zero(), |b| {
+                b.load_off("u", &[1], -1) + b.load_off("u", &[1], 1)
+            })
+            .build();
+        assert!(carried_dependence(&c));
+    }
+
+    #[test]
+    fn same_element_rmw_is_independent() {
+        // y[i] = y[i] + x[i]: distance 0 is a same-iteration read.
+        let c = CodeletBuilder::new("axpy", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("y", &[1]) + b.load("x", &[1]))
+            .build();
+        assert!(!carried_dependence(&c));
+    }
+
+    #[test]
+    fn random_store_aliases() {
+        let c = CodeletBuilder::new("hist", "t")
+            .array("buckets", Precision::I32)
+            .param_loop("n")
+            .store_random("buckets", 1 << 16, |b| {
+                b.load_random("buckets", 1 << 16) + 1.0
+            })
+            .build();
+        assert!(carried_dependence(&c));
+    }
+
+    #[test]
+    fn different_arrays_independent() {
+        let c = CodeletBuilder::new("copy", "t")
+            .array("src", Precision::F64)
+            .array("dst", Precision::F64)
+            .param_loop("n")
+            .store("dst", &[1], |b| b.load("src", &[1]))
+            .build();
+        assert!(!carried_dependence(&c));
+    }
+}

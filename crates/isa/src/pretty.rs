@@ -1,0 +1,198 @@
+//! Pseudo-source rendering of codelets.
+//!
+//! Codelets originate from Fortran/C loops; printing them back as loop
+//! pseudo-code makes reports and debugging sessions legible. The renderer
+//! is also the `Display` impl of [`Codelet`].
+
+use std::fmt::Write as _;
+
+use crate::access::{Access, AccessIndex};
+use crate::codelet::Codelet;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::nest::{Stmt, Trip};
+
+fn render_index(access: &Access) -> String {
+    let raw = match &access.index {
+        AccessIndex::Random { .. } => "rnd()".to_string(),
+        AccessIndex::Affine { strides, offset } => {
+            let mut terms: Vec<String> = Vec::new();
+            for (d, s) in strides.iter().enumerate() {
+                if s.is_zero() {
+                    continue;
+                }
+                let var = (b'i' + d as u8) as char;
+                let coeff = s.to_string();
+                if coeff == "1" {
+                    terms.push(var.to_string());
+                } else {
+                    terms.push(format!("{coeff}*{var}"));
+                }
+            }
+            if !offset.is_zero() {
+                terms.push(offset.to_string());
+            }
+            if terms.is_empty() {
+                "0".to_string()
+            } else {
+                terms.join("+")
+            }
+        }
+    };
+    raw.replace("+-", "-")
+}
+
+fn render_access(codelet: &Codelet, access: &Access) -> String {
+    format!(
+        "{}[{}]",
+        codelet.arrays[access.array.0].name,
+        render_index(access)
+    )
+}
+
+fn render_expr(codelet: &Codelet, e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => format!("{c}"),
+        Expr::Acc(a) => format!("acc{}", a.0),
+        Expr::Load(acc) => render_access(codelet, acc),
+        Expr::Un(op, x) => {
+            let inner = render_expr(codelet, x);
+            match op {
+                UnOp::Neg => format!("-({inner})"),
+                UnOp::Abs => format!("abs({inner})"),
+                UnOp::Sqrt => format!("sqrt({inner})"),
+                UnOp::Exp => format!("exp({inner})"),
+                UnOp::Recip => format!("1/({inner})"),
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            let (ls, rs) = (render_expr(codelet, l), render_expr(codelet, r));
+            match op {
+                BinOp::Add => format!("({ls} + {rs})"),
+                BinOp::Sub => format!("({ls} - {rs})"),
+                BinOp::Mul => format!("({ls} * {rs})"),
+                BinOp::Div => format!("({ls} / {rs})"),
+                BinOp::Max => format!("max({ls}, {rs})"),
+                BinOp::Min => format!("min({ls}, {rs})"),
+            }
+        }
+    }
+}
+
+/// Render the codelet as indented loop pseudo-code.
+pub fn render_codelet(codelet: &Codelet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "codelet {} ({}):",
+        codelet.qualified_name(),
+        codelet.precision_label()
+    );
+    for (d, dim) in codelet.nest.dims.iter().enumerate() {
+        let var = (b'i' + d as u8) as char;
+        let bound = match dim.trip {
+            Trip::Fixed(n) => n.to_string(),
+            Trip::Param(p) => format!("n{p}"),
+            Trip::Triangular => format!("{}+1", (b'i' + d as u8 - 1) as char),
+        };
+        let _ = writeln!(out, "{}for {var} in 0..{bound}:", "  ".repeat(d + 1));
+    }
+    let indent = "  ".repeat(codelet.nest.depth() + 1);
+    for stmt in &codelet.nest.body {
+        let line = match stmt {
+            Stmt::Store { access, value } => format!(
+                "{} = {}",
+                render_access(codelet, access),
+                render_expr(codelet, value)
+            ),
+            Stmt::Update { acc, op, value } => {
+                let sym = match op {
+                    BinOp::Add => "+=",
+                    BinOp::Sub => "-=",
+                    BinOp::Mul => "*=",
+                    BinOp::Div => "/=",
+                    BinOp::Max => "max=",
+                    BinOp::Min => "min=",
+                };
+                format!("acc{} {} {}", acc.0, sym, render_expr(codelet, value))
+            }
+            Stmt::SetAcc { acc, value } => {
+                format!("acc{} = {}", acc.0, render_expr(codelet, value))
+            }
+        };
+        let _ = writeln!(out, "{indent}{line}");
+    }
+    out
+}
+
+impl std::fmt::Display for Codelet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&render_codelet(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::access::AffineExpr;
+    use crate::builder::CodeletBuilder;
+    use crate::types::Precision;
+
+    #[test]
+    fn renders_saxpy() {
+        let c = CodeletBuilder::new("saxpy", "demo")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("x", &[1]) * 2.0 + b.load("y", &[1]))
+            .build();
+        let s = c.to_string();
+        assert!(s.contains("codelet demo/saxpy (DP):"), "{s}");
+        assert!(s.contains("for i in 0..n0:"), "{s}");
+        assert!(s.contains("y[i] = ((x[i] * 2) + y[i])"), "{s}");
+    }
+
+    #[test]
+    fn renders_reduction_and_recurrence() {
+        let c = CodeletBuilder::new("k", "demo")
+            .array("a", Precision::F32)
+            .param_loop("n")
+            .update_acc("s", crate::expr::BinOp::Add, |b| b.load("a", &[1]).abs())
+            .set_acc("t", |b| {
+                let prev = b.acc("t");
+                prev * 0.5
+            })
+            .build();
+        let s = c.to_string();
+        assert!(s.contains("acc0 += abs(a[i])"), "{s}");
+        assert!(s.contains("acc1 = (acc1 * 0.5)"), "{s}");
+    }
+
+    #[test]
+    fn renders_2d_lda_and_triangular() {
+        let c = CodeletBuilder::new("tri", "demo")
+            .array("a", Precision::F64)
+            .param_loop("n")
+            .tri_loop()
+            .update_acc("s", crate::expr::BinOp::Add, |b| {
+                b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::zero(),
+                )
+            })
+            .build();
+        let s = c.to_string();
+        assert!(s.contains("for j in 0..i+1:"), "{s}");
+        assert!(s.contains("a[LDA*i+j]"), "{s}");
+    }
+
+    #[test]
+    fn renders_random_access() {
+        let c = CodeletBuilder::new("hist", "demo")
+            .array("b", Precision::I32)
+            .param_loop("n")
+            .store_random("b", 64, |e| e.load_random("b", 64) + 1.0)
+            .build();
+        let s = c.to_string();
+        assert!(s.contains("b[rnd()] = (b[rnd()] + 1)"), "{s}");
+    }
+}

@@ -1,0 +1,666 @@
+//! The execution engine: replays a compiled kernel's memory accesses
+//! through the cache simulator and charges compute cycles from the port
+//! model.
+
+use fgbs_isa::{AccessIndex, Binding, CompiledKernel, Precision, Trip, VOp};
+
+use crate::arch::{Arch, LINE};
+use crate::cache::CacheSim;
+use crate::counters::HwCounters;
+use crate::timing::comp_bounds;
+
+/// The result of running one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Core cycles consumed.
+    pub cycles: f64,
+    /// Wall-clock seconds (cycles / frequency).
+    pub seconds: f64,
+    /// Hardware events of this invocation only.
+    pub counters: HwCounters,
+}
+
+/// A simulated machine: an architecture plus mutable cache state.
+///
+/// Cache contents persist across [`Machine::run`] calls; use
+/// [`Machine::flush_caches`] to model a cold start (e.g. a standalone
+/// microbenchmark's first invocation after loading its memory dump).
+#[derive(Debug, Clone)]
+pub struct Machine {
+    arch: Arch,
+    cache: CacheSim,
+    lifetime: HwCounters,
+}
+
+struct ResolvedAccess {
+    /// Byte address when all loop indices are zero.
+    base: u64,
+    /// Byte stride per loop dimension (outermost first).
+    dim_strides: Vec<i64>,
+    size: u64,
+    is_store: bool,
+    invariant: bool,
+    streaming: bool,
+    /// Random span in elements, if data-dependent.
+    random: Option<u64>,
+    elem_bytes: u64,
+}
+
+impl Machine {
+    /// A machine with cold caches.
+    pub fn new(arch: Arch) -> Machine {
+        let cache = CacheSim::new(&arch);
+        let levels = cache.levels();
+        Machine {
+            arch,
+            cache,
+            lifetime: HwCounters::new(levels),
+        }
+    }
+
+    /// The architecture descriptor.
+    pub fn arch(&self) -> &Arch {
+        &self.arch
+    }
+
+    /// Events accumulated since construction.
+    pub fn lifetime_counters(&self) -> &HwCounters {
+        &self.lifetime
+    }
+
+    /// Drop all cached lines (models a cold start / intervening work).
+    pub fn flush_caches(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Execute one invocation of `kernel` under `binding`.
+    pub fn run(&mut self, kernel: &CompiledKernel, binding: &Binding) -> Measurement {
+        let comp = comp_bounds(kernel, &self.arch).cycles();
+        let accesses = self.resolve(kernel, binding);
+        let (pen_stream, pen_rand) = self.penalties();
+
+        let stats_before = self.cache.stats();
+
+        let dims = kernel.ndims;
+        let trips: Vec<Option<u64>> = kernel
+            .dims
+            .iter()
+            .map(|t| match *t {
+                Trip::Fixed(n) => Some(n),
+                Trip::Param(p) => Some(binding.params[p]),
+                Trip::Triangular => None,
+            })
+            .collect();
+
+        let mut rng = binding.seed ^ 0x5851_f42d_4c95_7f2d;
+        let mut cycles = 0.0f64;
+        let mut iterations = 0u64;
+        let mut invariant_loads = 0u64;
+        let mut invariant_stores = 0u64;
+
+        // Iterative walk over the outer dimensions.
+        let mut idx = vec![0u64; dims.saturating_sub(1)];
+        let in_order = self.arch.in_order;
+        loop {
+            // Resolve the innermost trip for the current outer indices.
+            let inner_trip = match trips[dims - 1] {
+                Some(n) => n,
+                None => idx[dims - 2] + 1, // triangular
+            };
+
+            // Touch invariant accesses once per innermost entry.
+            for a in accesses.iter().filter(|a| a.invariant) {
+                let addr = addr_at(a, &idx, 0);
+                let lvl = self.cache.access(addr, a.size).level;
+                cycles += pen_rand[lvl];
+                if a.is_store {
+                    invariant_stores += 1;
+                } else {
+                    invariant_loads += 1;
+                }
+            }
+
+            // Start addresses and inner strides for the hot loop.
+            let mut cur: Vec<(u64, i64)> = accesses
+                .iter()
+                .filter(|a| !a.invariant)
+                .map(|a| {
+                    (
+                        addr_at(a, &idx, 0),
+                        *a.dim_strides.last().unwrap_or(&0),
+                    )
+                })
+                .collect();
+            let hot: Vec<&ResolvedAccess> =
+                accesses.iter().filter(|a| !a.invariant).collect();
+
+            for _ in 0..inner_trip {
+                let mut pen = 0.0f64;
+                for (j, a) in hot.iter().enumerate() {
+                    let addr = if let Some(span) = a.random {
+                        rng = rng
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        a.base + ((rng >> 33) % span.max(1)) * a.elem_bytes
+                    } else {
+                        let (addr, stride) = &mut cur[j];
+                        let here = *addr;
+                        *addr = addr.wrapping_add(*stride as u64);
+                        here
+                    };
+                    let lvl = self.cache.access(addr, a.size).level;
+                    pen += if a.streaming {
+                        pen_stream[lvl]
+                    } else {
+                        pen_rand[lvl]
+                    };
+                }
+                cycles += if in_order {
+                    comp + pen
+                } else {
+                    comp.max(pen)
+                };
+            }
+            iterations += inner_trip;
+
+            // Advance outer indices (odometer), skipping the innermost dim.
+            if dims <= 1 {
+                break;
+            }
+            let mut d = dims - 2;
+            loop {
+                idx[d] += 1;
+                let trip_d = match trips[d] {
+                    Some(n) => n,
+                    None => {
+                        // Triangular outer dim: bounded by its parent.
+                        idx[d - 1] + 1
+                    }
+                };
+                if idx[d] < trip_d {
+                    break;
+                }
+                idx[d] = 0;
+                if d == 0 {
+                    // Finished the outermost dimension.
+                    d = usize::MAX;
+                    break;
+                }
+                d -= 1;
+            }
+            if d == usize::MAX {
+                break;
+            }
+        }
+
+        // Build counters for this invocation.
+        let mut c = HwCounters::new(self.cache.levels());
+        c.cycles = cycles;
+        c.iterations = iterations as f64;
+        c.invocations = 1;
+        let it = iterations as f64;
+        c.instructions = kernel.insts_per_iter() * it;
+        for inst in &kernel.insts {
+            let elems = inst.weight * inst.lanes as f64 * it;
+            match inst.op {
+                VOp::FAdd | VOp::FSub | VOp::FMul | VOp::FMax | VOp::FCall | VOp::HReduce => {
+                    add_flops(&mut c, inst.prec, inst.lanes, elems)
+                }
+                VOp::FDiv | VOp::FSqrt => {
+                    add_flops(&mut c, inst.prec, inst.lanes, elems);
+                    c.fp_div += elems;
+                }
+                VOp::Load => c.loads += elems,
+                VOp::Store => c.stores += elems,
+                VOp::Branch => c.branches += inst.weight * it,
+                _ => {}
+            }
+        }
+        // Invariant touches are real loads/stores too.
+        c.loads += invariant_loads as f64;
+        c.stores += invariant_stores as f64;
+
+        let stats_after = self.cache.stats();
+        for (lvl, ((h0, m0), (h1, m1))) in
+            stats_before.iter().zip(&stats_after).enumerate()
+        {
+            c.cache_hits[lvl] = h1 - h0;
+            c.cache_misses[lvl] = m1 - m0;
+        }
+        let levels = self.cache.levels();
+        c.bytes_from_l2 = c.cache_misses[0] as f64 * LINE as f64;
+        if levels >= 2 {
+            c.bytes_from_l3 = c.cache_misses[1] as f64 * LINE as f64;
+        }
+        c.bytes_from_mem = c.cache_misses[levels - 1] as f64 * LINE as f64;
+
+        self.lifetime.add(&c);
+        Measurement {
+            cycles,
+            seconds: self.arch.seconds(cycles),
+            counters: c,
+        }
+    }
+
+    /// Resolve the kernel's symbolic accesses against a binding.
+    fn resolve(&self, kernel: &CompiledKernel, binding: &Binding) -> Vec<ResolvedAccess> {
+        kernel
+            .accesses
+            .iter()
+            .map(|a| {
+                let ab = &binding.arrays[a.array.0];
+                match &a.index {
+                    AccessIndex::Random { span } => ResolvedAccess {
+                        base: ab.base,
+                        dim_strides: vec![0; kernel.ndims],
+                        size: a.elem_bytes,
+                        is_store: a.is_store,
+                        invariant: false,
+                        streaming: false,
+                        random: Some((*span).min(ab.len)),
+                        elem_bytes: a.elem_bytes,
+                    },
+                    AccessIndex::Affine { strides, offset } => {
+                        let mut dim_strides = vec![0i64; kernel.ndims];
+                        for (d, s) in strides.iter().enumerate() {
+                            if d < kernel.ndims {
+                                dim_strides[d] = s.eval(ab.lda) * a.elem_bytes as i64;
+                            }
+                        }
+                        let inner = *dim_strides.last().unwrap_or(&0);
+                        ResolvedAccess {
+                            base: ab
+                                .base
+                                .wrapping_add((offset.eval(ab.lda) * a.elem_bytes as i64) as u64),
+                            dim_strides,
+                            size: a.elem_bytes,
+                            is_store: a.is_store,
+                            invariant: a.invariant,
+                            // Constant-stride streams are caught by the
+                            // hardware prefetcher; zero-stride non-invariant
+                            // accesses (can't happen) and random ones are not.
+                            streaming: inner != 0,
+                            random: None,
+                            elem_bytes: a.elem_bytes,
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Per-hit-level penalties in cycles for streaming (prefetched) and
+    /// latency-bound (pointer-chasing / random) accesses. Index = level
+    /// that satisfied the access; last index = DRAM.
+    fn penalties(&self) -> (Vec<f64>, Vec<f64>) {
+        let l1_lat = self.arch.caches[0].latency;
+        let n = self.arch.caches.len();
+        let mut stream = vec![0.0; n + 1];
+        let mut rand = vec![0.0; n + 1];
+        for lvl in 1..=n {
+            let (lat, bw) = if lvl < n {
+                (self.arch.caches[lvl].latency, self.arch.caches[lvl].bandwidth)
+            } else {
+                (self.arch.memory.latency, self.arch.memory.bandwidth)
+            };
+            let lat_pen = (lat - l1_lat).max(0.0);
+            let bw_cost = LINE as f64 / bw;
+            stream[lvl] = bw_cost.max(lat_pen * (1.0 - self.arch.prefetch_eff));
+            rand[lvl] = lat_pen / self.arch.mlp.max(1.0);
+        }
+        (stream, rand)
+    }
+}
+
+fn addr_at(a: &ResolvedAccess, outer_idx: &[u64], inner: u64) -> u64 {
+    let mut addr = a.base;
+    let n = a.dim_strides.len();
+    for (d, &s) in a.dim_strides.iter().enumerate() {
+        let i = if d + 1 == n {
+            inner
+        } else {
+            *outer_idx.get(d).unwrap_or(&0)
+        };
+        addr = addr.wrapping_add((i as i64 * s) as u64);
+    }
+    addr
+}
+
+fn add_flops(c: &mut HwCounters, prec: Precision, lanes: u8, elems: f64) {
+    match (prec, lanes > 1) {
+        (Precision::F32, false) => c.flops_sp_scalar += elems,
+        (Precision::F32, true) => c.flops_sp_vector += elems,
+        (Precision::F64, false) => c.flops_dp_scalar += elems,
+        (Precision::F64, true) => c.flops_dp_vector += elems,
+        _ => {} // integer ops are not FLOPs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_isa::{compile, BinOp, BindingBuilder, Codelet, CodeletBuilder, CompileMode};
+
+    fn copy_codelet() -> Codelet {
+        CodeletBuilder::new("copy", "t")
+            .array("src", Precision::F64)
+            .array("dst", Precision::F64)
+            .param_loop("n")
+            .store("dst", &[1], |b| b.load("src", &[1]))
+            .build()
+    }
+
+    fn run_on(arch: Arch, c: &Codelet, n: u64) -> (Measurement, Machine) {
+        let k = compile(c, &arch.target(), CompileMode::InApp);
+        let binding = BindingBuilder::new(0)
+            .vector(n, 8)
+            .vector(n, 8)
+            .param(n)
+            .build_for(c);
+        let mut m = Machine::new(arch);
+        let meas = m.run(&k, &binding);
+        (meas, m)
+    }
+
+    #[test]
+    fn runs_and_counts_iterations() {
+        let c = copy_codelet();
+        let (meas, _) = run_on(Arch::nehalem(), &c, 4096);
+        assert_eq!(meas.counters.iterations, 4096.0);
+        assert_eq!(meas.counters.invocations, 1);
+        assert!(meas.cycles > 0.0);
+        assert!(meas.seconds > 0.0);
+        // 4096 loads + 4096 stores at element granularity.
+        assert_eq!(meas.counters.loads, 4096.0);
+        assert_eq!(meas.counters.stores, 4096.0);
+    }
+
+    #[test]
+    fn second_invocation_is_warm_and_faster() {
+        let c = copy_codelet();
+        let arch = Arch::nehalem();
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        let n = 2048u64; // 16 KB per array: fits L1+L2 easily
+        let binding = BindingBuilder::new(0)
+            .vector(n, 8)
+            .vector(n, 8)
+            .param(n)
+            .build_for(&c);
+        let mut m = Machine::new(arch);
+        let cold = m.run(&k, &binding);
+        let warm = m.run(&k, &binding);
+        assert!(
+            warm.cycles < cold.cycles,
+            "warm {} should beat cold {}",
+            warm.cycles,
+            cold.cycles
+        );
+        // And flushing restores cold behaviour.
+        m.flush_caches();
+        let recold = m.run(&k, &binding);
+        assert!(recold.cycles > warm.cycles);
+    }
+
+    #[test]
+    fn dataset_larger_than_cache_is_slower_per_element() {
+        let c = copy_codelet();
+        let arch = Arch::atom(); // 512 KB L2
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        let small = 4096u64; // 64 KB total: fits L2
+        let big = 1 << 20; // 16 MB total: DRAM-bound
+        let mut m1 = Machine::new(arch.clone());
+        let b1 = BindingBuilder::new(0)
+            .vector(small, 8)
+            .vector(small, 8)
+            .param(small)
+            .build_for(&c);
+        m1.run(&k, &b1); // warm
+        let warm_small = m1.run(&k, &b1).cycles / small as f64;
+        let mut m2 = Machine::new(arch);
+        let b2 = BindingBuilder::new(0)
+            .vector(big, 8)
+            .vector(big, 8)
+            .param(big)
+            .build_for(&c);
+        m2.run(&k, &b2);
+        let warm_big = m2.run(&k, &b2).cycles / big as f64;
+        assert!(
+            warm_big > 2.0 * warm_small,
+            "DRAM-bound copy must be slower per element: {} vs {}",
+            warm_big,
+            warm_small
+        );
+    }
+
+    #[test]
+    fn memory_bound_codelet_prefers_big_cache() {
+        // Working set ~6 MB: fits Nehalem L3 (12M), misses Core 2 L2 (3M).
+        let c = copy_codelet();
+        let n = 384 * 1024u64; // 2 * 3MB arrays
+        let per_cycle = |arch: Arch| {
+            let k = compile(&c, &arch.target(), CompileMode::InApp);
+            let b = BindingBuilder::new(0)
+                .vector(n, 8)
+                .vector(n, 8)
+                .param(n)
+                .build_for(&c);
+            let mut m = Machine::new(arch);
+            m.run(&k, &b);
+            m.run(&k, &b).cycles
+        };
+        let nhm = per_cycle(Arch::nehalem());
+        let c2 = per_cycle(Arch::core2());
+        // Per-cycle Nehalem must be clearly better; Core 2's higher clock
+        // (2.93 vs 1.86) must NOT be enough to win on wall-clock.
+        let nhm_s = Arch::nehalem().seconds(nhm);
+        let c2_s = Arch::core2().seconds(c2);
+        assert!(
+            c2_s > nhm_s,
+            "memory-bound kernel should be slower on Core 2: {} vs {}",
+            c2_s,
+            nhm_s
+        );
+    }
+
+    #[test]
+    fn compute_bound_codelet_prefers_high_frequency() {
+        // Division-heavy kernel on a tiny dataset: Core 2 wins on clock.
+        let c = CodeletBuilder::new("vdiv", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("y", &[1]) / b.load("x", &[1]))
+            .build();
+        let n = 1024u64;
+        let secs = |arch: Arch| {
+            let k = compile(&c, &arch.target(), CompileMode::InApp);
+            let b = BindingBuilder::new(0)
+                .vector(n, 8)
+                .vector(n, 8)
+                .param(n)
+                .build_for(&c);
+            let mut m = Machine::new(arch);
+            m.run(&k, &b);
+            m.run(&k, &b).seconds
+        };
+        let nhm = secs(Arch::nehalem());
+        let c2 = secs(Arch::core2());
+        let atom = secs(Arch::atom());
+        assert!(c2 < nhm, "compute-bound: Core 2 {} should beat Nehalem {}", c2, nhm);
+        assert!(atom > nhm, "Atom must be slowest: {} vs {}", atom, nhm);
+    }
+
+    #[test]
+    fn counters_track_flops_and_hierarchy() {
+        let c = CodeletBuilder::new("tri", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("x", &[1]) * 2.0 + b.load("y", &[1]))
+            .build();
+        let (meas, m) = run_on(Arch::nehalem(), &c, 1 << 14);
+        let ctr = &meas.counters;
+        // mul + add per element.
+        assert!((ctr.flops() - 2.0 * (1 << 14) as f64).abs() < 1.0);
+        assert!(ctr.vector_flop_ratio() > 0.99);
+        let total: u64 = ctr.cache_hits.iter().sum::<u64>() + ctr.cache_misses[0];
+        assert!(total > 0);
+        assert_eq!(m.lifetime_counters().invocations, 1);
+        assert!(ctr.bytes_from_mem > 0.0);
+    }
+
+    #[test]
+    fn triangular_nest_executes_right_iteration_count() {
+        let c = CodeletBuilder::new("tri2", "t")
+            .array("a", Precision::F64)
+            .param_loop("n")
+            .tri_loop()
+            .update_acc("s", BinOp::Add, |b| b.load("a", &[0, 1]))
+            .build();
+        let arch = Arch::nehalem();
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        let b = BindingBuilder::new(0).vector(128, 8).param(128).build_for(&c);
+        let mut m = Machine::new(arch);
+        let meas = m.run(&k, &b);
+        assert_eq!(meas.counters.iterations, (128.0 * 129.0) / 2.0);
+        assert_eq!(meas.counters.iterations, b.iterations(&c) as f64);
+    }
+
+    #[test]
+    fn random_access_is_slower_than_streaming() {
+        let n = 1 << 18; // 2 MB table, exceeds L2 on Nehalem
+        let seq = CodeletBuilder::new("seq", "t")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("x", &[1]))
+            .build();
+        let rnd = CodeletBuilder::new("rnd", "t")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load_random("x", n))
+            .build();
+        let arch = Arch::nehalem();
+        let cyc = |c: &Codelet| {
+            let k = compile(c, &arch.target(), CompileMode::InApp);
+            let b = BindingBuilder::new(0).vector(n, 8).param(n).build_for(c);
+            let mut m = Machine::new(arch.clone());
+            m.run(&k, &b).cycles
+        };
+        let s = cyc(&seq);
+        let r = cyc(&rnd);
+        assert!(r > 1.5 * s, "random {} vs streaming {}", r, s);
+    }
+
+    #[test]
+    fn identical_runs_are_deterministic() {
+        let c = copy_codelet();
+        let (a, _) = run_on(Arch::sandy_bridge(), &c, 10_000);
+        let (b, _) = run_on(Arch::sandy_bridge(), &c, 10_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.counters, b.counters);
+    }
+}
+
+#[cfg(test)]
+mod combining_tests {
+    use super::*;
+    use fgbs_isa::{compile, BindingBuilder, CodeletBuilder, CompileMode, Precision};
+
+    /// A DRAM-bound copy with substantial compute: out-of-order cores
+    /// overlap the two (max), in-order cores pay both (sum).
+    #[test]
+    fn in_order_pays_compute_plus_memory() {
+        let c = CodeletBuilder::new("mix", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| {
+                let v = b.load("x", &[1]);
+                v.clone() * 1.1 + v * 0.9
+            })
+            .build();
+        let n = 1 << 11; // 2 x 16 KB: fits the scaled Atom L2 once warm
+        let run = |arch: Arch| {
+            let k = compile(&c, &arch.target(), CompileMode::InApp);
+            let b = BindingBuilder::new(0)
+                .vector(n, 8)
+                .vector(n, 8)
+                .param(n)
+                .build_for(&c);
+            let mut m = Machine::new(arch);
+            m.run(&k, &b).cycles / n as f64
+        };
+        // On the scaled Atom both terms contribute; disabling the memory
+        // system's cost (perfectly warm) must save in-order cycles.
+        let atom = Arch::atom().scaled(8);
+        let cold = run(atom.clone());
+        let warm = {
+            let k = compile(&c, &atom.target(), CompileMode::InApp);
+            let b = BindingBuilder::new(0)
+                .vector(n, 8)
+                .vector(n, 8)
+                .param(n)
+                .build_for(&c);
+            let mut m = Machine::new(atom);
+            m.run(&k, &b);
+            m.run(&k, &b).cycles / n as f64
+        };
+        assert!(cold > warm, "cold {cold} vs warm {warm}");
+    }
+
+    #[test]
+    fn invariant_access_touched_once_per_inner_entry() {
+        // y[i][j] = s[i] * x[j]: s is invariant along j, touched once per
+        // row entry — loads counter shows iters + rows, not 2*iters.
+        let c = CodeletBuilder::new("outer", "t")
+            .array("s", Precision::F64)
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .fixed_loop(16)
+            .param_loop("n")
+            .store_at(
+                "y",
+                vec![fgbs_isa::AffineExpr::lda(1), fgbs_isa::AffineExpr::lit(1)],
+                fgbs_isa::AffineExpr::zero(),
+                |b| b.load("s", &[1, 0]) * b.load("x", &[0, 1]),
+            )
+            .build();
+        let arch = Arch::nehalem();
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        let b = BindingBuilder::new(0)
+            .vector(16, 8)
+            .vector(64, 8)
+            .matrix(16 * 64, 8, 64)
+            .param(64)
+            .build_for(&c);
+        let mut m = Machine::new(arch);
+        let meas = m.run(&k, &b);
+        let iters = 16.0 * 64.0;
+        assert_eq!(meas.counters.iterations, iters);
+        // x loaded per iteration, s once per row.
+        assert!((meas.counters.loads - (iters + 16.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_beats_pointer_chasing_at_equal_footprint() {
+        let arch = Arch::nehalem().scaled(8);
+        let n = 1 << 15; // 256 KB: beyond the scaled L2
+        let stream = CodeletBuilder::new("stream", "t")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", fgbs_isa::BinOp::Add, |b| b.load("x", &[1]))
+            .build();
+        let random = CodeletBuilder::new("random", "t")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", fgbs_isa::BinOp::Add, |b| b.load_random("x", 1 << 15))
+            .build();
+        let cyc = |c: &fgbs_isa::Codelet| {
+            let k = compile(c, &arch.target(), CompileMode::InApp);
+            let b = BindingBuilder::new(0).vector(n, 8).param(n).build_for(c);
+            let mut m = Machine::new(arch.clone());
+            m.run(&k, &b).cycles
+        };
+        assert!(cyc(&random) > 1.3 * cyc(&stream));
+    }
+}

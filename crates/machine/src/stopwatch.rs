@@ -1,0 +1,106 @@
+//! The measurement layer: what a profiling probe *observes*, as opposed to
+//! what the machine *does*.
+//!
+//! Real measurements carry instrumentation overhead (the Likwid probe pair
+//! around each invocation) and run-to-run noise. Both matter to the paper:
+//! short-lived codelets are mispredicted because probe overhead is a larger
+//! share of their time (§4.4), and the median-of-invocations rule of Step D
+//! exists to reject outliers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arch::Arch;
+
+/// Converts exact simulated cycles into noisy measured cycles.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    rng: StdRng,
+    /// Relative amplitude of multiplicative noise (e.g. 0.005 = ±0.5 %).
+    pub noise: f64,
+    /// Fixed probe cost added to every measured invocation, in cycles.
+    pub probe_overhead: f64,
+}
+
+impl Stopwatch {
+    /// A stopwatch matching `arch`'s probe overhead with the default
+    /// ±0.5 % noise.
+    pub fn for_arch(arch: &Arch, seed: u64) -> Stopwatch {
+        Stopwatch {
+            rng: StdRng::seed_from_u64(seed ^ 0x5743_0000),
+            noise: 0.005,
+            probe_overhead: arch.probe_overhead,
+        }
+    }
+
+    /// A noiseless, overhead-free stopwatch (for tests and ablations).
+    pub fn exact() -> Stopwatch {
+        Stopwatch {
+            rng: StdRng::seed_from_u64(0),
+            noise: 0.0,
+            probe_overhead: 0.0,
+        }
+    }
+
+    /// Observe one invocation that truly took `cycles`.
+    pub fn observe(&mut self, cycles: f64) -> f64 {
+        let jitter = if self.noise > 0.0 {
+            // One-sided-ish jitter: interference only ever slows a run
+            // down; use [0, 2*noise) skewed low.
+            let u: f64 = self.rng.gen();
+            1.0 + self.noise * u * u * 2.0
+        } else {
+            1.0
+        };
+        (cycles + self.probe_overhead) * jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_is_identity() {
+        let mut s = Stopwatch::exact();
+        assert_eq!(s.observe(1234.5), 1234.5);
+    }
+
+    #[test]
+    fn overhead_hurts_short_runs_relatively_more() {
+        let arch = Arch::nehalem();
+        let mut s = Stopwatch::for_arch(&arch, 1);
+        s.noise = 0.0;
+        let short = s.observe(10_000.0) / 10_000.0;
+        let long = s.observe(10_000_000.0) / 10_000_000.0;
+        assert!(short > long);
+        assert!(short > 1.1); // 2200/10000 = 22% overhead
+        assert!(long < 1.001);
+    }
+
+    #[test]
+    fn noise_is_bounded_and_slowing() {
+        let arch = Arch::nehalem();
+        let mut s = Stopwatch::for_arch(&arch, 7);
+        s.probe_overhead = 0.0;
+        for _ in 0..1000 {
+            let v = s.observe(1e6);
+            assert!(v >= 1e6);
+            assert!(v <= 1e6 * (1.0 + 2.0 * s.noise) + 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let arch = Arch::nehalem();
+        let a: Vec<f64> = {
+            let mut s = Stopwatch::for_arch(&arch, 42);
+            (0..10).map(|_| s.observe(1e6)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = Stopwatch::for_arch(&arch, 42);
+            (0..10).map(|_| s.observe(1e6)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,210 @@
+//! Compute-cycle bounds for a compiled kernel on an architecture.
+//!
+//! These bounds are shared by two consumers:
+//!
+//! * the executor, which combines them with simulated memory stalls; and
+//! * the static analyzer (MAQAO substitute), whose "estimated IPC assuming
+//!   L1 hits" and per-port pressure features are exactly these numbers.
+
+use fgbs_isa::CompiledKernel;
+
+use crate::arch::{Arch, N_PORTS};
+
+/// Per-iteration compute bounds of a kernel on an architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompBounds {
+    /// Front-end bound: micro-ops / issue width.
+    pub front: f64,
+    /// Per-port throughput load (cycles per iteration on each port).
+    pub port_load: [f64; N_PORTS],
+    /// The binding port bound (max over ports).
+    pub port: f64,
+    /// Loop-carried dependence chain latency (0 when fully parallel).
+    pub chain: f64,
+    /// Exposed-latency bound for in-order pipelines (0 for OOO cores).
+    pub inorder: f64,
+    /// Micro-ops per iteration.
+    pub uops: f64,
+    /// Total latency of all operations (used for the in-order bound and
+    /// the data-dependency-stall feature).
+    pub latency_sum: f64,
+}
+
+impl CompBounds {
+    /// The compute-cycle bound per element iteration: the max of all
+    /// component bounds.
+    pub fn cycles(&self) -> f64 {
+        self.front.max(self.port).max(self.chain).max(self.inorder)
+    }
+
+    /// Estimated instructions-per-cycle assuming all loads hit L1 — the
+    /// MAQAO metric of the same name.
+    pub fn est_ipc(&self, insts_per_iter: f64) -> f64 {
+        let c = self.cycles();
+        if c == 0.0 {
+            0.0
+        } else {
+            insts_per_iter / c
+        }
+    }
+}
+
+/// Compute the per-iteration compute bounds of `kernel` on `arch`.
+///
+/// ```
+/// use fgbs_isa::{compile, BinOp, CodeletBuilder, CompileMode, Precision};
+/// use fgbs_machine::{comp_bounds, Arch};
+///
+/// let dot = CodeletBuilder::new("dot", "demo")
+///     .array("x", Precision::F64)
+///     .array("y", Precision::F64)
+///     .param_loop("n")
+///     .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+///     .build();
+/// let arch = Arch::nehalem();
+/// let kernel = compile(&dot, &arch.target(), CompileMode::InApp);
+/// let bounds = comp_bounds(&kernel, &arch);
+/// assert!(bounds.cycles() > 0.0);
+/// assert!(bounds.est_ipc(kernel.insts_per_iter()) > 0.0);
+/// ```
+pub fn comp_bounds(kernel: &CompiledKernel, arch: &Arch) -> CompBounds {
+    let mut port_load = [0.0f64; N_PORTS];
+    let mut uops = 0.0;
+    let mut latency_sum = 0.0;
+
+    for inst in &kernel.insts {
+        let cost = arch.cost(inst.op, inst.prec, inst.lanes);
+        uops += cost.uops * inst.weight;
+        latency_sum += cost.latency * inst.weight;
+        // Distribute the instruction's throughput demand evenly over its
+        // candidate ports (an optimistic but standard static model).
+        let n_ports = cost.ports.count_ones() as f64;
+        let share = cost.rcp_tput * inst.weight / n_ports;
+        for (p, load) in port_load.iter_mut().enumerate() {
+            if cost.ports & (1 << p) != 0 {
+                *load += share;
+            }
+        }
+    }
+
+    let front = uops / arch.issue_width;
+    let port = port_load.iter().cloned().fold(0.0, f64::max);
+
+    let chain: f64 = kernel
+        .carried_chain
+        .iter()
+        .map(|&(op, prec)| arch.cost(op, prec, 1).latency)
+        .sum();
+
+    let inorder = if arch.in_order {
+        latency_sum * arch.inorder_expose
+    } else {
+        0.0
+    };
+
+    CompBounds {
+        front,
+        port_load,
+        port,
+        chain,
+        inorder,
+        uops,
+        latency_sum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_isa::{compile, BinOp, CodeletBuilder, CompileMode, Precision};
+
+    fn dot_kernel(arch: &Arch) -> CompiledKernel {
+        let c = CodeletBuilder::new("dot", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+            .build();
+        compile(&c, &arch.target(), CompileMode::InApp)
+    }
+
+    fn div_kernel(arch: &Arch) -> CompiledKernel {
+        let c = CodeletBuilder::new("vdiv", "t")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .store("y", &[1], |b| b.load("y", &[1]) / b.load("x", &[1]))
+            .build();
+        compile(&c, &arch.target(), CompileMode::InApp)
+    }
+
+    #[test]
+    fn bounds_are_positive_and_consistent() {
+        let arch = Arch::nehalem();
+        let k = dot_kernel(&arch);
+        let b = comp_bounds(&k, &arch);
+        assert!(b.cycles() > 0.0);
+        assert!(b.cycles() >= b.front);
+        assert!(b.cycles() >= b.port);
+        assert!(b.est_ipc(k.insts_per_iter()) > 0.0);
+    }
+
+    #[test]
+    fn divide_bound_dominates() {
+        let arch = Arch::nehalem();
+        let dot = comp_bounds(&dot_kernel(&arch), &arch);
+        let div = comp_bounds(&div_kernel(&arch), &arch);
+        assert!(
+            div.cycles() > 3.0 * dot.cycles(),
+            "unpipelined divide must dominate: {} vs {}",
+            div.cycles(),
+            dot.cycles()
+        );
+    }
+
+    #[test]
+    fn atom_slower_than_nehalem_per_cycle() {
+        let nhm = Arch::nehalem();
+        let atom = Arch::atom();
+        let b_n = comp_bounds(&dot_kernel(&nhm), &nhm);
+        let b_a = comp_bounds(&dot_kernel(&atom), &atom);
+        assert!(b_a.cycles() > b_n.cycles());
+    }
+
+    #[test]
+    fn recurrence_has_chain_bound() {
+        let arch = Arch::nehalem();
+        let c = CodeletBuilder::new("rec", "t")
+            .array("u", Precision::F64)
+            .array("r", Precision::F64)
+            .param_loop("n")
+            .store("u", &[1], |b| {
+                let prev = b.load_off("u", &[1], -1);
+                b.load("r", &[1]) - prev * 0.5
+            })
+            .build();
+        let k = compile(&c, &arch.target(), CompileMode::InApp);
+        let b = comp_bounds(&k, &arch);
+        assert!(b.chain > 0.0);
+        assert!(b.cycles() >= b.chain);
+    }
+
+    #[test]
+    fn inorder_bound_only_on_atom() {
+        let atom = Arch::atom();
+        let nhm = Arch::nehalem();
+        assert!(comp_bounds(&dot_kernel(&atom), &atom).inorder > 0.0);
+        assert_eq!(comp_bounds(&dot_kernel(&nhm), &nhm).inorder, 0.0);
+    }
+
+    #[test]
+    fn port_load_spread_over_candidates() {
+        let arch = Arch::nehalem();
+        let k = dot_kernel(&arch);
+        let b = comp_bounds(&k, &arch);
+        // Loads go to P2 on Nehalem; FMul to P0; FAdd to P1.
+        assert!(b.port_load[2] > 0.0);
+        assert!(b.port_load[0] > 0.0);
+        assert!(b.port_load[1] > 0.0);
+    }
+}

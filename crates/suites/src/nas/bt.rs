@@ -1,0 +1,161 @@
+//! BT — block tri-diagonal solver.
+//!
+//! 14 extractable codelets. `rhs.f:266-311` is the memory-bound stencil of
+//! the paper's cluster-B case study; `x_solve` is compilation-fragile
+//! (vectorized in-app, scalar when extracted), one of the ill-behaved
+//! codelets. The stream codelets share the solver's state vectors, as the
+//! original program does — keeping the application footprint inside the
+//! (scaled) reference L3 so repeated invocations run warm.
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{AffineExpr, Fragility, Precision};
+
+use super::{axpy, fill, flux, norm2, stencil5, vmul, Alloc};
+use crate::common::Class;
+use fgbs_isa::CodeletBuilder;
+
+/// Build BT.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("bt");
+    let ps = class.plane_side();
+    let md = class.med_vec();
+    let sm = class.small_vec();
+
+    // Shared state vectors (md f64 elements each).
+    let v_u = al.reserve(md, 8);
+    let v_rhs = al.reserve(md, 8);
+    let v_us = al.reserve(md, 8);
+    let v_qs = al.reserve(md, 8);
+    let v_sq = al.reserve(md, 8);
+    let v_lhs = al.reserve(md, 8);
+    let mdv = |base: u64| (base, md, md as i64);
+
+    // 1. The cluster-B stencil (private planes).
+    let c = stencil5("bt", "rhs.f:266-311", "rhs.f", 266, 311);
+    let planes = (ps * ps, ps as i64);
+    let b = al.bind(&c, &[planes, planes], &[ps - 2, ps - 2]);
+    let i_stencil = ab.codelet(c, vec![b]);
+
+    // 2-4. Directional flux differences over the shared state.
+    let mut i_flux = [0usize; 3];
+    for (d, (name, c1, c2, out)) in [
+        ("rhs.f:22-57x", 0.35, 1.1, v_rhs),
+        ("rhs.f:62-97y", 0.30, 1.2, v_us),
+        ("rhs.f:102-137z", 0.25, 1.3, v_qs),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let c = flux("bt", name, *c1, *c2);
+        let b = al.bind_shared(&c, &[mdv(*out), mdv(v_u)], &[md - 2]);
+        i_flux[d] = ab.codelet(c, vec![b]);
+    }
+
+    // 5. rhs initialisation.
+    let c = fill("bt", "rhs.f:13-18", 0.0);
+    let b = al.bind_shared(&c, &[mdv(v_rhs)], &[md]);
+    let i_init = ab.codelet(c, vec![b]);
+
+    // 6-8. Directional block solvers: divide-heavy streams. x_solve is
+    // fragile: the extracted wrapper loses the alignment proof and
+    // compiles scalar.
+    let solver = |name: &str, fragility: Fragility| {
+        CodeletBuilder::new(name, "bt")
+            .pattern("DP: block solve with divide")
+            .fragility(fragility)
+            .array("lhs", Precision::F64)
+            .array("a", Precision::F64)
+            .array("d", Precision::F64)
+            .param_loop("n")
+            .store("lhs", &[1], |bd| {
+                (bd.load("a", &[1]) - bd.load("lhs", &[1]) * 0.4) / bd.load("d", &[1])
+            })
+            .build()
+    };
+    let c = solver("x_solve.f:141-180", Fragility::ScalarWhenStandalone);
+    let b = al.bind_shared(&c, &[mdv(v_lhs), mdv(v_u), mdv(v_sq)], &[md]);
+    let i_xsolve = ab.codelet(c, vec![b]);
+    let c = solver("y_solve.f:141-180", Fragility::Robust);
+    let b = al.bind_shared(&c, &[mdv(v_lhs), mdv(v_rhs), mdv(v_sq)], &[md]);
+    let i_ysolve = ab.codelet(c, vec![b]);
+    let c = solver("z_solve.f:141-180", Fragility::Robust);
+    let b = al.bind_shared(&c, &[mdv(v_lhs), mdv(v_us), mdv(v_sq)], &[md]);
+    let i_zsolve = ab.codelet(c, vec![b]);
+
+    // 9. add: u += rhs.
+    let c = axpy("bt", "add.f:16-30", 1.0);
+    let b = al.bind_shared(&c, &[mdv(v_rhs), mdv(v_u)], &[md]);
+    let i_add = ab.codelet(c, vec![b]);
+
+    // 10. exact_rhs assembly.
+    let c = vmul("bt", "exact_rhs.f:20-40");
+    let b = al.bind_shared(&c, &[mdv(v_u), mdv(v_us), mdv(v_qs)], &[md]);
+    let i_exact = ab.codelet(c, vec![b]);
+
+    // 11. error norm.
+    let c = norm2("bt", "error.f:10-25");
+    let b = al.bind_shared(&c, &[mdv(v_u)], &[md]);
+    let i_err = ab.codelet(c, vec![b]);
+
+    // 12. field initialisation.
+    let c = fill("bt", "initialize.f:28-46", 1.0);
+    let b = al.bind_shared(&c, &[mdv(v_u)], &[md]);
+    let i_field = ab.codelet(c, vec![b]);
+
+    // 13. lhs initialisation (small private flux-shaped loop).
+    let c = flux("bt", "lhsinit.f:12-28", 0.2, 0.9);
+    let b = al.bind_vecs(&c, sm, &[sm - 2]);
+    let i_lhs = ab.codelet(c, vec![b]);
+
+    // 14. binvcrhs: small dense block matvec (compute-leaning).
+    let c = CodeletBuilder::new("solve_subs.f:118-160", "bt")
+        .pattern("DP: small dense block mat x vec")
+        .array("blk", Precision::F64)
+        .array("v", Precision::F64)
+        .param_loop("i")
+        .param_loop("j")
+        .update_acc("s", fgbs_isa::BinOp::Add, |b| {
+            let row = b.load_expr(
+                "blk",
+                vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                AffineExpr::zero(),
+            );
+            row * b.load("v", &[0, 1])
+        })
+        .build();
+    let side = class.mat_side() * 2;
+    let b = al.bind(
+        &c,
+        &[(side * side, side as i64), (side, side as i64)],
+        &[side, side],
+    );
+    let i_binv = ab.codelet(c, vec![b]);
+
+    // Residue CF cannot outline (~8 % of time).
+    let mut cc = flux("bt", "adi-glue", 0.1, 1.0);
+    cc.extractable = false;
+    let b = al.bind_shared(&cc, &[mdv(v_sq), mdv(v_u)], &[md - 2]);
+    let i_hidden = ab.codelet(cc, vec![b]);
+
+    // One time step: rhs assembly, three sweeps, solvers, update.
+    ab.invoke(i_field, 0, 2 * rs)
+        .invoke(i_init, 0, 4 * rs)
+        .invoke(i_flux[0], 0, 4 * rs)
+        .invoke(i_flux[1], 0, 4 * rs)
+        .invoke(i_flux[2], 0, 4 * rs)
+        .invoke(i_stencil, 0, 4 * rs)
+        .invoke(i_exact, 0, 2 * rs)
+        .invoke(i_xsolve, 0, 6 * rs)
+        .invoke(i_ysolve, 0, 6 * rs)
+        .invoke(i_zsolve, 0, 6 * rs)
+        .invoke(i_binv, 0, 6 * rs)
+        .invoke(i_lhs, 0, 8 * rs)
+        .invoke(i_add, 0, 4 * rs)
+        .invoke(i_err, 0, 2 * rs)
+        .invoke(i_hidden, 0, 2 * rs)
+        .rounds(class.rounds());
+
+    ab.build()
+}

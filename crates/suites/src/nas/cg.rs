@@ -1,0 +1,109 @@
+//! CG — conjugate gradient with a sparse, irregularly-indexed matvec.
+//!
+//! 6 extractable codelets. `cg.f:556-564` — the sparse matrix × vector
+//! product — dominates CG's execution time. Its working set (~56 KB,
+//! dominated by the randomly-indexed vector `p`) is larger than the
+//! scaled reference Nehalem's 32 KB L2 (so in-app and standalone runs
+//! both serve `p` from L3, and the unpipelined divide in the body lets
+//! the out-of-order core hide that latency entirely: the codelet is
+//! *well-behaved on the reference*) but smaller than Atom's 64 KB L2.
+//! On Atom the standalone microbenchmark keeps `p` warm across
+//! invocations, while in-app invocations are interleaved with the
+//! vector-update phase, whose shared state streams ~200 KB through
+//! Atom's L2 and evicts `p` — the paper's CG anomaly: "the
+//! microbenchmark is not preserving the cache state", observed only on
+//! Atom, where the in-order pipeline exposes every miss.
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{BinOp, Precision};
+
+use super::{axpy, fill, norm2, Alloc};
+use crate::common::Class;
+use fgbs_isa::CodeletBuilder;
+
+/// Build CG.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let mut ab = ApplicationBuilder::new("cg");
+    let rows = class.cg_rows();
+    let span = class.cg_span();
+    let big = class.cg_vec();
+
+    // Shared vectors of the CG iteration (the in-app cache evictors).
+    let v_x = al.reserve(big, 8);
+    let v_y = al.reserve(big, 8);
+    let v_z = al.reserve(big, 8);
+    let bigv = |base: u64| (base, big, big as i64);
+
+    // 1. The dominant sparse matvec: a few passes over a compact row
+    //    stream with a gather from p and an unpipelined divide. The first
+    //    pass touches p cold; later passes run warm — so per-invocation
+    //    cost is sensitive to whether p survived since the last
+    //    invocation.
+    let passes = 3u64;
+    let c = CodeletBuilder::new("cg.f:556-564", "cg")
+        .pattern("DP: sparse matrix x vector product (gather)")
+        .array("a", Precision::F64)
+        .array("p", Precision::F64)
+        .param_loop("pass")
+        .param_loop("row")
+        .update_acc("s", BinOp::Add, move |b| {
+            let aij = b.load("a", &[0, 1]);
+            let pj = b.load_random("p", span);
+            let aij2 = b.load("a", &[0, 1]);
+            aij * pj / (aij2 + 3.0)
+        })
+        .build();
+    let b = al.bind(
+        &c,
+        &[(rows, rows as i64), (span, span as i64)],
+        &[passes, rows],
+    );
+    let i_matvec = ab.codelet(c, vec![b]);
+
+    // 2-5. The vector phase over the shared state.
+    let c = axpy("cg", "cg.f:598-602", 0.8);
+    let b = al.bind_shared(&c, &[bigv(v_x), bigv(v_y)], &[big]);
+    let i_axpy_z = ab.codelet(c, vec![b]);
+
+    let c = axpy("cg", "cg.f:621-625", -0.6);
+    let b = al.bind_shared(&c, &[bigv(v_y), bigv(v_z)], &[big]);
+    let i_axpy_r = ab.codelet(c, vec![b]);
+
+    let c = norm2("cg", "cg.f:638-641");
+    let b = al.bind_shared(&c, &[bigv(v_z)], &[big]);
+    let i_rho = ab.codelet(c, vec![b]);
+
+    let c = CodeletBuilder::new("cg.f:650-654", "cg")
+        .pattern("DP: dot product")
+        .array("p", Precision::F64)
+        .array("q", Precision::F64)
+        .param_loop("n")
+        .update_acc("d", BinOp::Add, |b| b.load("p", &[1]) * b.load("q", &[1]))
+        .build();
+    let b = al.bind_shared(&c, &[bigv(v_x), bigv(v_z)], &[big]);
+    let i_dot = ab.codelet(c, vec![b]);
+
+    // 6. p update.
+    let c = axpy("cg", "cg.f:663-667", 0.9);
+    let b = al.bind_shared(&c, &[bigv(v_z), bigv(v_x)], &[big]);
+    let i_scale = ab.codelet(c, vec![b]);
+
+    // Residue.
+    let mut c = fill("cg", "makea-glue", 0.0);
+    c.extractable = false;
+    let b = al.bind_shared(&c, &[bigv(v_y)], &[big]);
+    let i_hidden = ab.codelet(c, vec![b]);
+
+    // One CG iteration: matvec, then the vector phase (the evictors).
+    ab.invoke(i_matvec, 0, 1)
+        .invoke(i_dot, 0, 1)
+        .invoke(i_axpy_z, 0, 1)
+        .invoke(i_axpy_r, 0, 1)
+        .invoke(i_rho, 0, 1)
+        .invoke(i_scale, 0, 1)
+        .invoke(i_hidden, 0, 1)
+        .rounds(class.rounds() * 6);
+
+    ab.build()
+}

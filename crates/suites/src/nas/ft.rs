@@ -1,0 +1,136 @@
+//! FT — 3-D fast Fourier transform.
+//!
+//! 8 extractable codelets. `appft.f:45-47` is the second cluster-A twin
+//! (compute-bound divide/exponential); the butterflies are non-unit-stride
+//! scalar kernels; `fftz2` runs with two different problem sizes
+//! (context-varying, hence ill-behaved under extraction).
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{AffineExpr, Precision};
+
+use super::{compute_cube, norm2, vmul, Alloc};
+use crate::common::Class;
+use fgbs_isa::CodeletBuilder;
+
+fn butterfly(name: &str, stride: i64, off: i64) -> fgbs_isa::Codelet {
+    CodeletBuilder::new(name, "ft")
+        .pattern("MP: FFT butterfly (non-unit stride)")
+        .array("d", Precision::F32)
+        .array("w", Precision::F64)
+        .param_loop("n")
+        .store("d", &[stride], move |b| {
+            b.load("d", &[stride]) * 0.8 - b.load("w", &[stride]) * 0.2
+        })
+        .store_at(
+            "d",
+            vec![AffineExpr::lit(stride)],
+            AffineExpr::lit(off),
+            move |b| {
+                let lo = b.load_off("d", &[stride], off);
+                let tw = b.load_off("w", &[stride], off);
+                lo * 0.8 + tw * 0.2
+            },
+        )
+        .build()
+}
+
+/// Build FT.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("ft");
+    let cs = class.cube_side();
+    let md = class.med_vec();
+    let sm = class.small_vec();
+
+    // 1. The cluster-A compute cube twin.
+    let c = compute_cube("ft", "appft.f:45-47", "appft.f", 45, 47);
+    let lda = (cs * 8 + cs) as i64;
+    let len = cs * lda as u64 + 8;
+    let b = al.bind(&c, &[(len, lda), (len, lda), (len, lda)], &[cs, cs, cs]);
+    let i_cube = ab.codelet(c, vec![b]);
+
+    // 2-3. Stride-2 and stride-4 butterflies.
+    let c = butterfly("cfftz.f:120-145", 2, 1);
+    let b = al.bind_vecs(&c, md, &[md / 2 - 1]);
+    let i_bf2 = ab.codelet(c, vec![b]);
+    let c = butterfly("cfftz.f:150-175", 4, 2);
+    let b = al.bind_vecs(&c, md, &[md / 4 - 1]);
+    let i_bf4 = ab.codelet(c, vec![b]);
+
+    // 4. Twiddle multiply.
+    let c = vmul("ft", "fft3d.f:30-52");
+    let b = al.bind_vecs(&c, md, &[md]);
+    let i_tw = ab.codelet(c, vec![b]);
+
+    // 5. evolve: u = u * exp-factor table (element-wise).
+    let c = CodeletBuilder::new("evolve.f:12-30", "ft")
+        .pattern("DP: evolve spectrum element wise")
+        .array("u", Precision::F64)
+        .array("ex", Precision::F64)
+        .param_loop("n")
+        .store("u", &[1], |b| b.load("u", &[1]) * b.load("ex", &[1]))
+        .build();
+    let b = al.bind_vecs(&c, md, &[md]);
+    let i_ev = ab.codelet(c, vec![b]);
+
+    // 6. checksum reduction.
+    let c = norm2("ft", "checksum.f:8-20");
+    let b = al.bind_vecs(&c, md, &[md]);
+    let i_cs = ab.codelet(c, vec![b]);
+
+    // 7. Plane transpose (stride-LDA loads, scalar).
+    let c = CodeletBuilder::new("transpose.f:40-66", "ft")
+        .pattern("DP: matrix transpose")
+        .array("dst", Precision::F64)
+        .array("src", Precision::F64)
+        .param_loop("i")
+        .param_loop("j")
+        .store_at(
+            "dst",
+            vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+            AffineExpr::zero(),
+            |b| {
+                b.load_expr(
+                    "src",
+                    vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                    AffineExpr::zero(),
+                )
+            },
+        )
+        .build();
+    let side = class.mat_side() * 2;
+    let b = al.bind(
+        &c,
+        &[(side * side, side as i64), (side * side, side as i64)],
+        &[side, side],
+    );
+    let i_tr = ab.codelet(c, vec![b]);
+
+    // 8. fftz2: the same butterfly at two problem sizes — a
+    // context-varying codelet (extraction captures only the first size).
+    let c = butterfly("fftz2.f:55-80", 2, 1);
+    let b_big = al.bind_vecs(&c, md, &[md / 2 - 1]);
+    let b_small = al.bind_vecs(&c, sm, &[sm / 2 - 1]);
+    let i_fftz2 = ab.codelet(c, vec![b_big, b_small]);
+
+    // Residue.
+    let mut c = vmul("ft", "setup-glue");
+    c.extractable = false;
+    let b = al.bind_vecs(&c, md, &[md]);
+    let i_hidden = ab.codelet(c, vec![b]);
+
+    ab.invoke(i_cube, 0, 6 * rs)
+        .invoke(i_tw, 0, 4 * rs)
+        .invoke(i_bf2, 0, 4 * rs)
+        .invoke(i_bf4, 0, 4 * rs)
+        .invoke(i_fftz2, 0, 2 * rs)
+        .invoke(i_fftz2, 1, 6 * rs)
+        .invoke(i_tr, 0, 2 * rs)
+        .invoke(i_ev, 0, 4 * rs)
+        .invoke(i_cs, 0, 2 * rs)
+        .invoke(i_hidden, 0, 2 * rs)
+        .rounds(class.rounds());
+
+    ab.build()
+}

@@ -1,0 +1,121 @@
+//! IS — integer bucket sort.
+//!
+//! 6 extractable codelets, all integer: key generation, histogramming
+//! (random scatter), prefix-sum recurrence, permutation gather,
+//! bucket clearing and verification.
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{AffineExpr, BinOp, Precision};
+
+use super::Alloc;
+use crate::common::Class;
+use fgbs_isa::CodeletBuilder;
+
+/// Build IS.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("is");
+    let keys = class.med_vec();
+    let buckets = class.is_buckets();
+
+    // 1. Key generation (integer LCG-ish stream).
+    let c = CodeletBuilder::new("is.c:352-370", "is")
+        .pattern("INT: key sequence generation")
+        .array("k", Precision::I32)
+        .array("seed", Precision::I32)
+        .param_loop("n")
+        .store("k", &[1], |b| b.load("seed", &[1]) * 5.0 + 3.0)
+        .build();
+    let b = al.bind_vecs(&c, keys, &[keys]);
+    let i_gen = ab.codelet(c, vec![b]);
+
+    // 2. Bucket clear.
+    let c = CodeletBuilder::new("is.c:380-384", "is")
+        .pattern("INT: bucket clear")
+        .array("b", Precision::I32)
+        .param_loop("n")
+        .store("b", &[1], |bd| bd.constant(0.0))
+        .build();
+    let b = al.bind_vecs(&c, buckets, &[buckets]);
+    let i_clear = ab.codelet(c, vec![b]);
+
+    // 3. Histogram: random scatter increments (the sort's key count).
+    let c = CodeletBuilder::new("is.c:388-394", "is")
+        .pattern("INT: histogram random scatter")
+        .array("bkt", Precision::I32)
+        .array("k", Precision::I32)
+        .param_loop("n")
+        .store_random("bkt", u64::MAX, move |b| {
+            b.load_random("bkt", u64::MAX) + 1.0
+        })
+        .build();
+    // Clamp the span to the bucket table by binding length (`Random` spans
+    // are clamped to the array length at execution time).
+    let b = al.bind(
+        &c,
+        &[(buckets, buckets as i64), (keys, keys as i64)],
+        &[keys],
+    );
+    let i_hist = ab.codelet(c, vec![b]);
+
+    // 4. Prefix sum over buckets (integer recurrence).
+    let c = CodeletBuilder::new("is.c:398-402", "is")
+        .pattern("INT: prefix sum recurrence")
+        .array("bkt", Precision::I32)
+        .param_loop("n")
+        .store_at("bkt", vec![AffineExpr::lit(1)], AffineExpr::lit(1), |b| {
+            b.load_off("bkt", &[1], 0) + b.load_off("bkt", &[1], 1)
+        })
+        .build();
+    let b = al.bind_vecs(&c, buckets, &[buckets - 1]);
+    let i_prefix = ab.codelet(c, vec![b]);
+
+    // 5. Permutation gather into sorted order.
+    let c = CodeletBuilder::new("is.c:410-416", "is")
+        .pattern("INT: permutation gather")
+        .array("out", Precision::I32)
+        .array("k", Precision::I32)
+        .param_loop("n")
+        .store("out", &[1], move |b| b.load_random("k", u64::MAX) + 0.0)
+        .build();
+    let b = al.bind(
+        &c,
+        &[(keys, keys as i64), (keys, keys as i64)],
+        &[keys],
+    );
+    let i_perm = ab.codelet(c, vec![b]);
+
+    // 6. Verification reduction.
+    let c = CodeletBuilder::new("is.c:430-441", "is")
+        .pattern("INT: ordering verification reduction")
+        .array("out", Precision::I32)
+        .param_loop("n")
+        .update_acc("bad", BinOp::Add, |b| b.load("out", &[1]))
+        .build();
+    let b = al.bind_vecs(&c, keys, &[keys]);
+    let i_ver = ab.codelet(c, vec![b]);
+
+    // Residue.
+    let c = CodeletBuilder::new("alloc-glue", "is")
+        .pattern("INT: buffer touch")
+        .array("t", Precision::I32)
+        .param_loop("n")
+        .store("t", &[1], |b| b.constant(1.0))
+        .build();
+    let mut cc = c;
+    cc.extractable = false;
+    let b = al.bind_vecs(&cc, keys / 4, &[keys / 4]);
+    let i_hidden = ab.codelet(cc, vec![b]);
+
+    ab.invoke(i_gen, 0, 2 * rs)
+        .invoke(i_clear, 0, 2 * rs)
+        .invoke(i_hist, 0, 4 * rs)
+        .invoke(i_prefix, 0, 4 * rs)
+        .invoke(i_perm, 0, 4 * rs)
+        .invoke(i_ver, 0, 2 * rs)
+        .invoke(i_hidden, 0, rs)
+        .rounds(class.rounds() * 2);
+
+    ab.build()
+}

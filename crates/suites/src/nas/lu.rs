@@ -1,0 +1,120 @@
+//! LU — lower-upper Gauss-Seidel solver.
+//!
+//! 11 extractable codelets over shared SSOR state. `erhs.f:49-57` is one
+//! of the paper's cluster-A twins (triple-nested, divide + exponential,
+//! compute bound); `blts`/`buts` are the forward/backward recurrence
+//! sweeps; `jacld` is compilation-fragile.
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{Fragility, Precision};
+
+use super::{compute_cube, fill, flux, norm2, sweep, Alloc};
+use crate::common::Class;
+use fgbs_isa::CodeletBuilder;
+
+/// Build LU.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("lu");
+    let cs = class.cube_side();
+    let md = class.med_vec();
+
+    // Shared state vectors.
+    let v_u = al.reserve(md, 8);
+    let v_rhs = al.reserve(md, 8);
+    let v_a = al.reserve(md, 8);
+    let v_b = al.reserve(md, 8);
+    let v_c = al.reserve(md, 8);
+    let mdv = |base: u64| (base, md, md as i64);
+
+    // 1. The cluster-A compute cube (private).
+    let c = compute_cube("lu", "erhs.f:49-57", "erhs.f", 49, 57);
+    let lda = (cs * 8 + cs) as i64;
+    let len = cs * lda as u64 + 8;
+    let b = al.bind(&c, &[(len, lda), (len, lda), (len, lda)], &[cs, cs, cs]);
+    let i_cube = ab.codelet(c, vec![b]);
+
+    // 2-3. SSOR sweeps.
+    let c = sweep("lu", "blts.f:75-160", 0.52);
+    let b = al.bind_shared(&c, &[mdv(v_u), mdv(v_rhs)], &[md - 2]);
+    let i_blts = ab.codelet(c, vec![b]);
+    let c = sweep("lu", "buts.f:75-160", 0.48);
+    let b = al.bind_shared(&c, &[mdv(v_a), mdv(v_rhs)], &[md - 2]);
+    let i_buts = ab.codelet(c, vec![b]);
+
+    // 4-5. Jacobian assembly: multiply-dense streams; jacld is fragile.
+    let jac = |name: &str, fragility: Fragility| {
+        CodeletBuilder::new(name, "lu")
+            .pattern("DP: jacobian assembly (multiply dense)")
+            .fragility(fragility)
+            .array("a", Precision::F64)
+            .array("b", Precision::F64)
+            .array("c", Precision::F64)
+            .array("d", Precision::F64)
+            .param_loop("n")
+            .store("d", &[1], |bd| {
+                bd.load("a", &[1]) * bd.load("b", &[1]) * 0.5
+                    + bd.load("c", &[1]) * bd.load("a", &[1]) * 0.25
+            })
+            .build()
+    };
+    let c = jac("jacld.f:40-110", Fragility::ScalarWhenStandalone);
+    let b = al.bind_shared(&c, &[mdv(v_u), mdv(v_a), mdv(v_b), mdv(v_c)], &[md]);
+    let i_jacld = ab.codelet(c, vec![b]);
+    let c = jac("jacu.f:40-110", Fragility::Robust);
+    let b = al.bind_shared(&c, &[mdv(v_rhs), mdv(v_a), mdv(v_c), mdv(v_b)], &[md]);
+    let i_jacu = ab.codelet(c, vec![b]);
+
+    // 6-8. Directional fluxes.
+    let mut i_flux = [0usize; 3];
+    for (d, (name, c1, c2, out)) in [
+        ("rhs.f:30-66x", 0.36, 1.02, v_rhs),
+        ("rhs.f:76-112y", 0.31, 1.12, v_a),
+        ("rhs.f:122-158z", 0.26, 1.22, v_b),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let c = flux("lu", name, *c1, *c2);
+        let b = al.bind_shared(&c, &[mdv(*out), mdv(v_u)], &[md - 2]);
+        i_flux[d] = ab.codelet(c, vec![b]);
+    }
+
+    // 9. l2norm.
+    let c = norm2("lu", "l2norm.f:10-30");
+    let b = al.bind_shared(&c, &[mdv(v_rhs)], &[md]);
+    let i_norm = ab.codelet(c, vec![b]);
+
+    // 10. boundary values.
+    let c = fill("lu", "setbv.f:12-40", 1.0);
+    let b = al.bind_shared(&c, &[mdv(v_u)], &[md]);
+    let i_setbv = ab.codelet(c, vec![b]);
+
+    // 11. ssor update.
+    let c = super::axpy("lu", "ssor.f:180-205", 1.2);
+    let b = al.bind_shared(&c, &[mdv(v_rhs), mdv(v_u)], &[md]);
+    let i_ssor = ab.codelet(c, vec![b]);
+
+    // Residue.
+    let mut c = flux("lu", "pintgr-glue", 0.14, 0.9);
+    c.extractable = false;
+    let b = al.bind_shared(&c, &[mdv(v_c), mdv(v_u)], &[md - 2]);
+    let i_hidden = ab.codelet(c, vec![b]);
+
+    ab.invoke(i_setbv, 0, 2 * rs)
+        .invoke(i_cube, 0, 6 * rs)
+        .invoke(i_flux[0], 0, 4 * rs)
+        .invoke(i_flux[1], 0, 4 * rs)
+        .invoke(i_flux[2], 0, 4 * rs)
+        .invoke(i_jacld, 0, 4 * rs)
+        .invoke(i_blts, 0, 4 * rs)
+        .invoke(i_jacu, 0, 4 * rs)
+        .invoke(i_buts, 0, 4 * rs)
+        .invoke(i_ssor, 0, 4 * rs)
+        .invoke(i_norm, 0, 2 * rs)
+        .invoke(i_hidden, 0, 2 * rs)
+        .rounds(class.rounds());
+
+    ab.build()
+}

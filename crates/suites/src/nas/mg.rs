@@ -1,0 +1,225 @@
+//! MG — multigrid V-cycle.
+//!
+//! 8 extractable codelets, every one of them invoked on several grid
+//! levels with different datasets. Extraction captures only the finest-
+//! level (first) context, so all MG codelets are *ill-behaved* — exactly
+//! why the paper's per-application subsetting cannot predict MG (§4.4)
+//! while cross-application subsetting predicts it through other apps'
+//! representatives.
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{AffineExpr, Binding, Codelet, Precision};
+
+use super::{norm2, Alloc};
+use crate::common::Class;
+use fgbs_isa::CodeletBuilder;
+
+/// Grid sides of the three V-cycle levels, finest first.
+fn levels(class: Class) -> [u64; 3] {
+    let s = class.mg_side();
+    [s, s / 2, s / 4]
+}
+
+fn stencil_apply(name: &str, coef: [f64; 3]) -> Codelet {
+    CodeletBuilder::new(name, "mg")
+        .pattern("DP: 5-point grid operator")
+        .array("out", Precision::F64)
+        .array("u", Precision::F64)
+        .param_loop("i")
+        .param_loop("j")
+        .store_at(
+            "out",
+            vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+            AffineExpr::new(1, 1),
+            move |b| {
+                let s = vec![AffineExpr::lda(1), AffineExpr::lit(1)];
+                let c = b.load_expr("u", s.clone(), AffineExpr::new(1, 1));
+                let e = b.load_expr("u", s.clone(), AffineExpr::new(2, 1));
+                let w = b.load_expr("u", s.clone(), AffineExpr::new(0, 1));
+                let n = b.load_expr("u", s.clone(), AffineExpr::new(1, 2));
+                let so = b.load_expr("u", s, AffineExpr::new(1, 0));
+                c * coef[0] + (e + w) * coef[1] + (n + so) * coef[2]
+            },
+        )
+        .build()
+}
+
+fn grid_contexts(al: &mut Alloc, c: &Codelet, class: Class) -> Vec<Binding> {
+    levels(class)
+        .iter()
+        .map(|&side| {
+            let arrays: Vec<(u64, i64)> = c
+                .arrays
+                .iter()
+                .map(|_| (side * side, side as i64))
+                .collect();
+            let params: Vec<u64> = (0..c.n_params).map(|_| side - 2).collect();
+            al.bind(c, &arrays, &params)
+        })
+        .collect()
+}
+
+fn vec_contexts(al: &mut Alloc, c: &Codelet, class: Class) -> Vec<Binding> {
+    levels(class)
+        .iter()
+        .map(|&side| {
+            let len = side * side;
+            let arrays: Vec<(u64, i64)> = c.arrays.iter().map(|_| (len, len as i64)).collect();
+            let params: Vec<u64> = (0..c.n_params).map(|_| len).collect();
+            al.bind(c, &arrays, &params)
+        })
+        .collect()
+}
+
+/// Build MG.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("mg");
+
+    // 1. psinv — smoother.
+    let c = stencil_apply("psinv.f:34-60", [0.5, 0.25, 0.25]);
+    let ctx = grid_contexts(&mut al, &c, class);
+    let i_psinv = ab.codelet(c, ctx);
+
+    // 2. resid — residual.
+    let c = stencil_apply("resid.f:34-60", [-2.0, 1.0, 1.0]);
+    let ctx = grid_contexts(&mut al, &c, class);
+    let i_resid = ab.codelet(c, ctx);
+
+    // 3. rprj3 — fine-to-coarse restriction (stride-2 reads).
+    let c = CodeletBuilder::new("rprj3.f:30-56", "mg")
+        .pattern("DP: fine-to-coarse restriction")
+        .array("coarse", Precision::F64)
+        .array("fine", Precision::F64)
+        .param_loop("i")
+        .param_loop("j")
+        .store_at(
+            "coarse",
+            vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+            AffineExpr::zero(),
+            |b| {
+                let s = vec![AffineExpr::lda(2), AffineExpr::lit(2)];
+                let c0 = b.load_expr("fine", s.clone(), AffineExpr::new(1, 1));
+                let c1 = b.load_expr("fine", s.clone(), AffineExpr::new(2, 1));
+                let c2 = b.load_expr("fine", s, AffineExpr::new(1, 2));
+                c0 * 0.5 + (c1 + c2) * 0.25
+            },
+        )
+        .build();
+    // Contexts pair coarse level l+1 with fine level l.
+    let lv = levels(class);
+    let ctx: Vec<Binding> = (0..2)
+        .map(|l| {
+            let (cs, fs) = (lv[l + 1], lv[l]);
+            al.bind(
+                &c,
+                &[(cs * cs, cs as i64), (fs * fs, fs as i64)],
+                &[cs - 2, cs - 2],
+            )
+        })
+        .collect();
+    let i_rprj = ab.codelet(c, ctx);
+
+    // 4. interp — coarse-to-fine prolongation (stride-2 writes).
+    let c = CodeletBuilder::new("interp.f:30-56", "mg")
+        .pattern("DP: coarse-to-fine prolongation")
+        .array("fine", Precision::F64)
+        .array("coarse", Precision::F64)
+        .param_loop("i")
+        .param_loop("j")
+        .store_at(
+            "fine",
+            vec![AffineExpr::lda(2), AffineExpr::lit(2)],
+            AffineExpr::new(1, 1),
+            |b| {
+                let s = vec![AffineExpr::lda(1), AffineExpr::lit(1)];
+                let c0 = b.load_expr("coarse", s.clone(), AffineExpr::zero());
+                let c1 = b.load_expr("coarse", s, AffineExpr::new(1, 0));
+                c0 * 0.75 + c1 * 0.25
+            },
+        )
+        .build();
+    let ctx: Vec<Binding> = (0..2)
+        .map(|l| {
+            let (fs, cs) = (lv[l], lv[l + 1]);
+            al.bind(
+                &c,
+                &[(fs * fs, fs as i64), (cs * cs, cs as i64)],
+                &[cs - 2, cs - 2],
+            )
+        })
+        .collect();
+    let i_interp = ab.codelet(c, ctx);
+
+    // 5. norm2u3 — residual norm, per level.
+    let c = norm2("mg", "norm2u3.f:10-28");
+    let ctx = vec_contexts(&mut al, &c, class);
+    let i_norm = ab.codelet(c, ctx);
+
+    // 6. zero3 — grid clear, per level.
+    let c = CodeletBuilder::new("zero3.f:8-18", "mg")
+        .pattern("DP: grid clear")
+        .array("z", Precision::F64)
+        .param_loop("n")
+        .store("z", &[1], |b| b.constant(0.0))
+        .build();
+    let ctx = vec_contexts(&mut al, &c, class);
+    let i_zero = ab.codelet(c, ctx);
+
+    // 7. comm3 — boundary copy, per level.
+    let c = CodeletBuilder::new("comm3.f:12-30", "mg")
+        .pattern("DP: boundary exchange copy")
+        .array("dst", Precision::F64)
+        .array("src", Precision::F64)
+        .param_loop("n")
+        .store("dst", &[1], |b| b.load("src", &[1]))
+        .build();
+    let ctx = vec_contexts(&mut al, &c, class);
+    let i_comm = ab.codelet(c, ctx);
+
+    // 8. A second smoother sweep with different weights.
+    let c = stencil_apply("psinv.f:70-96", [0.6, 0.2, 0.2]);
+    let ctx = grid_contexts(&mut al, &c, class);
+    let i_psinv2 = ab.codelet(c, ctx);
+
+    // Residue.
+    let c = CodeletBuilder::new("setup-glue", "mg")
+        .pattern("DP: grid setup")
+        .array("z", Precision::F64)
+        .param_loop("n")
+        .store("z", &[1], |b| b.constant(0.5))
+        .build();
+    let mut cc = c;
+    cc.extractable = false;
+    let len = lv[0] * lv[0] / 2;
+    let b = al.bind_vecs(&cc, len, &[len]);
+    let i_hidden = ab.codelet(cc, vec![b]);
+
+    // One V-cycle: sweep down the levels, then back up.
+    ab.invoke(i_zero, 0, rs)
+        .invoke(i_resid, 0, 2 * rs)
+        .invoke(i_rprj, 0, rs)
+        .invoke(i_resid, 1, 2 * rs)
+        .invoke(i_rprj, 1, 3 * rs)
+        .invoke(i_resid, 2, 2 * rs)
+        .invoke(i_psinv, 2, 2 * rs)
+        .invoke(i_interp, 1, rs)
+        .invoke(i_psinv, 1, 2 * rs)
+        .invoke(i_psinv2, 1, rs)
+        .invoke(i_interp, 0, rs)
+        .invoke(i_psinv, 0, 2 * rs)
+        .invoke(i_psinv2, 0, rs)
+        .invoke(i_comm, 0, 2 * rs)
+        .invoke(i_comm, 1, 2 * rs)
+        .invoke(i_comm, 2, 2 * rs)
+        .invoke(i_zero, 1, rs)
+        .invoke(i_zero, 2, rs)
+        .invoke(i_norm, 0, rs)
+        .invoke(i_norm, 1, rs)
+        .invoke(i_norm, 2, rs)
+        .invoke(i_hidden, 0, rs)
+        .rounds(class.rounds() * 2);
+
+    ab.build()
+}

@@ -1,0 +1,124 @@
+//! SP — scalar penta-diagonal solver.
+//!
+//! 14 extractable codelets sharing the solver state vectors.
+//! `rhs.f:275-320` is the twin of BT's cluster-B stencil (the two cluster
+//! together and share a representative); the directional solvers are
+//! first-order recurrences (scalar sweeps); `txinvr` is compilation-
+//! fragile in the opposite direction to BT's `x_solve` (scalar in-app,
+//! vectorized standalone).
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::Fragility;
+
+use super::{axpy, fill, flux, norm2, stencil5, sweep, vmul, Alloc};
+use crate::common::Class;
+
+/// Build SP.
+pub fn build(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("sp");
+    let ps = class.plane_side();
+    let md = class.med_vec();
+    let sm = class.small_vec();
+
+    // Shared state vectors.
+    let v_u = al.reserve(md, 8);
+    let v_rhs = al.reserve(md, 8);
+    let v_us = al.reserve(md, 8);
+    let v_qs = al.reserve(md, 8);
+    let v_aux = al.reserve(md, 8);
+    let mdv = |base: u64| (base, md, md as i64);
+
+    // 1. The cluster-B stencil twin (private planes).
+    let c = stencil5("sp", "rhs.f:275-320", "rhs.f", 275, 320);
+    let planes = (ps * ps, ps as i64);
+    let b = al.bind(&c, &[planes, planes], &[ps - 2, ps - 2]);
+    let i_stencil = ab.codelet(c, vec![b]);
+
+    // 2. txinvr — fragile: an aliasing ambiguity in the application makes
+    // the in-app loop scalar; the extracted wrapper vectorizes.
+    let mut c = vmul("sp", "txinvr.f:15-45");
+    c.fragility = Fragility::VectorWhenStandalone;
+    let b = al.bind_shared(&c, &[mdv(v_u), mdv(v_us), mdv(v_aux)], &[md]);
+    let i_txinvr = ab.codelet(c, vec![b]);
+
+    // 3-4. ninvr / pinvr.
+    let c = axpy("sp", "ninvr.f:12-34", 0.7);
+    let b = al.bind_shared(&c, &[mdv(v_rhs), mdv(v_us)], &[md]);
+    let i_ninvr = ab.codelet(c, vec![b]);
+    let c = axpy("sp", "pinvr.f:12-34", 1.3);
+    let b = al.bind_shared(&c, &[mdv(v_rhs), mdv(v_qs)], &[md]);
+    let i_pinvr = ab.codelet(c, vec![b]);
+
+    // 5-7. Directional scalar sweeps (first-order recurrences).
+    let c = sweep("sp", "x_solve.f:27-84", 0.41);
+    let b = al.bind_shared(&c, &[mdv(v_us), mdv(v_rhs)], &[md - 2]);
+    let i_xsolve = ab.codelet(c, vec![b]);
+    let c = sweep("sp", "y_solve.f:27-84", 0.43);
+    let b = al.bind_shared(&c, &[mdv(v_qs), mdv(v_rhs)], &[md - 2]);
+    let i_ysolve = ab.codelet(c, vec![b]);
+    let c = sweep("sp", "z_solve.f:27-84", 0.45);
+    let b = al.bind_shared(&c, &[mdv(v_aux), mdv(v_rhs)], &[md - 2]);
+    let i_zsolve = ab.codelet(c, vec![b]);
+
+    // 8. add.
+    let c = axpy("sp", "add.f:12-25", 1.0);
+    let b = al.bind_shared(&c, &[mdv(v_rhs), mdv(v_u)], &[md]);
+    let i_add = ab.codelet(c, vec![b]);
+
+    // 9-11. Directional fluxes.
+    let mut i_flux = [0usize; 3];
+    for (d, (name, c1, c2, out)) in [
+        ("rhs.f:35-70x", 0.33, 1.05, v_rhs),
+        ("rhs.f:80-115y", 0.28, 1.15, v_us),
+        ("rhs.f:125-160z", 0.23, 1.25, v_qs),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let c = flux("sp", name, *c1, *c2);
+        let b = al.bind_shared(&c, &[mdv(*out), mdv(v_u)], &[md - 2]);
+        i_flux[d] = ab.codelet(c, vec![b]);
+    }
+
+    // 12. error norm.
+    let c = norm2("sp", "error.f:10-25");
+    let b = al.bind_shared(&c, &[mdv(v_u)], &[md]);
+    let i_err = ab.codelet(c, vec![b]);
+
+    // 13. rhs initialisation.
+    let c = fill("sp", "rhs.f:20-28", 0.0);
+    let b = al.bind_shared(&c, &[mdv(v_rhs)], &[md]);
+    let i_init = ab.codelet(c, vec![b]);
+
+    // 14. tzetar (small private vectors).
+    let c = vmul("sp", "tzetar.f:14-42");
+    let b = al.bind_vecs(&c, sm * 2, &[sm * 2]);
+    let i_tzetar = ab.codelet(c, vec![b]);
+
+    // Non-extractable residue.
+    let mut c = flux("sp", "exact-solution-glue", 0.12, 0.95);
+    c.extractable = false;
+    let b = al.bind_shared(&c, &[mdv(v_aux), mdv(v_u)], &[md - 2]);
+    let i_hidden = ab.codelet(c, vec![b]);
+
+    ab.invoke(i_init, 0, 4 * rs)
+        .invoke(i_flux[0], 0, 4 * rs)
+        .invoke(i_flux[1], 0, 4 * rs)
+        .invoke(i_flux[2], 0, 4 * rs)
+        .invoke(i_stencil, 0, 4 * rs)
+        .invoke(i_txinvr, 0, 4 * rs)
+        .invoke(i_xsolve, 0, 4 * rs)
+        .invoke(i_ninvr, 0, 4 * rs)
+        .invoke(i_ysolve, 0, 4 * rs)
+        .invoke(i_pinvr, 0, 4 * rs)
+        .invoke(i_zsolve, 0, 4 * rs)
+        .invoke(i_tzetar, 0, 8 * rs)
+        .invoke(i_add, 0, 4 * rs)
+        .invoke(i_err, 0, 2 * rs)
+        .invoke(i_hidden, 0, 2 * rs)
+        .rounds(class.rounds());
+
+    ab.build()
+}

@@ -1,0 +1,812 @@
+//! The 28 Numerical Recipes codelets of Table 3.
+//!
+//! Each NR code consists of a single computation kernel, so there is a
+//! one-to-one mapping between NR benchmarks and NR codelets (§4.1). Every
+//! kernel below reproduces its Table 3 row: computation pattern, stride
+//! vocabulary (`0`, `1`, `-1`, `2`, `LDA`, `LDA+1`, stencil), floating-
+//! point precision (DP/SP/MP), and vectorization character (recurrences
+//! and LDA-strided loops stay scalar, contiguous loops vectorize).
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{AffineExpr, BinOp, Codelet, CodeletBuilder, Precision};
+
+use crate::common::{Alloc, Class};
+
+/// Invocations per NR benchmark run.
+const NR_INVOCATIONS: u64 = 32;
+
+fn single_app(codelet: Codelet, arrays: &[(u64, i64)], params: &[u64]) -> Application {
+    let mut alloc = Alloc::new();
+    let binding = alloc.bind(&codelet, arrays, params);
+    let name = codelet.name.clone();
+    let mut ab = ApplicationBuilder::new(name);
+    let i = ab.codelet(codelet, vec![binding]);
+    ab.invoke(i, 0, NR_INVOCATIONS);
+    ab.build()
+}
+
+fn vec_app(codelet: Codelet, len: u64, params: &[u64]) -> Application {
+    let arrays: Vec<(u64, i64)> = codelet
+        .arrays
+        .iter()
+        .map(|_| (len, len as i64))
+        .collect();
+    single_app(codelet, &arrays, params)
+}
+
+/// Names of the 28 NR codelets, in Table 3's dendrogram order.
+pub fn nr_codelet_names() -> Vec<&'static str> {
+    vec![
+        "toeplz_1", "rstrct_29", "mprove_8", "toeplz_4", "realft_4", "toeplz_3", "svbksb_3",
+        "lop_13", "toeplz_2", "four1_2", "tridag_2", "tridag_1", "ludcmp_4", "hqr_15",
+        "relax2_26", "svdcmp_14", "svdcmp_13", "hqr_13", "hqr_12_sq", "jacobi_5", "hqr_12",
+        "svdcmp_11", "elmhes_11", "mprove_9", "matadd_16", "svdcmp_6", "elmhes_10", "balanc_3",
+    ]
+}
+
+/// Build the NR suite: 28 single-codelet applications.
+pub fn nr_suite(class: Class) -> Vec<Application> {
+    let sm = class.small_vec();
+    let md = class.med_vec();
+    let _bg = class.big_vec(); // reserved for future DRAM-bound variants
+    let ms = class.mat_side();
+    let bs = class.big_mat_side();
+
+    let mut suite = Vec::with_capacity(28);
+
+    // -- toeplz_1: DP, 2 simultaneous reductions, strides 0 & 1 & -1.
+    {
+        let c = CodeletBuilder::new("toeplz_1", "toeplz_1")
+            .pattern("DP: 2 simultaneous reductions")
+            .array("r", Precision::F64)
+            .array("x", Precision::F64)
+            .array("q", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .update_acc("sd", BinOp::Add, |b| {
+                // r[i] * x[n-1-i]: descending operand.
+                let rev = b.load_expr(
+                    "x",
+                    vec![AffineExpr::lit(-1)],
+                    AffineExpr::new(-1, 1),
+                );
+                b.load("r", &[1]) * rev
+            })
+            .update_acc("sn", BinOp::Add, |b| b.load("q", &[1]) * b.load("y", &[1]))
+            .build();
+        suite.push(vec_app(c, md, &[md]));
+    }
+
+    // -- rstrct_29: DP, MG Laplacian fine-to-coarse mesh transition
+    //    (stencil on a stride-2 fine grid).
+    {
+        let m = bs / 2 - 2;
+        let fl = AffineExpr::new(1, 1); // fine centre offset (row+1, col+1)
+        let c = CodeletBuilder::new("rstrct_29", "rstrct_29")
+            .pattern("DP: MG Laplacian fine to coarse mesh transition")
+            .array("coarse", Precision::F64)
+            .array("fine", Precision::F64)
+            .param_loop("i")
+            .param_loop("j")
+            .store_at(
+                "coarse",
+                vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                AffineExpr::zero(),
+                move |b| {
+                    let strides = vec![AffineExpr::lda(2), AffineExpr::lit(2)];
+                    let centre = b.load_expr("fine", strides.clone(), fl);
+                    let east = b.load_expr(
+                        "fine",
+                        strides.clone(),
+                        AffineExpr::new(fl.consts + 1, fl.lda),
+                    );
+                    let west = b.load_expr(
+                        "fine",
+                        strides.clone(),
+                        AffineExpr::new(fl.consts - 1, fl.lda),
+                    );
+                    let north = b.load_expr(
+                        "fine",
+                        strides.clone(),
+                        AffineExpr::new(fl.consts, fl.lda + 1),
+                    );
+                    let south = b.load_expr("fine", strides, AffineExpr::new(fl.consts, fl.lda - 1));
+                    centre * 0.5 + (east + west + north + south) * 0.125
+                },
+            )
+            .build();
+        // coarse is m×m with lda m; fine is (2m+4)×(2m+4) with lda 2m+4.
+        let fld = 2 * m + 4;
+        suite.push(single_app(
+            c,
+            &[(m * m, m as i64), (fld * fld, fld as i64)],
+            &[m, m],
+        ));
+    }
+
+    // -- mprove_8: MP, dense matrix × vector product (f32 matrix, f64 x).
+    {
+        let c = CodeletBuilder::new("mprove_8", "mprove_8")
+            .pattern("MP: Dense Matrix x vector product")
+            .array("a", Precision::F32)
+            .array("x", Precision::F64)
+            .param_loop("i")
+            .param_loop("j")
+            .update_acc("sdp", BinOp::Add, |b| {
+                let row = b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::zero(),
+                );
+                row * b.load("x", &[0, 1])
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(
+            c,
+            &[(side * side, side as i64), (side, side as i64)],
+            &[side, side],
+        ));
+    }
+
+    // -- toeplz_4: DP, vector multiply in ascending/descending order.
+    {
+        let c = CodeletBuilder::new("toeplz_4", "toeplz_4")
+            .pattern("DP: Vector multiply in asc./desc. order")
+            .array("u", Precision::F64)
+            .array("w", Precision::F64)
+            .array("y", Precision::F64)
+            .array("z", Precision::F64)
+            .param_loop("n")
+            .store("w", &[1], |b| b.load("u", &[1]) * 0.75)
+            .store_at(
+                "z",
+                vec![AffineExpr::lit(-1)],
+                AffineExpr::new(-1, 1),
+                |b| b.load("y", &[1]) * 1.25,
+            )
+            .build();
+        suite.push(vec_app(c, md, &[md]));
+    }
+
+    // -- realft_4: DP, FFT butterfly computation (strides 0 & 2 & -2).
+    {
+        let c = CodeletBuilder::new("realft_4", "realft_4")
+            .pattern("DP: FFT butterfly computation")
+            .array("d", Precision::F64)
+            .array("e", Precision::F64)
+            .param_loop("n2")
+            .store("d", &[2], |b| {
+                b.load("d", &[2]) * 0.6 + b.load("e", &[2]) * 0.4
+            })
+            .store_at("d", vec![AffineExpr::lit(2)], AffineExpr::lit(1), |b| {
+                let lo = b.load_off("d", &[2], 1);
+                let hi = b.load_off("e", &[2], 1);
+                lo * 0.6 - hi * 0.4
+            })
+            .build();
+        suite.push(vec_app(c, sm, &[sm / 2 - 1]));
+    }
+
+    // -- toeplz_3: DP, 3 simultaneous reductions.
+    {
+        let c = CodeletBuilder::new("toeplz_3", "toeplz_3")
+            .pattern("DP: 3 simultaneous reductions")
+            .array("a", Precision::F64)
+            .array("b", Precision::F64)
+            .array("d", Precision::F64)
+            .param_loop("n")
+            .update_acc("s1", BinOp::Add, |bd| bd.load("a", &[1]) * bd.load("b", &[1]))
+            .update_acc("s2", BinOp::Add, |bd| bd.load("b", &[1]) * bd.load("d", &[1]))
+            .update_acc("s3", BinOp::Add, |bd| bd.load("a", &[1]) * bd.load("d", &[1]))
+            .build();
+        suite.push(vec_app(c, md, &[md]));
+    }
+
+    // -- svbksb_3: SP, dense matrix × vector product.
+    {
+        let c = CodeletBuilder::new("svbksb_3", "svbksb_3")
+            .pattern("SP: Dense Matrix x vector product")
+            .array("a", Precision::F32)
+            .array("x", Precision::F32)
+            .param_loop("i")
+            .param_loop("j")
+            .update_acc("s", BinOp::Add, |b| {
+                let row = b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::zero(),
+                );
+                row * b.load("x", &[0, 1])
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(
+            c,
+            &[(side * side, side as i64), (side, side as i64)],
+            &[side, side],
+        ));
+    }
+
+    // -- lop_13: DP, Laplacian finite difference, constant coefficients.
+    {
+        let centre = AffineExpr::new(1, 1);
+        let c = CodeletBuilder::new("lop_13", "lop_13")
+            .pattern("DP: Laplacian finite difference constant coefficients")
+            .array("out", Precision::F64)
+            .array("u", Precision::F64)
+            .param_loop("i")
+            .param_loop("j")
+            .store_at(
+                "out",
+                vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                centre,
+                move |b| {
+                    let s = vec![AffineExpr::lda(1), AffineExpr::lit(1)];
+                    let e = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts + 1, 1));
+                    let w = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts - 1, 1));
+                    let n = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts, 2));
+                    let so = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts, 0));
+                    let mid = b.load_expr("u", s, centre);
+                    (e + w + n + so) - mid * 4.0
+                },
+            )
+            .build();
+        let side = bs;
+        suite.push(single_app(
+            c,
+            &[(side * side, side as i64), (side * side, side as i64)],
+            &[side - 2, side - 2],
+        ));
+    }
+
+    // -- toeplz_2: DP, vector multiply element-wise asc./desc. order.
+    {
+        let c = CodeletBuilder::new("toeplz_2", "toeplz_2")
+            .pattern("DP: Vector multiply element wise in asc./desc. order")
+            .array("u", Precision::F64)
+            .array("v", Precision::F64)
+            .array("w", Precision::F64)
+            .param_loop("n")
+            .store("w", &[1], |b| {
+                let rev = b.load_expr(
+                    "v",
+                    vec![AffineExpr::lit(-1)],
+                    AffineExpr::new(-1, 1),
+                );
+                b.load("u", &[1]) * rev
+            })
+            .build();
+        suite.push(vec_app(c, sm, &[sm]));
+    }
+
+    // -- four1_2: MP, first step FFT (stride 4).
+    {
+        let c = CodeletBuilder::new("four1_2", "four1_2")
+            .pattern("MP: First step FFT")
+            .array("d", Precision::F32)
+            .array("w", Precision::F64)
+            .param_loop("n4")
+            .store("d", &[4], |b| {
+                b.load("d", &[4]) * 0.7 - b.load("w", &[4]) * 0.3
+            })
+            .store_at("d", vec![AffineExpr::lit(4)], AffineExpr::lit(2), |b| {
+                let lo = b.load_off("d", &[4], 2);
+                let tw = b.load_off("w", &[4], 2);
+                lo * 0.7 + tw * 0.3
+            })
+            .build();
+        suite.push(vec_app(c, md, &[md / 4 - 1]));
+    }
+
+    // -- tridag_2: DP, first-order recurrence.
+    {
+        let c = CodeletBuilder::new("tridag_2", "tridag_2")
+            .pattern("DP: First order recurrence")
+            .array("u", Precision::F64)
+            .array("gam", Precision::F64)
+            .param_loop("n")
+            .store_at("u", vec![AffineExpr::lit(-1)], AffineExpr::new(-2, 1), |b| {
+                let next = b.load_expr("u", vec![AffineExpr::lit(-1)], AffineExpr::new(-1, 1));
+                let g = b.load_expr("gam", vec![AffineExpr::lit(-1)], AffineExpr::new(-1, 1));
+                next - g * 0.5
+            })
+            .build();
+        suite.push(vec_app(c, sm, &[sm - 2]));
+    }
+
+    // -- tridag_1: DP, first-order recurrence with division.
+    {
+        let c = CodeletBuilder::new("tridag_1", "tridag_1")
+            .pattern("DP: First order recurrence")
+            .array("a", Precision::F64)
+            .array("b", Precision::F64)
+            .array("r", Precision::F64)
+            .array("u", Precision::F64)
+            .param_loop("n")
+            .set_acc("bet", |bd| {
+                let prev = bd.acc("bet");
+                bd.load("b", &[1]) - bd.load("a", &[1]) * prev * 0.01
+            })
+            .store("u", &[1], |bd| {
+                let bet = bd.acc("bet");
+                (bd.load("r", &[1]) - bd.load("a", &[1])) / bet
+            })
+            .build();
+        suite.push(vec_app(c, sm, &[sm]));
+    }
+
+    // -- ludcmp_4: SP, dot product over lower half square matrix.
+    {
+        let c = CodeletBuilder::new("ludcmp_4", "ludcmp_4")
+            .pattern("SP: Dot product over lower half square matrix")
+            .array("a", Precision::F32)
+            .array("v", Precision::F32)
+            .param_loop("i")
+            .tri_loop()
+            .update_acc("s", BinOp::Add, |b| {
+                let row = b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::zero(),
+                );
+                row * b.load("v", &[0, 1])
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(
+            c,
+            &[(side * side, side as i64), (side, side as i64)],
+            &[side],
+        ));
+    }
+
+    // -- hqr_15: SP, addition on the diagonal elements of a matrix
+    //    (stride LDA + 1).
+    {
+        let c = CodeletBuilder::new("hqr_15", "hqr_15")
+            .pattern("SP: Addition on the diagonal elements of a matrix")
+            .array("a", Precision::F32)
+            .fixed_loop(48)
+            .param_loop("n")
+            .store_at(
+                "a",
+                vec![AffineExpr::zero(), AffineExpr::new(1, 1)],
+                AffineExpr::zero(),
+                |b| {
+                    let d = b.load_expr(
+                        "a",
+                        vec![AffineExpr::zero(), AffineExpr::new(1, 1)],
+                        AffineExpr::zero(),
+                    );
+                    d + 0.3
+                },
+            )
+            .build();
+        let side = ms;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side]));
+    }
+
+    // -- relax2_26: DP, red-black sweeps Laplacian operator (in place).
+    {
+        let centre = AffineExpr::new(1, 1);
+        let c = CodeletBuilder::new("relax2_26", "relax2_26")
+            .pattern("DP: Red Black Sweeps Laplacian operator")
+            .array("u", Precision::F64)
+            .array("rhs", Precision::F64)
+            .param_loop("i")
+            .param_loop("j")
+            .store_at(
+                "u",
+                vec![AffineExpr::lda(1), AffineExpr::lit(2)],
+                centre,
+                move |b| {
+                    let s = vec![AffineExpr::lda(1), AffineExpr::lit(2)];
+                    let e = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts + 1, 1));
+                    let w = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts - 1, 1));
+                    let n = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts, 2));
+                    let so = b.load_expr("u", s.clone(), AffineExpr::new(centre.consts, 0));
+                    let f = b.load_expr("rhs", s, centre);
+                    (e + w + n + so - f) * 0.25
+                },
+            )
+            .build();
+        let side = bs;
+        suite.push(single_app(
+            c,
+            &[(side * side, side as i64), (side * side, side as i64)],
+            &[side - 2, side / 2 - 2],
+        ));
+    }
+
+    // -- svdcmp_14: DP, vector divide element-wise.
+    {
+        let c = CodeletBuilder::new("svdcmp_14", "svdcmp_14")
+            .pattern("DP: Vector divide element wise")
+            .array("u", Precision::F64)
+            .array("v", Precision::F64)
+            .array("w", Precision::F64)
+            .param_loop("n")
+            .store("w", &[1], |b| b.load("u", &[1]) / b.load("v", &[1]))
+            .build();
+        suite.push(vec_app(c, md, &[md]));
+    }
+
+    // -- svdcmp_13: DP, norm + vector divide.
+    {
+        let c = CodeletBuilder::new("svdcmp_13", "svdcmp_13")
+            .pattern("DP: Norm + Vector divide")
+            .array("u", Precision::F64)
+            .array("w", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| {
+                let x = b.load("u", &[1]);
+                let y = b.load("u", &[1]);
+                x * y
+            })
+            .store("w", &[1], |b| b.load("u", &[1]) / std::f64::consts::SQRT_2)
+            .build();
+        suite.push(vec_app(c, md, &[md]));
+    }
+
+    // -- hqr_13: DP, sum of the absolute values of a matrix column.
+    {
+        let c = CodeletBuilder::new("hqr_13", "hqr_13")
+            .pattern("DP: Sum of the absolute values of a matrix column")
+            .array("a", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("a", &[1]).abs())
+            .build();
+        let side = ms * 2;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side * side / 2]));
+    }
+
+    // -- hqr_12_sq: SP, sum of a square matrix.
+    {
+        let c = CodeletBuilder::new("hqr_12_sq", "hqr_12_sq")
+            .pattern("SP: Sum of a square matrix")
+            .array("a", Precision::F32)
+            .param_loop("i")
+            .param_loop("j")
+            .update_acc("s", BinOp::Add, |b| {
+                b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::zero(),
+                )
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side, side]));
+    }
+
+    // -- jacobi_5: SP, sum of the upper half of a square matrix.
+    {
+        let c = CodeletBuilder::new("jacobi_5", "jacobi_5")
+            .pattern("SP: Sum of the upper half of a square matrix")
+            .array("a", Precision::F32)
+            .param_loop("i")
+            .tri_loop()
+            .update_acc("s", BinOp::Add, |b| {
+                b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::lit(1),
+                )
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side + side, side as i64)], &[side]));
+    }
+
+    // -- hqr_12: SP, sum of the lower half of a square matrix.
+    {
+        let c = CodeletBuilder::new("hqr_12", "hqr_12")
+            .pattern("SP: Sum of the lower half of a square matrix")
+            .array("a", Precision::F32)
+            .param_loop("i")
+            .tri_loop()
+            .update_acc("s", BinOp::Add, |b| {
+                b.load_expr(
+                    "a",
+                    vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                    AffineExpr::zero(),
+                )
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side]));
+    }
+
+    // -- svdcmp_11: DP, multiplying a matrix row by a scalar (stride LDA).
+    {
+        let c = CodeletBuilder::new("svdcmp_11", "svdcmp_11")
+            .pattern("DP: Multiplying a matrix row by a scalar")
+            .array("a", Precision::F64)
+            .fixed_loop(64)
+            .param_loop("n")
+            .store_at(
+                "a",
+                vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                AffineExpr::lit(3),
+                |b| {
+                    let v = b.load_expr(
+                        "a",
+                        vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                        AffineExpr::lit(3),
+                    );
+                    v * 0.98
+                },
+            )
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side]));
+    }
+
+    // -- elmhes_11: DP, linear combination of matrix rows (stride LDA).
+    {
+        let c = CodeletBuilder::new("elmhes_11", "elmhes_11")
+            .pattern("DP: Linear combination of matrix rows")
+            .array("a", Precision::F64)
+            .fixed_loop(48)
+            .param_loop("n")
+            .store_at(
+                "a",
+                vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                AffineExpr::lit(1),
+                |b| {
+                    let this = b.load_expr(
+                        "a",
+                        vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                        AffineExpr::lit(1),
+                    );
+                    let other = b.load_expr(
+                        "a",
+                        vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                        AffineExpr::lit(2),
+                    );
+                    this + other * 0.5
+                },
+            )
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side]));
+    }
+
+    // -- mprove_9: DP, subtracting a vector with a vector.
+    {
+        let c = CodeletBuilder::new("mprove_9", "mprove_9")
+            .pattern("DP: Substracting a vector with a vector")
+            .array("b", Precision::F64)
+            .array("r", Precision::F64)
+            .param_loop("n")
+            .store("r", &[1], |bd| bd.load("b", &[1]) - bd.load("r", &[1]))
+            .build();
+        suite.push(vec_app(c, md, &[md]));
+    }
+
+    // -- matadd_16: DP, sum of two square matrices element-wise.
+    {
+        let c = CodeletBuilder::new("matadd_16", "matadd_16")
+            .pattern("DP: Sum of two square matrices element wise")
+            .array("a", Precision::F64)
+            .array("b", Precision::F64)
+            .array("c", Precision::F64)
+            .param_loop("i")
+            .param_loop("j")
+            .store_at(
+                "c",
+                vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+                AffineExpr::zero(),
+                |bd| {
+                    let s = vec![AffineExpr::lda(1), AffineExpr::lit(1)];
+                    let x = bd.load_expr("a", s.clone(), AffineExpr::zero());
+                    let y = bd.load_expr("b", s, AffineExpr::zero());
+                    x + y
+                },
+            )
+            .build();
+        let side = bs;
+        suite.push(single_app(
+            c,
+            &[
+                (side * side, side as i64),
+                (side * side, side as i64),
+                (side * side, side as i64),
+            ],
+            &[side, side],
+        ));
+    }
+
+    // -- svdcmp_6: DP, sum of the absolute values of a matrix row
+    //    (strides 0 & LDA).
+    {
+        let c = CodeletBuilder::new("svdcmp_6", "svdcmp_6")
+            .pattern("DP: Sum of the absolute values of a matrix row")
+            .array("a", Precision::F64)
+            .fixed_loop(48)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| {
+                b.load_expr(
+                    "a",
+                    vec![AffineExpr::lit(1), AffineExpr::lda(1)],
+                    AffineExpr::lit(2),
+                )
+                .abs()
+            })
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side]));
+    }
+
+    // -- elmhes_10: DP, linear combination of matrix columns (stride 1).
+    {
+        let c = CodeletBuilder::new("elmhes_10", "elmhes_10")
+            .pattern("DP: Linear combination of matrix columns")
+            .array("a", Precision::F64)
+            .fixed_loop(32)
+            .param_loop("rows")
+            .store_at(
+                "a",
+                vec![AffineExpr::lda(2), AffineExpr::lit(1)],
+                AffineExpr::lda(3),
+                |b| {
+                    let this = b.load_expr(
+                        "a",
+                        vec![AffineExpr::lda(2), AffineExpr::lit(1)],
+                        AffineExpr::lda(3),
+                    );
+                    let other = b.load_expr(
+                        "a",
+                        vec![AffineExpr::lda(2), AffineExpr::lit(1)],
+                        AffineExpr::lda(5),
+                    );
+                    this + other * 0.5
+                },
+            )
+            .build();
+        let side = bs;
+        suite.push(single_app(c, &[(side * side, side as i64)], &[side]));
+    }
+
+    // -- balanc_3: DP, vector multiply element-wise.
+    {
+        let c = CodeletBuilder::new("balanc_3", "balanc_3")
+            .pattern("DP: Vector multiply element wise")
+            .array("u", Precision::F64)
+            .array("v", Precision::F64)
+            .param_loop("n")
+            .store("v", &[1], |b| b.load("u", &[1]) * 0.95)
+            .build();
+        suite.push(vec_app(c, sm, &[sm]));
+    }
+
+    assert_eq!(suite.len(), 28, "Table 3 lists 28 NR codelets");
+    // Reorder to match nr_codelet_names(): built in that order already.
+    suite
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_isa::{carried_dependence, compile, CompileMode, TargetSpec};
+
+    fn by_name(suite: &[Application], name: &str) -> Codelet {
+        suite
+            .iter()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .codelets[0]
+            .clone()
+    }
+
+    #[test]
+    fn names_match_table3_order() {
+        let suite = nr_suite(Class::Test);
+        let names: Vec<&str> = suite.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, nr_codelet_names());
+    }
+
+    #[test]
+    fn recurrences_are_scalar() {
+        let suite = nr_suite(Class::Test);
+        for name in ["tridag_1", "tridag_2", "relax2_26"] {
+            let c = by_name(&suite, name);
+            assert!(carried_dependence(&c), "{name} must carry a dependence");
+            let k = compile(&c, &TargetSpec::sse128(), CompileMode::InApp);
+            assert_eq!(k.vector_ratio_fp(), 0.0, "{name} must be scalar");
+        }
+    }
+
+    #[test]
+    fn contiguous_kernels_vectorize() {
+        let suite = nr_suite(Class::Test);
+        for name in [
+            "toeplz_1",
+            "toeplz_3",
+            "svdcmp_14",
+            "mprove_9",
+            "matadd_16",
+            "elmhes_10",
+            "balanc_3",
+            "hqr_12",
+            "jacobi_5",
+        ] {
+            let c = by_name(&suite, name);
+            let k = compile(&c, &TargetSpec::sse128(), CompileMode::InApp);
+            assert!(
+                k.vector_ratio_fp() > 0.9,
+                "{name} should vectorize, got {}",
+                k.vector_ratio_fp()
+            );
+        }
+    }
+
+    #[test]
+    fn lda_strided_kernels_stay_scalar() {
+        let suite = nr_suite(Class::Test);
+        for name in ["svdcmp_11", "elmhes_11", "svdcmp_6", "hqr_15", "realft_4", "four1_2"] {
+            let c = by_name(&suite, name);
+            let k = compile(&c, &TargetSpec::sse128(), CompileMode::InApp);
+            assert_eq!(
+                k.vector_ratio_fp(),
+                0.0,
+                "{name} must be scalar (LDA / non-unit stride)"
+            );
+        }
+    }
+
+    #[test]
+    fn division_cluster_divides() {
+        let suite = nr_suite(Class::Test);
+        for name in ["svdcmp_14", "svdcmp_13", "tridag_1"] {
+            let c = by_name(&suite, name);
+            let k = compile(&c, &TargetSpec::sse128(), CompileMode::InApp);
+            assert!(
+                k.count_op(fgbs_isa::VOp::FDiv) > 0.0,
+                "{name} must contain a divide"
+            );
+        }
+    }
+
+    #[test]
+    fn precision_labels_match_table3() {
+        let suite = nr_suite(Class::Test);
+        assert_eq!(by_name(&suite, "toeplz_1").precision_label(), "DP");
+        assert_eq!(by_name(&suite, "mprove_8").precision_label(), "MP");
+        assert_eq!(by_name(&suite, "four1_2").precision_label(), "MP");
+        assert_eq!(by_name(&suite, "svbksb_3").precision_label(), "SP");
+        assert_eq!(by_name(&suite, "ludcmp_4").precision_label(), "SP");
+        assert_eq!(by_name(&suite, "hqr_12_sq").precision_label(), "SP");
+    }
+
+    #[test]
+    fn all_interpretable_in_bounds() {
+        // Every NR codelet must execute its Test-class binding without
+        // out-of-bounds accesses.
+        let suite = nr_suite(Class::Test);
+        for app in &suite {
+            let c = &app.codelets[0];
+            let b = &app.contexts[0][0];
+            let mut mem = fgbs_isa::Memory::for_binding(c, b);
+            let r = fgbs_isa::interpret(c, b, &mut mem)
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            assert!(r.iterations > 0, "{}", app.name);
+        }
+    }
+
+    #[test]
+    fn triangular_kernels_use_tri_loops() {
+        let suite = nr_suite(Class::Test);
+        for name in ["ludcmp_4", "jacobi_5", "hqr_12"] {
+            let c = by_name(&suite, name);
+            assert!(
+                c.nest
+                    .dims
+                    .iter()
+                    .any(|d| matches!(d.trip, fgbs_isa::Trip::Triangular)),
+                "{name} sweeps half a matrix"
+            );
+        }
+    }
+}

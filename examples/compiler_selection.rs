@@ -1,0 +1,79 @@
+//! Compiler selection — the paper's §6 extension.
+//!
+//! "The extracted microbenchmarks are portable source-code snippets. Our
+//! method could be extended to other contexts such as compiler regression
+//! test-suites or auto-tuning."
+//!
+//! Here the two "systems" being selected between are not two machines but
+//! two *compiler configurations* of the same machine: the vectorizing
+//! compiler vs `-no-vec`. The reduced representative set — not the full
+//! suite — is rebuilt under each configuration, and the model predicts
+//! which configuration wins for every application.
+//!
+//! ```sh
+//! cargo run --release --example compiler_selection
+//! ```
+
+use fgbs::core::{
+    aggregate_apps, predict_with_runs, profile_reference, profile_target, reduce_cached,
+    MicroCache, PipelineConfig,
+};
+use fgbs::isa::TargetSpec;
+use fgbs::suites::{nas_suite, Class};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    println!(
+        "profiling the NAS suite on {} (vectorizing compiler)…",
+        cfg.reference.name
+    );
+    let suite = profile_reference(&nas_suite(Class::A), &cfg);
+    let cache = MicroCache::new();
+    let reduced = reduce_cached(&suite, &cfg, &cache);
+    println!(
+        "  {} codelets -> {} representatives\n",
+        suite.len(),
+        reduced.n_representatives()
+    );
+
+    // The "-no-vec build" is the same machine with vectorization disabled.
+    let mut novec = cfg.reference.clone();
+    novec.name = "Nehalem -no-vec".to_string();
+    novec.vector = TargetSpec::scalar();
+
+    println!("rebuilding only the representatives under -no-vec…");
+    let runs = profile_target(&suite, &novec, &cfg); // ground truth for validation
+    let out = predict_with_runs(&suite, &reduced, &novec, &runs, &cache, &cfg);
+    let apps = aggregate_apps(&suite, &out, &novec, &cfg);
+
+    println!("\nper-application cost of disabling vectorization:");
+    println!(
+        "{:>4}  {:>16}  {:>16}  {:>10}",
+        "app", "predicted slowdown", "real slowdown", "verdict"
+    );
+    let mut correct = 0;
+    for a in &apps {
+        let real = a.real_seconds / a.ref_seconds;
+        let pred = a.predicted_seconds.unwrap_or(f64::NAN) / a.ref_seconds;
+        let pick = |s: f64| if s > 1.02 { "keep -vec" } else { "either" };
+        let ok = pick(pred) == pick(real);
+        if ok {
+            correct += 1;
+        }
+        println!(
+            "{:>4}  {:>17.2}x  {:>15.2}x  {:>10}{}",
+            a.app,
+            pred,
+            real,
+            pick(pred),
+            if ok { "" } else { "  (mismatch)" }
+        );
+    }
+    println!(
+        "\ncompiler choice correct for {}/{} applications, from {} microbenchmark rebuilds\ninstead of {} full application rebuilds.",
+        correct,
+        apps.len(),
+        reduced.n_representatives(),
+        suite.len()
+    );
+}

@@ -1,0 +1,135 @@
+//! Bring your own benchmarks: write codelets with the builder DSL, wrap
+//! them into an application, and push them through the whole pipeline.
+//!
+//! The example builds a small "image pipeline" application — a blur
+//! stencil, a gamma lookup with a transcendental, a histogram, and a dot
+//! product — and shows detection, feature extraction, clustering, and
+//! prediction on two target machines.
+//!
+//! ```sh
+//! cargo run --release --example custom_suite
+//! ```
+
+use fgbs::core::{predict, profile_reference, reduce, KChoice, PipelineConfig};
+use fgbs::extract::ApplicationBuilder;
+use fgbs::isa::{AffineExpr, BinOp, BindingBuilder, CodeletBuilder, Precision};
+use fgbs::machine::{Arch, PARK_SCALE};
+
+fn main() {
+    let n: u64 = 16 * 1024;
+    let side: u64 = 128;
+
+    // A 5-point blur over an image plane.
+    let blur = CodeletBuilder::new("blur", "imgpipe")
+        .pattern("DP: 5-point blur stencil")
+        .array("dst", Precision::F64)
+        .array("src", Precision::F64)
+        .param_loop("i")
+        .param_loop("j")
+        .store_at(
+            "dst",
+            vec![AffineExpr::lda(1), AffineExpr::lit(1)],
+            AffineExpr::new(1, 1),
+            |b| {
+                let s = vec![AffineExpr::lda(1), AffineExpr::lit(1)];
+                let c = b.load_expr("src", s.clone(), AffineExpr::new(1, 1));
+                let e = b.load_expr("src", s.clone(), AffineExpr::new(2, 1));
+                let w = b.load_expr("src", s.clone(), AffineExpr::new(0, 1));
+                let up = b.load_expr("src", s.clone(), AffineExpr::new(1, 2));
+                let dn = b.load_expr("src", s, AffineExpr::new(1, 0));
+                c * 0.4 + (e + w + up + dn) * 0.15
+            },
+        )
+        .build();
+
+    // Gamma correction: a transcendental per pixel (compute bound).
+    let gamma = CodeletBuilder::new("gamma", "imgpipe")
+        .pattern("DP: exponential per element")
+        .array("px", Precision::F64)
+        .param_loop("n")
+        .store("px", &[1], |b| b.load("px", &[1]).exp() * 0.01)
+        .build();
+
+    // Luminance histogram: random scatter.
+    let hist = CodeletBuilder::new("histogram", "imgpipe")
+        .pattern("INT: histogram scatter")
+        .array("bins", Precision::I32)
+        .array("px", Precision::I32)
+        .param_loop("n")
+        .store_random("bins", u64::MAX, |b| b.load_random("bins", u64::MAX) + 1.0)
+        .build();
+
+    // A similarity metric: dot product.
+    let dot = CodeletBuilder::new("dot", "imgpipe")
+        .pattern("DP: dot product")
+        .array("a", Precision::F64)
+        .array("b", Precision::F64)
+        .param_loop("n")
+        .update_acc("s", BinOp::Add, |bd| bd.load("a", &[1]) * bd.load("b", &[1]))
+        .build();
+
+    // Bind every codelet to concrete buffers and schedule the pipeline.
+    let mut app = ApplicationBuilder::new("imgpipe");
+    let mut base = 1 << 12;
+    let mut bind = |c: &fgbs::isa::Codelet, lens: &[(u64, i64)], params: &[u64]| {
+        let mut bb = BindingBuilder::new(base);
+        for (i, &(len, lda)) in lens.iter().enumerate() {
+            bb = bb.matrix(len, c.arrays[i].elem.bytes(), lda);
+        }
+        for &p in params {
+            bb = bb.param(p);
+        }
+        base = bb.cursor();
+        bb.build_for(c)
+    };
+    let b_blur = bind(&blur, &[(side * side, side as i64); 2], &[side - 2, side - 2]);
+    let b_gamma = bind(&gamma, &[(n, n as i64)], &[n]);
+    let b_hist = bind(&hist, &[(4096, 4096), (n, n as i64)], &[n]);
+    let b_dot = bind(&dot, &[(n, n as i64); 2], &[n]);
+
+    let i_blur = app.codelet(blur, vec![b_blur]);
+    let i_gamma = app.codelet(gamma, vec![b_gamma]);
+    let i_hist = app.codelet(hist, vec![b_hist]);
+    let i_dot = app.codelet(dot, vec![b_dot]);
+    app.invoke(i_blur, 0, 8)
+        .invoke(i_gamma, 0, 4)
+        .invoke(i_hist, 0, 4)
+        .invoke(i_dot, 0, 8)
+        .rounds(6);
+    let app = app.build();
+
+    // Run the pipeline: one representative per behaviour class.
+    let cfg = PipelineConfig::default().with_k(KChoice::Elbow { max_k: 4 });
+    let suite = profile_reference(&[app], &cfg);
+    println!(
+        "detected {} codelets, coverage {:.0} %",
+        suite.len(),
+        100.0 * suite.coverage
+    );
+    let reduced = reduce(&suite, &cfg);
+    for (ci, c) in reduced.clusters.iter().enumerate() {
+        let names: Vec<_> = c
+            .members
+            .iter()
+            .map(|&m| suite.codelets[m].name.rsplit('/').next().unwrap_or(""))
+            .collect();
+        println!(
+            "cluster {}: {:?} -> representative {}",
+            ci + 1,
+            names,
+            suite.codelets[c.representative].name
+        );
+    }
+
+    for target in [
+        Arch::atom().scaled(PARK_SCALE),
+        Arch::sandy_bridge().scaled(PARK_SCALE),
+    ] {
+        let out = predict(&suite, &reduced, &target, &cfg);
+        println!(
+            "{:>13}: median prediction error {:.1} %",
+            target.name,
+            out.median_error_pct()
+        );
+    }
+}

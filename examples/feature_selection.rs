@@ -1,0 +1,72 @@
+//! Feature selection with the genetic algorithm (§4.2 / Table 2).
+//!
+//! Trains a feature mask on the Numerical Recipes suite against Atom and
+//! Sandy Bridge using the paper's fitness `max(err_Atom, err_SB) × K`,
+//! then compares the resulting clustering quality against the paper's
+//! published 14-feature set and against using all 76 features.
+//!
+//! ```sh
+//! cargo run --release --example feature_selection
+//! ```
+
+use fgbs::analysis::{catalog, table2_features, FeatureMask};
+use fgbs::core::{
+    predict_with_runs, profile_reference, profile_target, reduce_cached, select_features_ga,
+    MicroCache, PipelineConfig,
+};
+use fgbs::genetic::GaConfig;
+use fgbs::machine::{Arch, PARK_SCALE};
+use fgbs::suites::{nr_suite, Class};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    println!("profiling the 28 NR codelets…");
+    let suite = profile_reference(&nr_suite(Class::A), &cfg);
+    let targets = vec![
+        Arch::atom().scaled(PARK_SCALE),
+        Arch::sandy_bridge().scaled(PARK_SCALE),
+    ];
+
+    let ga = GaConfig {
+        population: 60,
+        generations: 20,
+        seed: 7,
+        ..GaConfig::default()
+    };
+    println!(
+        "running the GA (population {}, {} generations, mutation {})…",
+        ga.population, ga.generations, ga.mutation_prob
+    );
+    let sel = select_features_ga(&suite, &targets, &ga, &cfg);
+    println!(
+        "\nselected {} features (fitness {:.2}, elbow K = {}):",
+        sel.feature_ids.len(),
+        sel.fitness,
+        sel.k
+    );
+    let cat = catalog();
+    for id in &sel.feature_ids {
+        println!("  - {} [{:?}]", cat[*id].name, cat[*id].kind);
+    }
+
+    // Compare three masks on held-out Core 2.
+    let core2 = Arch::core2().scaled(PARK_SCALE);
+    let cache = MicroCache::new();
+    let runs = profile_target(&suite, &core2, &cfg);
+    println!("\nvalidation on the held-out Core 2 target:");
+    for (label, mask) in [
+        ("GA-selected", sel.mask.clone()),
+        ("paper Table 2", FeatureMask::from_ids(&table2_features())),
+        ("all 76", FeatureMask::all()),
+    ] {
+        let mcfg = cfg.clone().with_features(mask);
+        let reduced = reduce_cached(&suite, &mcfg, &cache);
+        let out = predict_with_runs(&suite, &reduced, &core2, &runs, &cache, &mcfg);
+        println!(
+            "  {:>13}: K = {:>2}, median error {:>5.1} %",
+            label,
+            reduced.n_representatives(),
+            out.median_error_pct()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! What-if analysis: evaluate a machine that does not exist.
+//!
+//! Because the reduced suite is a handful of portable microbenchmarks and
+//! the machines are parametric models, system selection extends naturally
+//! to *hypothetical* candidates. Here we ask two questions the paper's
+//! Table 1 park invites:
+//!
+//! 1. What would Atom gain from a last-level cache?
+//! 2. What would Sandy Bridge lose at Atom's clock?
+//!
+//! The pipeline treats each variant as just another target: measure the
+//! representatives, extrapolate the suite, compare geometric means.
+//!
+//! ```sh
+//! cargo run --release --example hypothetical_machine
+//! ```
+
+use fgbs::core::{
+    evaluate_targets, profile_reference, rank_targets, reduce, MicroCache, PipelineConfig,
+};
+use fgbs::machine::{Arch, CacheLevel, PARK_SCALE};
+use fgbs::suites::{nas_suite, Class};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    println!("profiling the NAS suite on {}…", cfg.reference.name);
+    let suite = profile_reference(&nas_suite(Class::A), &cfg);
+    let reduced = reduce(&suite, &cfg);
+    println!(
+        "  {} codelets -> {} representatives\n",
+        suite.len(),
+        reduced.n_representatives()
+    );
+
+    // Variant 1: Atom with a 4 MB L3 bolted on (scaled: 512 KB).
+    let mut atom_l3 = Arch::atom().scaled(PARK_SCALE);
+    atom_l3.name = "Atom + L3".into();
+    atom_l3.caches.push(CacheLevel {
+        size: 4 * 1024 * 1024 / PARK_SCALE,
+        assoc: 16,
+        latency: 30.0,
+        bandwidth: 8.0,
+    });
+
+    // Variant 2: Sandy Bridge down-clocked to Atom's 1.66 GHz.
+    let mut slow_sb = Arch::sandy_bridge().scaled(PARK_SCALE);
+    slow_sb.name = "SB @ 1.66 GHz".into();
+    slow_sb.freq_ghz = 1.66;
+
+    let targets = vec![
+        Arch::atom().scaled(PARK_SCALE),
+        atom_l3,
+        slow_sb,
+        Arch::sandy_bridge().scaled(PARK_SCALE),
+    ];
+    let cache = MicroCache::new();
+    let evals = evaluate_targets(&suite, &reduced, &targets, &cache, &cfg);
+
+    println!("{:<14} {:>10} {:>10}", "candidate", "predicted", "real");
+    for e in &evals {
+        println!(
+            "{:<14} {:>10.2} {:>10.2}",
+            e.target, e.geomean.1, e.geomean.0
+        );
+    }
+
+    let rank = rank_targets(&evals);
+    println!("\npredicted ranking: {}",
+        rank.iter().map(|(n, _, _)| n.as_str()).collect::<Vec<_>>().join(" > "));
+
+    let atom = evals.iter().find(|e| e.target == "Atom").unwrap();
+    let atoml3 = evals.iter().find(|e| e.target == "Atom + L3").unwrap();
+    println!(
+        "\nadding an L3 to Atom is predicted to improve the suite geomean by {:.0} % \
+(real effect: {:.0} %)",
+        100.0 * (atoml3.geomean.1 / atom.geomean.1 - 1.0),
+        100.0 * (atoml3.geomean.0 / atom.geomean.0 - 1.0),
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: reduce a benchmark suite and predict a new machine.
+//!
+//! Runs the five-step pipeline over ten Numerical Recipes benchmarks:
+//! profiles them on the (simulated) Nehalem reference, clusters their
+//! feature vectors, extracts one representative microbenchmark per
+//! cluster, then predicts every benchmark's time on Atom from just those
+//! representative runs — and checks the predictions against a real full
+//! run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fgbs::core::{
+    predict, profile_reference, reduce, KChoice, PipelineConfig,
+};
+use fgbs::machine::{Arch, PARK_SCALE};
+use fgbs::suites::{nr_suite, Class};
+
+fn main() {
+    // Steps A + B: detect codelets and profile them on the reference.
+    let cfg = PipelineConfig::default().with_k(KChoice::Elbow { max_k: 10 });
+    let apps: Vec<_> = nr_suite(Class::A).into_iter().take(10).collect();
+    println!("profiling {} benchmarks on {}…", apps.len(), cfg.reference.name);
+    let suite = profile_reference(&apps, &cfg);
+    println!(
+        "  {} codelets detected, {:.0} % of execution time covered",
+        suite.len(),
+        100.0 * suite.coverage
+    );
+
+    // Steps C + D: cluster and pick representatives.
+    let reduced = reduce(&suite, &cfg);
+    println!(
+        "clustered into {} groups (elbow); representatives:",
+        reduced.n_representatives()
+    );
+    for c in &reduced.clusters {
+        println!(
+            "  <{}> stands for {} codelet(s)",
+            suite.codelets[c.representative].name,
+            c.members.len()
+        );
+    }
+
+    // Step E: measure the representatives on Atom and extrapolate.
+    let atom = Arch::atom().scaled(PARK_SCALE);
+    let outcome = predict(&suite, &reduced, &atom, &cfg);
+    println!("\nper-benchmark prediction on {}:", atom.name);
+    println!(
+        "{:>12}  {:>12}  {:>12}  {:>7}",
+        "codelet", "real", "predicted", "error"
+    );
+    for p in &outcome.predictions {
+        println!(
+            "{:>12}  {:>9.1} us  {:>9.1} us  {:>6.1}%",
+            suite.codelets[p.codelet]
+                .name
+                .split('/')
+                .next()
+                .unwrap_or(""),
+            p.real_seconds * 1e6,
+            p.predicted_seconds.unwrap_or(f64::NAN) * 1e6,
+            p.error_pct.unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nmedian error {:.1} % from only {} microbenchmark runs instead of {} full benchmarks",
+        outcome.median_error_pct(),
+        reduced.n_representatives(),
+        suite.len()
+    );
+}

@@ -1,0 +1,63 @@
+//! System selection: pick the best machine for the NAS suite.
+//!
+//! This is the paper's headline use case. The full NAS-like suite is
+//! profiled once on the reference; the reduced representative set is then
+//! run on each candidate machine, application times are extrapolated, and
+//! the machines are ranked by predicted geometric-mean speedup. The
+//! ranking is validated against full ground-truth runs.
+//!
+//! ```sh
+//! cargo run --release --example system_selection
+//! ```
+
+use fgbs::core::{
+    aggregate_apps, geometric_mean_speedup, predict, profile_reference, reduce, PipelineConfig,
+};
+use fgbs::machine::Arch;
+use fgbs::suites::{nas_suite, Class};
+
+fn main() {
+    let cfg = PipelineConfig::default();
+    println!("profiling the NAS suite on {} (this is the one-off cost)…", cfg.reference.name);
+    let suite = profile_reference(&nas_suite(Class::A), &cfg);
+    let reduced = reduce(&suite, &cfg);
+    println!(
+        "  {} codelets -> {} representative microbenchmarks\n",
+        suite.len(),
+        reduced.n_representatives()
+    );
+
+    let mut ranking: Vec<(String, f64, f64)> = Vec::new();
+    for target in Arch::targets_scaled() {
+        println!("evaluating {}…", target.name);
+        let outcome = predict(&suite, &reduced, &target, &cfg);
+        let apps = aggregate_apps(&suite, &outcome, &target, &cfg);
+        for a in &apps {
+            println!(
+                "  {:>3}: predicted {:>8.2} ms   (real {:>8.2} ms)",
+                a.app,
+                a.predicted_seconds.unwrap_or(f64::NAN) * 1e3,
+                a.real_seconds * 1e3,
+            );
+        }
+        let (real, predicted) = geometric_mean_speedup(&apps);
+        println!(
+            "  geometric-mean speedup vs reference: predicted {predicted:.2} (real {real:.2})\n"
+        );
+        ranking.push((target.name.clone(), predicted, real));
+    }
+
+    ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+    println!("predicted ranking:");
+    for (i, (name, pred, real)) in ranking.iter().enumerate() {
+        println!("  {}. {name} (predicted {pred:.2}, real {real:.2})", i + 1);
+    }
+    let mut by_real = ranking.clone();
+    by_real.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite speedups"));
+    println!(
+        "\nselection {}: the reduced suite picks {}, ground truth says {}",
+        if ranking[0].0 == by_real[0].0 { "CORRECT" } else { "WRONG" },
+        ranking[0].0,
+        by_real[0].0
+    );
+}

@@ -1,0 +1,352 @@
+//! `fgbs` — command-line driver for the benchmark-subsetting pipeline.
+//!
+//! ```text
+//! fgbs info                               # machine park and suite inventory
+//! fgbs show    --suite nr|nas [--codelet NAME]   # pseudo-code of the codelets
+//! fgbs reduce  --suite nr|nas [options]   # steps A-D: clusters + representatives
+//! fgbs predict --suite nr|nas --target atom|core2|sb [options]
+//! fgbs select  --suite nr|nas [options]   # full system selection across all targets
+//!
+//! options:
+//!   --class test|a|b     dataset class (default a)
+//!   --k N | --k elbow    cluster count policy (default elbow)
+//!   --paper-features     cluster on the paper's Table 2 feature list
+//! ```
+
+use fgbs::analysis::{table2_features, FeatureMask};
+use fgbs::clustering::render_dendrogram;
+use fgbs::core::{
+    evaluate_targets, predict, profile_reference, rank_targets, reduce, KChoice, MicroCache,
+    PipelineConfig,
+};
+use fgbs::machine::{Arch, PARK_SCALE};
+use fgbs::suites::{nas_suite, nr_suite, Class, NAS_APPS};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    command: Command,
+    suite: SuiteKind,
+    class: Class,
+    k: KChoice,
+    paper_features: bool,
+    target: Option<String>,
+    codelet: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Info,
+    Show,
+    Reduce,
+    Predict,
+    Select,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SuiteKind {
+    Nr,
+    Nas,
+}
+
+const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select> \
+[--suite nr|nas] [--class test|a|b] [--k N|elbow] [--target atom|core2|sb] \
+[--codelet NAME] [--paper-features]";
+
+fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        command: Command::Info,
+        suite: SuiteKind::Nas,
+        class: Class::A,
+        k: KChoice::Elbow { max_k: 24 },
+        paper_features: false,
+        target: None,
+        codelet: None,
+    };
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("info") => cli.command = Command::Info,
+        Some("show") => cli.command = Command::Show,
+        Some("reduce") => cli.command = Command::Reduce,
+        Some("predict") => cli.command = Command::Predict,
+        Some("select") => cli.command = Command::Select,
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suite" => {
+                cli.suite = match it.next().map(String::as_str) {
+                    Some("nr") => SuiteKind::Nr,
+                    Some("nas") => SuiteKind::Nas,
+                    other => return Err(format!("--suite nr|nas, got {other:?}")),
+                }
+            }
+            "--class" => {
+                cli.class = match it.next().map(String::as_str) {
+                    Some("test") => Class::Test,
+                    Some("a") => Class::A,
+                    Some("b") => Class::B,
+                    other => return Err(format!("--class test|a|b, got {other:?}")),
+                }
+            }
+            "--k" => {
+                cli.k = match it.next().map(String::as_str) {
+                    Some("elbow") => KChoice::Elbow { max_k: 24 },
+                    Some(n) => KChoice::Fixed(
+                        n.parse()
+                            .map_err(|_| format!("--k expects a number or `elbow`, got `{n}`"))?,
+                    ),
+                    None => return Err("--k expects a value".into()),
+                }
+            }
+            "--target" => {
+                cli.target = Some(
+                    it.next()
+                        .ok_or_else(|| "--target expects a value".to_string())?
+                        .clone(),
+                )
+            }
+            "--codelet" => {
+                cli.codelet = Some(
+                    it.next()
+                        .ok_or_else(|| "--codelet expects a name".to_string())?
+                        .clone(),
+                )
+            }
+            "--paper-features" => cli.paper_features = true,
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn target_by_name(name: &str) -> Result<Arch, String> {
+    let arch = match name.to_ascii_lowercase().as_str() {
+        "atom" => Arch::atom(),
+        "core2" | "core-2" | "core 2" => Arch::core2(),
+        "sb" | "sandybridge" | "sandy-bridge" => Arch::sandy_bridge(),
+        "nehalem" | "ref" => Arch::nehalem(),
+        other => return Err(format!("unknown target `{other}` (atom|core2|sb)")),
+    };
+    Ok(arch.scaled(PARK_SCALE))
+}
+
+fn build_config(cli: &Cli) -> PipelineConfig {
+    let mut cfg = PipelineConfig::default().with_k(cli.k);
+    if cli.paper_features {
+        cfg = cfg.with_features(FeatureMask::from_ids(&table2_features()));
+    }
+    cfg
+}
+
+fn suite_apps(cli: &Cli) -> Vec<fgbs::extract::Application> {
+    match cli.suite {
+        SuiteKind::Nr => nr_suite(cli.class),
+        SuiteKind::Nas => nas_suite(cli.class),
+    }
+}
+
+fn cmd_info() {
+    println!("machine park (simulated at 1/{PARK_SCALE} cache capacity):");
+    for a in Arch::park_scaled() {
+        let caches: Vec<String> = a
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("L{} {} KB", i + 1, c.size / 1024))
+            .collect();
+        println!(
+            "  {:<13} {} @ {:.2} GHz, {}, {}",
+            a.name,
+            a.cpu,
+            a.freq_ghz,
+            if a.in_order { "in-order" } else { "out-of-order" },
+            caches.join(" / ")
+        );
+    }
+    println!("\nsuites:");
+    println!("  nr  — 28 Numerical Recipes kernels (Table 3), one codelet each");
+    println!(
+        "  nas — {} NAS-like applications: {}",
+        NAS_APPS.len(),
+        NAS_APPS.join(", ")
+    );
+}
+
+fn cmd_show(cli: &Cli) {
+    let apps = suite_apps(cli);
+    for app in &apps {
+        for c in &app.codelets {
+            if let Some(filter) = &cli.codelet {
+                if !c.qualified_name().contains(filter.as_str()) {
+                    continue;
+                }
+            }
+            print!("{c}");
+            println!(
+                "  # pattern: {} | strides: {} | {}",
+                c.pattern,
+                c.stride_summary(),
+                if c.extractable { "extractable" } else { "not extractable" }
+            );
+            println!();
+        }
+    }
+}
+
+fn cmd_reduce(cli: &Cli) {
+    let cfg = build_config(cli);
+    let apps = suite_apps(cli);
+    eprintln!("profiling on {}…", cfg.reference.name);
+    let suite = profile_reference(&apps, &cfg);
+    let reduced = reduce(&suite, &cfg);
+    println!(
+        "{} codelets ({:.0} % coverage) -> {} clusters, {} ill-behaved",
+        suite.len(),
+        100.0 * suite.coverage,
+        reduced.n_representatives(),
+        reduced.ill_behaved.len()
+    );
+    for (i, c) in reduced.clusters.iter().enumerate() {
+        println!(
+            "cluster {:>2}: <{}> + {} sibling(s)",
+            i + 1,
+            suite.codelets[c.representative].name,
+            c.members.len() - 1
+        );
+    }
+    let labels: Vec<String> = suite.codelets.iter().map(|c| c.name.clone()).collect();
+    println!("\ndendrogram:");
+    print!("{}", render_dendrogram(&reduced.dendrogram, &labels, 36));
+}
+
+fn cmd_predict(cli: &Cli) -> Result<(), String> {
+    let name = cli
+        .target
+        .as_deref()
+        .ok_or("predict requires --target atom|core2|sb")?;
+    let target = target_by_name(name)?;
+    let cfg = build_config(cli);
+    let apps = suite_apps(cli);
+    eprintln!("profiling on {}…", cfg.reference.name);
+    let suite = profile_reference(&apps, &cfg);
+    let reduced = reduce(&suite, &cfg);
+    eprintln!(
+        "measuring {} representatives on {}…",
+        reduced.n_representatives(),
+        target.name
+    );
+    let out = predict(&suite, &reduced, &target, &cfg);
+    println!("{:<28} {:>12} {:>12} {:>8}", "codelet", "real", "predicted", "err %");
+    for p in &out.predictions {
+        println!(
+            "{:<28} {:>9.1} us {:>9.1} us {:>8.1}",
+            suite.codelets[p.codelet].name,
+            p.real_seconds * 1e6,
+            p.predicted_seconds.unwrap_or(f64::NAN) * 1e6,
+            p.error_pct.unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "\nmedian error {:.1} %, average {:.1} %",
+        out.median_error_pct(),
+        out.average_error_pct()
+    );
+    Ok(())
+}
+
+fn cmd_select(cli: &Cli) {
+    let cfg = build_config(cli);
+    let apps = suite_apps(cli);
+    eprintln!("profiling on {}…", cfg.reference.name);
+    let suite = profile_reference(&apps, &cfg);
+    let reduced = reduce(&suite, &cfg);
+    let targets = Arch::targets_scaled();
+    eprintln!(
+        "evaluating {} targets in parallel from {} representatives…",
+        targets.len(),
+        reduced.n_representatives()
+    );
+    let cache = MicroCache::new();
+    let evals = evaluate_targets(&suite, &reduced, &targets, &cache, &cfg);
+    for e in &evals {
+        println!(
+            "{:<13} geo-mean speedup predicted {:.2} (real {:.2}), benchmarking cost x{:.1} lower",
+            e.target, e.geomean.1, e.geomean.0, e.reduction.total
+        );
+    }
+    let rank = rank_targets(&evals);
+    println!("\nrecommended system: {}", rank[0].0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cli.command {
+        Command::Info => cmd_info(),
+        Command::Show => cmd_show(&cli),
+        Command::Reduce => cmd_reduce(&cli),
+        Command::Predict => {
+            if let Err(e) = cmd_predict(&cli) {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        Command::Select => cmd_select(&cli),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_commands_and_options() {
+        let c = parse(&argv("reduce --suite nr --class test --k 5")).unwrap();
+        assert_eq!(c.command, Command::Reduce);
+        assert_eq!(c.suite, SuiteKind::Nr);
+        assert_eq!(c.class, Class::Test);
+        assert_eq!(c.k, KChoice::Fixed(5));
+        assert!(!c.paper_features);
+
+        let c = parse(&argv("predict --target atom --paper-features")).unwrap();
+        assert_eq!(c.command, Command::Predict);
+        assert_eq!(c.target.as_deref(), Some("atom"));
+        assert!(c.paper_features);
+
+        let c = parse(&argv("select --k elbow")).unwrap();
+        assert_eq!(c.command, Command::Select);
+        assert_eq!(c.k, KChoice::Elbow { max_k: 24 });
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&argv("")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("reduce --k banana")).is_err());
+        assert!(parse(&argv("reduce --suite spec")).is_err());
+        assert!(parse(&argv("reduce --bogus")).is_err());
+    }
+
+    #[test]
+    fn resolves_targets() {
+        assert_eq!(target_by_name("atom").unwrap().name, "Atom");
+        assert_eq!(target_by_name("SB").unwrap().name, "Sandy Bridge");
+        assert_eq!(target_by_name("core2").unwrap().name, "Core 2");
+        assert!(target_by_name("vax").is_err());
+        // Targets come back scaled.
+        let full = Arch::atom().caches[1].size;
+        assert_eq!(target_by_name("atom").unwrap().caches[1].size, full / PARK_SCALE);
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end pipeline over the Numerical Recipes suite.
+
+use fgbs::core::{
+    model_matrix, predict_with_runs, profile_reference, profile_target, reduce_cached, wellness,
+    KChoice, MicroCache, PipelineConfig,
+};
+use fgbs::machine::{Arch, PARK_SCALE};
+use fgbs::suites::{nr_suite, Class};
+
+fn atom() -> Arch {
+    Arch::atom().scaled(PARK_SCALE)
+}
+
+#[test]
+fn nr_full_pipeline_end_to_end() {
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(8));
+    let apps = nr_suite(Class::Test);
+    let suite = profile_reference(&apps, &cfg);
+
+    // Step A/B: one codelet per NR code, near-total coverage.
+    assert_eq!(suite.len(), 28);
+    assert!(suite.coverage > 0.99, "coverage {}", suite.coverage);
+
+    // All NR codelets are well-behaved (paper §4.1).
+    let cache = MicroCache::new();
+    let well = wellness(&suite, &cfg, &cache);
+    let ill: Vec<&str> = suite
+        .codelets
+        .iter()
+        .zip(&well)
+        .filter(|(_, &w)| !w)
+        .map(|(c, _)| c.name.as_str())
+        .collect();
+    assert!(
+        ill.is_empty(),
+        "NR codelets must all be well-behaved, got ill: {ill:?}"
+    );
+
+    // Steps C/D.
+    let reduced = reduce_cached(&suite, &cfg, &cache);
+    assert_eq!(reduced.n_representatives(), 8);
+    assert!(reduced.ill_behaved.is_empty());
+
+    // Step E on Atom.
+    let target = atom();
+    let runs = profile_target(&suite, &target, &cfg);
+    let out = predict_with_runs(&suite, &reduced, &target, &runs, &cache, &cfg);
+    assert_eq!(out.predictions.len(), 28);
+    assert!(out.median_error_pct().is_finite());
+
+    // The matrix formulation must agree with the direct formula.
+    let m = model_matrix(&suite, &reduced);
+    for (i, p) in out.predictions.iter().enumerate() {
+        let via: f64 = m[i].iter().zip(&out.rep_seconds).map(|(a, b)| a * b).sum();
+        let direct = p.predicted_seconds.expect("all predicted");
+        assert!((via - direct).abs() <= 1e-12 * direct.max(1e-12));
+    }
+}
+
+#[test]
+fn nr_every_codelet_its_own_representative_is_nearly_exact() {
+    // K = N: every codelet measured directly; errors reduce to the
+    // standalone-vs-in-app gap, bounded by well-behavedness (10 %) plus
+    // measurement noise.
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(28));
+    let apps = nr_suite(Class::Test);
+    let suite = profile_reference(&apps, &cfg);
+    let cache = MicroCache::new();
+    let reduced = reduce_cached(&suite, &cfg, &cache);
+    assert_eq!(reduced.n_representatives(), 28);
+
+    for target in [atom(), Arch::sandy_bridge().scaled(PARK_SCALE)] {
+        let runs = profile_target(&suite, &target, &cfg);
+        let out = predict_with_runs(&suite, &reduced, &target, &runs, &cache, &cfg);
+        let med = out.median_error_pct();
+        assert!(med < 12.0, "{}: median {med}%", target.name);
+    }
+}
+
+#[test]
+fn nr_dendrogram_curve_is_monotone() {
+    let cfg = PipelineConfig::fast();
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(12).collect();
+    let suite = profile_reference(&apps, &cfg);
+    let reduced = reduce_cached(&suite, &cfg, &MicroCache::new());
+    for w in reduced.within_curve.windows(2) {
+        assert!(w[1].1 <= w[0].1 + 1e-9, "W(k) must not increase");
+    }
+    // The dendrogram has one merge per codelet minus one.
+    assert_eq!(reduced.dendrogram.merges().len(), 11);
+}
+
+#[test]
+fn nr_division_kernels_cluster_together() {
+    // The paper's cluster 10: svdcmp_13/svdcmp_14 (vector divides) are
+    // isolated together because of their high-latency divides.
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(10));
+    let apps = nr_suite(Class::Test);
+    let suite = profile_reference(&apps, &cfg);
+    let reduced = reduce_cached(&suite, &cfg, &MicroCache::new());
+    let a = suite.index_of("svdcmp_14/svdcmp_14").unwrap();
+    let b = suite.index_of("svdcmp_13/svdcmp_13").unwrap();
+    assert_eq!(
+        reduced.assignment[a], reduced.assignment[b],
+        "the divide kernels should share a cluster"
+    );
+}

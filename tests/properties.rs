@@ -1,0 +1,210 @@
+//! Property-based invariants across the stack: random codelets through
+//! the compiler and the machine, random observation matrices through the
+//! clustering.
+
+use fgbs::clustering::{
+    elbow_k, linkage, medoid, normalize, within_variance_curve, DistanceMatrix, Linkage,
+};
+use fgbs::isa::{
+    compile, BinOp, BindingBuilder, Codelet, CodeletBuilder, CompileMode, Precision, TargetSpec,
+};
+use fgbs::machine::{Arch, Machine, PARK_SCALE};
+use proptest::prelude::*;
+
+/// A random but well-formed streaming codelet: 1-D loop, loads with
+/// strides in {0, 1, -1}, one store or reduction.
+fn codelet_strategy() -> impl Strategy<Value = (Codelet, u64)> {
+    let stride = prop_oneof![Just(0i64), Just(1i64), Just(-1i64)];
+    (
+        proptest::collection::vec(stride, 1..4),
+        any::<bool>(),
+        prop_oneof![Just(Precision::F32), Just(Precision::F64)],
+        512u64..4096,
+    )
+        .prop_map(|(strides, reduce, prec, n)| {
+            let mut b = CodeletBuilder::new("rand", "prop");
+            for i in 0..strides.len() {
+                b = b.array(&format!("in{i}"), prec);
+            }
+            b = b.array("out", prec).param_loop("n");
+            let strides2 = strides.clone();
+            let c = if reduce {
+                b.update_acc("s", BinOp::Add, move |eb| {
+                    let mut e = eb.constant(1.0);
+                    for (i, &s) in strides2.iter().enumerate() {
+                        // Reversed operands need an in-bounds start.
+                        let e2 = if s >= 0 {
+                            eb.load(&format!("in{i}"), &[s])
+                        } else {
+                            eb.load_expr(
+                                &format!("in{i}"),
+                                vec![fgbs::isa::AffineExpr::lit(-1)],
+                                fgbs::isa::AffineExpr::new(-1, 1),
+                            )
+                        };
+                        e = e * e2;
+                    }
+                    e
+                })
+                .build()
+            } else {
+                b.store("out", &[1], move |eb| {
+                    let mut e = eb.constant(0.5);
+                    for (i, &s) in strides2.iter().enumerate() {
+                        let e2 = if s >= 0 {
+                            eb.load(&format!("in{i}"), &[s])
+                        } else {
+                            eb.load_expr(
+                                &format!("in{i}"),
+                                vec![fgbs::isa::AffineExpr::lit(-1)],
+                                fgbs::isa::AffineExpr::new(-1, 1),
+                            )
+                        };
+                        e = e + e2;
+                    }
+                    e
+                })
+                .build()
+            };
+            (c, n)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compiled_kernels_are_sane((codelet, _n) in codelet_strategy()) {
+        for mode in [CompileMode::InApp, CompileMode::Standalone] {
+            let k = compile(&codelet, &TargetSpec::sse128(), mode);
+            prop_assert!(k.insts_per_iter() > 0.0);
+            prop_assert!(k.flops_per_iter() >= 0.0);
+            let r = k.vector_ratio_fp();
+            prop_assert!((0.0..=1.0).contains(&r), "ratio {r}");
+            for inst in &k.insts {
+                prop_assert!(inst.weight >= 0.0);
+                prop_assert!(inst.lanes >= 1);
+            }
+            // Scalar targets never vectorize.
+            let ks = compile(&codelet, &TargetSpec::scalar(), mode);
+            prop_assert_eq!(ks.vector_ratio_fp(), 0.0);
+        }
+    }
+
+    #[test]
+    fn machine_runs_are_deterministic_and_consistent((codelet, n) in codelet_strategy()) {
+        let arch = Arch::nehalem().scaled(PARK_SCALE);
+        let kernel = compile(&codelet, &arch.target(), CompileMode::InApp);
+        let mut bb = BindingBuilder::new(4096);
+        for _ in 0..codelet.arrays.len() {
+            bb = bb.vector(n, 8);
+        }
+        let binding = bb.param(n).build_for(&codelet);
+
+        let mut m1 = Machine::new(arch.clone());
+        let a = m1.run(&kernel, &binding);
+        let mut m2 = Machine::new(arch.clone());
+        let b = m2.run(&kernel, &binding);
+        prop_assert_eq!(&a, &b, "same kernel+binding must reproduce exactly");
+
+        prop_assert!(a.cycles > 0.0);
+        prop_assert_eq!(a.counters.iterations, n as f64);
+        prop_assert_eq!(a.counters.iterations, binding.iterations(&codelet) as f64);
+        // Cache accounting: hits + misses at L1 equals total line touches.
+        let l1 = a.counters.cache_hits[0] + a.counters.cache_misses[0];
+        prop_assert!(l1 > 0);
+        // Deeper levels see at most the misses of the level above.
+        for lvl in 1..a.counters.cache_hits.len() {
+            let deeper = a.counters.cache_hits[lvl] + a.counters.cache_misses[lvl];
+            prop_assert_eq!(deeper, a.counters.cache_misses[lvl - 1]);
+        }
+        // A second, warm invocation is never slower.
+        let warm = m1.run(&kernel, &binding);
+        prop_assert!(warm.cycles <= a.cycles * 1.0001);
+    }
+
+    #[test]
+    fn clustering_invariants(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 4),
+            3..20,
+        )
+    ) {
+        let norm = normalize(&data);
+        let d = DistanceMatrix::euclidean(&norm);
+        let dendro = linkage(&d, Linkage::Ward);
+        let n = data.len();
+
+        let curve = within_variance_curve(&norm, &dendro, n);
+        // W is monotone non-increasing and hits ~0 at K = n.
+        for w in curve.windows(2) {
+            prop_assert!(w[1].1 <= w[0].1 + 1e-9);
+        }
+        prop_assert!(curve.last().unwrap().1.abs() < 1e-9);
+        let k = elbow_k(&curve);
+        prop_assert!(k >= 1 && k <= n);
+
+        for kk in 1..=n {
+            let p = dendro.cut(kk);
+            prop_assert_eq!(p.k(), kk);
+            prop_assert_eq!(p.len(), n);
+            // Every cluster non-empty; medoid is a member.
+            for c in 0..kk {
+                let members = p.members(c);
+                prop_assert!(!members.is_empty());
+                let m = medoid(&norm, &p, c, &[]).expect("eligible members exist");
+                prop_assert!(members.contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn ward_heights_monotone(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 3),
+            2..16,
+        )
+    ) {
+        let d = DistanceMatrix::euclidean(&data);
+        let dendro = linkage(&d, Linkage::Ward);
+        let hs: Vec<f64> = dendro.merges().iter().map(|m| m.height).collect();
+        for w in hs.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9, "heights {hs:?}");
+        }
+    }
+}
+
+/// The three execution engines must agree on iteration counts: the
+/// analytic formula, the functional interpreter and the machine executor.
+#[test]
+fn iteration_count_consistency_across_engines() {
+    use fgbs::isa::{compile, interpret, CompileMode, Memory};
+    use fgbs::suites::{nas_suite, nr_suite, Class};
+
+    let arch = Arch::nehalem().scaled(PARK_SCALE);
+    let mut checked = 0;
+    let mut apps = nr_suite(Class::Test);
+    apps.truncate(10);
+    apps.extend(nas_suite(Class::Test).into_iter().take(2));
+    for app in &apps {
+        for (ci, c) in app.codelets.iter().enumerate() {
+            let binding = &app.contexts[ci][0];
+            let analytic = binding.iterations(c);
+
+            let mut mem = Memory::for_binding(c, binding);
+            let interp = interpret(c, binding, &mut mem).expect("in bounds");
+            assert_eq!(interp.iterations, analytic, "{}", c.qualified_name());
+
+            let kernel = compile(c, &arch.target(), CompileMode::InApp);
+            let mut m = Machine::new(arch.clone());
+            let meas = m.run(&kernel, binding);
+            assert_eq!(
+                meas.counters.iterations, analytic as f64,
+                "{}",
+                c.qualified_name()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 20, "checked {checked} codelets");
+}
