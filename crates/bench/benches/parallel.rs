@@ -1,0 +1,130 @@
+//! The shared work pool, measured: GA feature selection and distance-matrix
+//! construction, serial vs parallel. The contract under test is twofold —
+//! the pooled paths must be *faster* (the acceptance bar is ≥2× GA
+//! wall-clock at 8 threads) and *bitwise identical* to the serial paths
+//! (checked here outside the timed regions; `tests/properties.rs` holds
+//! the exhaustive version).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgbs_analysis::{FeatureMask, N_FEATURES};
+use fgbs_clustering::DistanceMatrix;
+use fgbs_core::{
+    profile_reference, profile_target, reduce_cached, KChoice, MicroCache, PipelineConfig,
+};
+use fgbs_core::predict_with_runs;
+use fgbs_genetic::{minimize, minimize_parallel, BitGenome, FitnessCache, GaConfig};
+use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_pool::WorkPool;
+use fgbs_suites::{nr_suite, Class};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The NR Test-class GA workload: each genome prices a feature mask by
+/// running the full cluster-and-predict pipeline, exactly as
+/// `select_features_ga` does.
+fn ga_workload() -> (
+    GaConfig,
+    impl Fn(&BitGenome) -> f64 + Sync,
+) {
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+    let apps = nr_suite(Class::Test);
+    let suite = profile_reference(&apps, &cfg);
+    let cache = MicroCache::new();
+    let target = Arch::atom().scaled(PARK_SCALE);
+    let runs = profile_target(&suite, &target, &cfg);
+
+    // Population sized so each generation is a real batch of pipeline
+    // runs — the shape of the paper's pop-1000 GA, scaled to bench time.
+    let ga = GaConfig {
+        genome_len: N_FEATURES,
+        population: 64,
+        generations: 3,
+        seed: 42,
+        ..GaConfig::default()
+    };
+    let fitness = move |g: &BitGenome| -> f64 {
+        if g.count_ones() == 0 {
+            return f64::MAX / 2.0;
+        }
+        let mcfg = cfg
+            .clone()
+            .with_features(FeatureMask::from_bits(g.bits().to_vec()));
+        let reduced = reduce_cached(&suite, &mcfg, &cache);
+        let out = predict_with_runs(&suite, &reduced, &target, &runs, &cache, &mcfg);
+        let err = out.average_error_pct();
+        if err.is_finite() {
+            err * reduced.n_representatives() as f64
+        } else {
+            f64::MAX / 2.0
+        }
+    };
+    (ga, fitness)
+}
+
+fn bench_ga(c: &mut Criterion) {
+    let (ga, fitness) = ga_workload();
+
+    // Determinism gate: the parallel run must reproduce the serial winner
+    // byte for byte before any timing is trusted.
+    let serial = minimize(&ga, &fitness);
+    for threads in [2, 8] {
+        let pool = WorkPool::new(threads);
+        let par = minimize_parallel(&ga, &pool, &FitnessCache::new(), &fitness);
+        assert_eq!(serial.best, par.best, "best genome differs at {threads} threads");
+        assert_eq!(
+            serial.best_fitness.to_bits(),
+            par.best_fitness.to_bits(),
+            "best fitness differs at {threads} threads"
+        );
+    }
+
+    let mut group = c.benchmark_group("ga_feature_selection");
+    group.bench_function("serial", |b| b.iter(|| minimize(&ga, &fitness)));
+    for threads in [2usize, 4, 8] {
+        let pool = WorkPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::new("pooled", threads),
+            &threads,
+            |b, _| {
+                // A fresh cache per run: memoisation across runs would
+                // flatter the parallel path.
+                b.iter(|| minimize_parallel(&ga, &pool, &FitnessCache::new(), &fitness))
+            },
+        );
+    }
+
+    // The memoisation axis: a cache shared across runs makes a repeat run
+    // (same seed, e.g. re-running selection with an unchanged config) skip
+    // every pipeline evaluation.
+    let pool = WorkPool::new(8);
+    let warm = FitnessCache::new();
+    let _ = minimize_parallel(&ga, &pool, &warm, &fitness);
+    group.bench_function("pooled/8+warm-cache", |b| {
+        b.iter(|| minimize_parallel(&ga, &pool, &warm, &fitness))
+    });
+    group.finish();
+}
+
+fn bench_distance_matrix(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let data: Vec<Vec<f64>> = (0..600)
+        .map(|_| (0..14).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+
+    let serial = DistanceMatrix::euclidean(&data);
+    let pooled = DistanceMatrix::euclidean_with(&data, &WorkPool::new(8));
+    assert_eq!(serial, pooled, "pooled distance matrix must be bitwise identical");
+
+    let mut group = c.benchmark_group("distance_matrix_600x14");
+    group.bench_function("serial", |b| b.iter(|| DistanceMatrix::euclidean(&data)));
+    for threads in [2usize, 8] {
+        let pool = WorkPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("pooled", threads), &threads, |b, _| {
+            b.iter(|| DistanceMatrix::euclidean_with(&data, &pool))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga, bench_distance_matrix);
+criterion_main!(benches);

@@ -1,5 +1,7 @@
 //! Condensed pairwise distance matrices.
 
+use fgbs_pool::WorkPool;
+
 /// A symmetric pairwise distance matrix over `n` observations, stored in
 /// condensed upper-triangular form.
 #[derive(Debug, Clone, PartialEq)]
@@ -9,15 +11,30 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Euclidean distances between rows of `data`.
+    /// Euclidean distances between rows of `data`, computed serially.
     ///
     /// # Panics
     ///
     /// Panics if rows have inconsistent lengths.
     pub fn euclidean(data: &[Vec<f64>]) -> DistanceMatrix {
+        DistanceMatrix::euclidean_with(data, &WorkPool::serial())
+    }
+
+    /// Euclidean distances between rows of `data`, with the O(n²) row
+    /// chunks of the condensed triangle fanned out over `pool`.
+    ///
+    /// Each row of the triangle is an independent contiguous span of the
+    /// condensed vector, so rows map onto the pool and concatenate back
+    /// in index order — the result is bitwise identical to
+    /// [`DistanceMatrix::euclidean`] for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn euclidean_with(data: &[Vec<f64>], pool: &WorkPool) -> DistanceMatrix {
         let n = data.len();
-        let mut d = Vec::with_capacity(n * (n - 1) / 2);
-        for i in 0..n {
+        let rows = pool.map_indexed(n.saturating_sub(1), |i| {
+            let mut row = Vec::with_capacity(n - 1 - i);
             for j in (i + 1)..n {
                 assert_eq!(data[i].len(), data[j].len(), "ragged distance input");
                 let s: f64 = data[i]
@@ -25,8 +42,13 @@ impl DistanceMatrix {
                     .zip(&data[j])
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum();
-                d.push(s.sqrt());
+                row.push(s.sqrt());
             }
+            row
+        });
+        let mut d = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for row in rows {
+            d.extend(row);
         }
         DistanceMatrix { n, d }
     }
@@ -102,5 +124,26 @@ mod tests {
     fn out_of_range_panics() {
         let d = DistanceMatrix::euclidean(&[vec![0.0], vec![1.0]]);
         let _ = d.get(0, 2);
+    }
+
+    #[test]
+    fn pooled_build_is_bitwise_identical() {
+        let data: Vec<Vec<f64>> = (0..67)
+            .map(|i| (0..14).map(|j| ((i * 31 + j * 17) % 23) as f64 / 7.0).collect())
+            .collect();
+        let serial = DistanceMatrix::euclidean(&data);
+        for threads in [2, 4, 8] {
+            let pooled = DistanceMatrix::euclidean_with(&data, &WorkPool::new(threads));
+            assert_eq!(serial, pooled, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_build_handles_degenerate_sizes() {
+        let pool = WorkPool::new(4);
+        assert_eq!(DistanceMatrix::euclidean_with(&[], &pool).len(), 0);
+        let one = DistanceMatrix::euclidean_with(&[vec![1.0]], &pool);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.get(0, 0), 0.0);
     }
 }

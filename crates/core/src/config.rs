@@ -4,6 +4,7 @@ use fgbs_analysis::FeatureMask;
 use fgbs_clustering::Linkage;
 use fgbs_extract::CodeletFinder;
 use fgbs_machine::Arch;
+use fgbs_pool::WorkPool;
 
 /// How the number of clusters is chosen (§3.3: "the user manually sets K"
 /// or "K is automatically selected using the Elbow method").
@@ -40,6 +41,11 @@ pub struct PipelineConfig {
     /// Seed for measurement noise; identical seeds reproduce runs
     /// bit-for-bit.
     pub noise_seed: u64,
+    /// Worker threads for the shared work pool (GA fitness, distance
+    /// matrices, per-target evaluation). `1` runs everything inline;
+    /// `0` uses the machine's available parallelism. Results are
+    /// identical for every value — parallelism never changes output.
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -59,6 +65,7 @@ impl Default for PipelineConfig {
             micro_min_seconds: 2.0e-5,
             micro_min_invocations: fgbs_extract::MIN_INVOCATIONS,
             noise_seed: 0,
+            threads: 1,
         }
     }
 }
@@ -84,6 +91,19 @@ impl PipelineConfig {
     pub fn with_features(mut self, features: FeatureMask) -> Self {
         self.features = features;
         self
+    }
+
+    /// Same configuration with a different worker-thread count
+    /// (`0` = available parallelism, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The shared work pool this configuration prescribes
+    /// ([`WorkPool::new`] maps `0` to the available parallelism).
+    pub fn pool(&self) -> WorkPool {
+        WorkPool::new(self.threads)
     }
 }
 
@@ -112,5 +132,16 @@ mod tests {
         assert_eq!(c.k_choice, KChoice::Fixed(14));
         assert_eq!(c.features.len(), fgbs_analysis::N_FEATURES);
         assert!(c.micro_min_seconds < 1e-3);
+    }
+
+    #[test]
+    fn threads_default_serial_and_override() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.threads, 1, "serial by default; parallelism is opt-in");
+        assert_eq!(c.pool().threads(), 1);
+        let c8 = c.with_threads(8);
+        assert_eq!(c8.pool().threads(), 8);
+        // 0 = auto-detect: at least one worker.
+        assert!(PipelineConfig::default().with_threads(0).pool().threads() >= 1);
     }
 }

@@ -7,7 +7,7 @@
 
 use fgbs_analysis::{FeatureMask, N_FEATURES};
 use fgbs_extract::AppRun;
-use fgbs_genetic::{minimize, BitGenome, GaConfig};
+use fgbs_genetic::{minimize_parallel, BitGenome, FitnessCache, GaConfig};
 use fgbs_machine::Arch;
 
 use crate::config::PipelineConfig;
@@ -31,6 +31,10 @@ pub struct FeatureSelection {
     pub history: Vec<f64>,
     /// Distinct fitness evaluations performed.
     pub evaluations: usize,
+    /// Fitness-cache lookups answered without re-running the pipeline.
+    pub cache_hits: u64,
+    /// Fitness-cache lookups that required a pipeline run.
+    pub cache_misses: u64,
 }
 
 /// Average prediction error (percent) of `suite` on `target` under `mask`,
@@ -53,6 +57,11 @@ fn mask_error(
 /// Run the GA over feature masks, training on `targets` (the paper uses
 /// Atom and Sandy Bridge, leaving Core 2 and the NAS suite out for
 /// validation).
+///
+/// Each genome's fitness — a full cluster-and-predict pipeline per
+/// training target — evaluates on the shared work pool (`cfg.threads`
+/// workers), memoised across generations by a [`FitnessCache`]. Results
+/// are identical for every thread count.
 pub fn select_features_ga(
     suite: &ProfiledSuite,
     targets: &[Arch],
@@ -69,6 +78,9 @@ pub fn select_features_ga(
     let mut ga_cfg = ga.clone();
     ga_cfg.genome_len = N_FEATURES;
 
+    // Fitness must evaluate the pipeline serially inside: the pool
+    // parallelises across genomes, the coarser (and deterministic) axis.
+    let inner_cfg = cfg.clone().with_threads(1);
     let fitness = |g: &BitGenome| -> f64 {
         if g.count_ones() == 0 {
             return f64::MAX / 2.0; // empty masks cannot cluster
@@ -77,7 +89,7 @@ pub fn select_features_ga(
         let mut worst = 0.0f64;
         let mut k_used = 1usize;
         for (t, r) in targets.iter().zip(&runs) {
-            let (err, k) = mask_error(suite, &mask, t, r, &cache, cfg);
+            let (err, k) = mask_error(suite, &mask, t, r, &cache, &inner_cfg);
             if !err.is_finite() {
                 return f64::MAX / 2.0;
             }
@@ -87,10 +99,11 @@ pub fn select_features_ga(
         worst * k_used as f64
     };
 
-    let result = minimize(&ga_cfg, fitness);
+    let fitness_cache = FitnessCache::new();
+    let result = minimize_parallel(&ga_cfg, &cfg.pool(), &fitness_cache, fitness);
     let mask = FeatureMask::from_bits(result.best.bits().to_vec());
     // Recompute K for the winner on the first target.
-    let (_, k) = mask_error(suite, &mask, &targets[0], &runs[0], &cache, cfg);
+    let (_, k) = mask_error(suite, &mask, &targets[0], &runs[0], &cache, &inner_cfg);
     FeatureSelection {
         feature_ids: mask.ids(),
         mask,
@@ -98,6 +111,8 @@ pub fn select_features_ga(
         k,
         history: result.history,
         evaluations: result.evaluations,
+        cache_hits: fitness_cache.hits(),
+        cache_misses: fitness_cache.misses(),
     }
 }
 

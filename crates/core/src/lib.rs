@@ -57,7 +57,7 @@ pub use appagg::{aggregate_apps, geometric_mean_speedup, AppPrediction};
 pub use config::{KChoice, PipelineConfig};
 pub use featsel::{select_features_ga, FeatureSelection};
 pub use micras::MicroCache;
-pub use parallel::{evaluate_targets, rank_targets, TargetEvaluation};
+pub use parallel::{evaluate_targets, evaluate_targets_with, rank_targets, TargetEvaluation};
 pub use perapp::{per_app_subsetting, PerAppPoint};
 pub use predict::{
     model_matrix, predict, predict_with_runs, CodeletPrediction, PredictionOutcome,

@@ -2,9 +2,12 @@
 //!
 //! System selection evaluates many candidate machines; every target's
 //! ground-truth run, prediction and reduction factor are independent, so
-//! they fan out across threads. Results come back in target order.
+//! they fan out over the shared work pool ([`fgbs_pool::WorkPool`], the
+//! same executor the GA and the distance matrix use). Results come back
+//! in target order regardless of scheduling.
 
 use fgbs_machine::Arch;
+use fgbs_pool::WorkPool;
 
 use crate::appagg::{aggregate_apps, geometric_mean_speedup, AppPrediction};
 use crate::config::PipelineConfig;
@@ -29,8 +32,9 @@ pub struct TargetEvaluation {
     pub geomean: (f64, f64),
 }
 
-/// Evaluate the reduced suite on every target, in parallel (one thread per
-/// target). The microbenchmark cache is shared across threads.
+/// Evaluate the reduced suite on every target, fanned out over the
+/// configured work pool (one work item per target; `cfg.threads` caps the
+/// workers). The microbenchmark cache is shared across threads.
 pub fn evaluate_targets(
     suite: &ProfiledSuite,
     reduced: &ReducedSuite,
@@ -38,29 +42,32 @@ pub fn evaluate_targets(
     cache: &MicroCache,
     cfg: &PipelineConfig,
 ) -> Vec<TargetEvaluation> {
-    let mut out: Vec<Option<TargetEvaluation>> = targets.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        for (slot, target) in out.iter_mut().zip(targets) {
-            scope.spawn(move |_| {
-                let runs = profile_target(suite, target, cfg);
-                let outcome = predict_with_runs(suite, reduced, target, &runs, cache, cfg);
-                let reduction = reduction_factor(suite, reduced, &outcome, target, cache, cfg);
-                let apps = aggregate_apps(suite, &outcome, target, cfg);
-                let geomean = geometric_mean_speedup(&apps);
-                *slot = Some(TargetEvaluation {
-                    target: target.name.clone(),
-                    outcome,
-                    reduction,
-                    apps,
-                    geomean,
-                });
-            });
+    evaluate_targets_with(suite, reduced, targets, cache, cfg, &cfg.pool())
+}
+
+/// [`evaluate_targets`] on an explicit pool (shared with other stages).
+pub fn evaluate_targets_with(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    targets: &[Arch],
+    cache: &MicroCache,
+    cfg: &PipelineConfig,
+    pool: &WorkPool,
+) -> Vec<TargetEvaluation> {
+    pool.map(targets, |_, target| {
+        let runs = profile_target(suite, target, cfg);
+        let outcome = predict_with_runs(suite, reduced, target, &runs, cache, cfg);
+        let reduction = reduction_factor(suite, reduced, &outcome, target, cache, cfg);
+        let apps = aggregate_apps(suite, &outcome, target, cfg);
+        let geomean = geometric_mean_speedup(&apps);
+        TargetEvaluation {
+            target: target.name.clone(),
+            outcome,
+            reduction,
+            apps,
+            geomean,
         }
     })
-    .expect("target evaluation threads do not panic");
-    out.into_iter()
-        .map(|o| o.expect("every slot filled"))
-        .collect()
 }
 
 /// Rank targets by predicted geometric-mean speedup, best first.
@@ -85,7 +92,7 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4));
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4)).with_threads(4);
         let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(8).collect();
         let suite = profile_reference(&apps, &cfg);
         let cache = MicroCache::new();

@@ -176,7 +176,7 @@ pub fn reduce_with_observations(
     assert_eq!(raw.len(), suite.len(), "one observation row per codelet");
 
     let data = normalize(raw);
-    let dist = DistanceMatrix::euclidean(&data);
+    let dist = DistanceMatrix::euclidean_with(&data, &cfg.pool());
     let dendro = linkage(&dist, cfg.linkage);
 
     let max_k = match cfg.k_choice {

@@ -1,10 +1,29 @@
 //! The GA driver.
+//!
+//! One generation loop serves two evaluation back-ends: a serial
+//! memoised evaluator ([`minimize`]) and a pooled evaluator
+//! ([`minimize_parallel`]) that fans each generation's batch across a
+//! [`WorkPool`] behind a shared [`FitnessCache`].
+//!
+//! # Determinism contract
+//!
+//! Both paths produce **bitwise identical** [`GaResult`]s for the same
+//! seed. This holds because (a) all random draws — population init,
+//! tournament selection, crossover, mutation — happen on a single
+//! sequential RNG *before* any fitness evaluation of the batch, and
+//! fitness evaluation itself consumes no randomness; (b) batch results
+//! land in the slot of their genome's position, never in completion
+//! order; and (c) the fitness function is required to be pure, so a
+//! genome's fitness does not depend on which thread computes it. The
+//! regression tests in `tests/properties.rs` enforce this end-to-end.
 
 use std::collections::HashMap;
 
+use fgbs_pool::WorkPool;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::cache::FitnessCache;
 use crate::genome::BitGenome;
 
 /// GA hyper-parameters. The defaults are the paper's §4.2 settings scaled
@@ -71,43 +90,181 @@ pub struct GaResult {
     pub evaluations: usize,
 }
 
-/// Minimise `fitness` over bit genomes.
+/// How one generation's worth of genomes gets its fitness values.
+///
+/// Implementations must be memoised (a genome is evaluated at most once
+/// per evaluator lifetime) and must return fitnesses in batch order —
+/// the properties the shared [`drive`] loop relies on.
+trait Evaluator {
+    /// Fitness of every genome in `batch`, in order.
+    fn eval_batch(&mut self, batch: &[BitGenome]) -> Vec<f64>;
+
+    /// Distinct fitness evaluations performed so far by this evaluator.
+    fn distinct_evaluations(&self) -> usize;
+}
+
+/// Serial evaluator: one-at-a-time evaluation against a private memo
+/// table. This is the reference semantics the parallel path must match.
+struct SerialEvaluator<F> {
+    fitness: F,
+    memo: HashMap<BitGenome, f64>,
+    evals: usize,
+}
+
+impl<F: FnMut(&BitGenome) -> f64> Evaluator for SerialEvaluator<F> {
+    fn eval_batch(&mut self, batch: &[BitGenome]) -> Vec<f64> {
+        batch
+            .iter()
+            .map(|g| {
+                if let Some(&v) = self.memo.get(g) {
+                    return v;
+                }
+                let v = (self.fitness)(g);
+                assert!(!v.is_nan(), "fitness must not be NaN");
+                self.memo.insert(g.clone(), v);
+                self.evals += 1;
+                v
+            })
+            .collect()
+    }
+
+    fn distinct_evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+/// Pooled evaluator: deduplicates the batch against the shared
+/// [`FitnessCache`], evaluates only first-seen genomes on the
+/// [`WorkPool`], and accounts hits/misses exactly as the serial path
+/// would have (a within-batch duplicate counts as a hit, because serial
+/// evaluation would have filled the memo before reaching it).
+struct PooledEvaluator<'a, F> {
+    fitness: &'a F,
+    pool: &'a WorkPool,
+    cache: &'a FitnessCache,
+    evals: usize,
+}
+
+impl<F: Fn(&BitGenome) -> f64 + Sync> Evaluator for PooledEvaluator<'_, F> {
+    fn eval_batch(&mut self, batch: &[BitGenome]) -> Vec<f64> {
+        // Pass 1 (sequential, in batch order): split into cached values,
+        // first-seen genomes, and within-batch duplicates.
+        let mut fresh: Vec<BitGenome> = Vec::new();
+        let mut fresh_index: HashMap<BitGenome, usize> = HashMap::new();
+        // Either a known fitness or an index into `fresh`.
+        let mut plan: Vec<Result<f64, usize>> = Vec::with_capacity(batch.len());
+        for g in batch {
+            if let Some(v) = self.cache.peek(g) {
+                self.cache.count_hit();
+                plan.push(Ok(v));
+            } else if let Some(&u) = fresh_index.get(g) {
+                self.cache.count_hit();
+                plan.push(Err(u));
+            } else {
+                self.cache.count_miss();
+                fresh_index.insert(g.clone(), fresh.len());
+                fresh.push(g.clone());
+                plan.push(Err(fresh.len() - 1));
+            }
+        }
+
+        // Pass 2 (parallel): evaluate first-seen genomes; results come
+        // back in submission order regardless of scheduling.
+        let fitness = self.fitness;
+        let values = self.pool.map(&fresh, |_, g| {
+            let v = fitness(g);
+            assert!(!v.is_nan(), "fitness must not be NaN");
+            v
+        });
+        for (g, &v) in fresh.iter().zip(&values) {
+            self.cache.insert(g.clone(), v);
+        }
+        self.evals += fresh.len();
+
+        plan.into_iter()
+            .map(|p| match p {
+                Ok(v) => v,
+                Err(u) => values[u],
+            })
+            .collect()
+    }
+
+    fn distinct_evaluations(&self) -> usize {
+        self.evals
+    }
+}
+
+/// Minimise `fitness` over bit genomes, evaluating serially.
 ///
 /// Selection is 2-tournament, crossover is uniform, elitism preserves the
 /// best individuals, and fitness values are memoised so repeated genomes
-/// cost nothing.
+/// cost nothing. [`minimize_parallel`] produces bitwise identical results
+/// on any thread count.
 ///
 /// # Panics
 ///
 /// Panics when `population < 2` or `genome_len == 0`.
-pub fn minimize<F>(cfg: &GaConfig, mut fitness: F) -> GaResult
+pub fn minimize<F>(cfg: &GaConfig, fitness: F) -> GaResult
 where
     F: FnMut(&BitGenome) -> f64,
 {
+    drive(
+        cfg,
+        &mut SerialEvaluator {
+            fitness,
+            memo: HashMap::new(),
+            evals: 0,
+        },
+    )
+}
+
+/// Minimise `fitness` over bit genomes, evaluating each generation's
+/// batch on `pool` behind the shared `cache`.
+///
+/// Per the determinism contract this returns results bitwise identical to
+/// [`minimize`] for the same `cfg` — same best genome, same fitness, same
+/// history — for any pool size. `evaluations` counts the distinct
+/// evaluations *this run* performed, so a cache pre-warmed by an earlier
+/// run reduces it.
+///
+/// # Panics
+///
+/// Panics when `population < 2` or `genome_len == 0`.
+pub fn minimize_parallel<F>(
+    cfg: &GaConfig,
+    pool: &WorkPool,
+    cache: &FitnessCache,
+    fitness: F,
+) -> GaResult
+where
+    F: Fn(&BitGenome) -> f64 + Sync,
+{
+    drive(
+        cfg,
+        &mut PooledEvaluator {
+            fitness: &fitness,
+            pool,
+            cache,
+            evals: 0,
+        },
+    )
+}
+
+/// The generation loop shared by both evaluation back-ends.
+///
+/// All RNG draws for a generation complete before its batch is evaluated,
+/// and evaluation consumes no randomness — the keystone of the
+/// determinism contract.
+fn drive(cfg: &GaConfig, evaluator: &mut dyn Evaluator) -> GaResult {
     assert!(cfg.population >= 2, "population must be at least 2");
     assert!(cfg.genome_len > 0, "empty genomes cannot evolve");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut memo: HashMap<BitGenome, f64> = HashMap::new();
-    let mut evals = 0usize;
 
-    let mut eval = |g: &BitGenome, memo: &mut HashMap<BitGenome, f64>, evals: &mut usize| -> f64 {
-        if let Some(&v) = memo.get(g) {
-            return v;
-        }
-        let v = fitness(g);
-        assert!(!v.is_nan(), "fitness must not be NaN");
-        memo.insert(g.clone(), v);
-        *evals += 1;
-        v
-    };
-
-    let mut pop: Vec<(BitGenome, f64)> = (0..cfg.population)
-        .map(|_| {
-            let g = BitGenome::random(cfg.genome_len, cfg.init_density, &mut rng);
-            let f = eval(&g, &mut memo, &mut evals);
-            (g, f)
-        })
+    let genomes: Vec<BitGenome> = (0..cfg.population)
+        .map(|_| BitGenome::random(cfg.genome_len, cfg.init_density, &mut rng))
         .collect();
+    let fits = evaluator.eval_batch(&genomes);
+    let mut pop: Vec<(BitGenome, f64)> = genomes.into_iter().zip(fits).collect();
 
     let mut history = Vec::with_capacity(cfg.generations);
     let mut best = pop[0].clone();
@@ -125,9 +282,10 @@ where
         }
         history.push(best.1);
 
-        let mut next: Vec<(BitGenome, f64)> =
+        let elite: Vec<(BitGenome, f64)> =
             pop.iter().take(cfg.elitism.min(pop.len())).cloned().collect();
-        while next.len() < cfg.population {
+        let mut children = Vec::with_capacity(cfg.population - elite.len());
+        while elite.len() + children.len() < cfg.population {
             let a = tournament(&pop, &mut rng);
             let b = tournament(&pop, &mut rng);
             let mut child = if rng.gen_bool(cfg.crossover_prob) {
@@ -138,10 +296,11 @@ where
                 pop[w].0.clone()
             };
             child.mutate(cfg.mutation_prob, &mut rng);
-            let f = eval(&child, &mut memo, &mut evals);
-            next.push((child, f));
+            children.push(child);
         }
-        pop = next;
+        let child_fits = evaluator.eval_batch(&children);
+        pop = elite;
+        pop.extend(children.into_iter().zip(child_fits));
     }
 
     // Final sweep.
@@ -155,7 +314,7 @@ where
         best: best.0,
         best_fitness: best.1,
         history,
-        evaluations: evals,
+        evaluations: evaluator.distinct_evaluations(),
     }
 }
 
@@ -234,6 +393,51 @@ mod tests {
         let r = minimize(&cfg, |g| g.count_ones() as f64);
         assert!(r.evaluations <= 16, "got {}", r.evaluations);
         assert_eq!(r.best_fitness, 0.0);
+    }
+
+    #[test]
+    fn parallel_memoisation_has_the_same_bound() {
+        let cfg = small(4, 50, 50, 3);
+        let cache = FitnessCache::new();
+        let r = minimize_parallel(&cfg, &WorkPool::new(4), &cache, |g| g.count_ones() as f64);
+        assert!(r.evaluations <= 16, "got {}", r.evaluations);
+        assert_eq!(cache.len(), r.evaluations);
+        assert_eq!(r.best_fitness, 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let f = |g: &BitGenome| {
+            g.bits()
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| if b { ((i * 13) % 7) as f64 - 2.0 } else { 0.1 })
+                .sum::<f64>()
+                .abs()
+        };
+        for seed in [0, 1, 42] {
+            let cfg = small(24, 30, 15, seed);
+            let serial = minimize(&cfg, f);
+            for threads in [1, 2, 8] {
+                let par =
+                    minimize_parallel(&cfg, &WorkPool::new(threads), &FitnessCache::new(), f);
+                assert_eq!(serial, par, "seed={seed} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prewarmed_cache_reduces_run_evaluations() {
+        let cfg = small(16, 20, 10, 5);
+        let f = |g: &BitGenome| g.count_ones() as f64;
+        let pool = WorkPool::new(2);
+        let cache = FitnessCache::new();
+        let first = minimize_parallel(&cfg, &pool, &cache, f);
+        let second = minimize_parallel(&cfg, &pool, &cache, f);
+        // Identical run: every genome is already cached.
+        assert_eq!(second.evaluations, 0);
+        assert_eq!(first.best, second.best);
+        assert_eq!(first.history, second.history);
     }
 
     #[test]

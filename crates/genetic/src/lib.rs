@@ -7,6 +7,12 @@
 //! crate is that substrate: rank-elitist selection, uniform crossover,
 //! per-bit mutation, memoised fitness evaluation, deterministic per seed.
 //!
+//! Fitness evaluation — the expensive part, a full subsetting pipeline
+//! per genome — can fan out over a [`fgbs_pool::WorkPool`] via
+//! [`minimize_parallel`], memoised across generations (and runs) by a
+//! shared [`FitnessCache`]; results are bitwise identical to the serial
+//! [`minimize`] path for the same seed.
+//!
 //! # Example
 //!
 //! ```
@@ -21,8 +27,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod ga;
 mod genome;
 
-pub use ga::{minimize, GaConfig, GaResult};
+pub use cache::FitnessCache;
+pub use ga::{minimize, minimize_parallel, GaConfig, GaResult};
 pub use genome::BitGenome;

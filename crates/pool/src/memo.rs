@@ -1,0 +1,144 @@
+//! A sharded, thread-safe memoization cache with hit/miss counters.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+/// Number of shards; a power of two so the shard index is a mask.
+const SHARDS: usize = 16;
+
+/// A concurrent `K → V` cache, sharded to keep lock contention off the
+/// hot path, with hit/miss counters for observability.
+///
+/// Values are cloned out on lookup, so `V` should be cheap to clone
+/// (the GA stores `f64` fitness values).
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> MemoCache<K, V> {
+        MemoCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h & (SHARDS - 1)]
+    }
+
+    /// Look up `key`, recording a hit or a miss.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let v = self.shard(key).read().get(key).cloned();
+        match v {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        v
+    }
+
+    /// Look up `key` without touching the counters (used when the caller
+    /// accounts hits itself, e.g. batch deduplication).
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    /// Record an externally accounted hit (batch deduplication: a genome
+    /// repeated within one generation would have hit after its first
+    /// serial evaluation).
+    pub fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an externally accounted miss.
+    pub fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Insert a value computed by the caller.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).write().insert(key, value);
+    }
+
+    /// Cached entry count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that required a fresh computation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        MemoCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_and_counters() {
+        let c: MemoCache<String, f64> = MemoCache::new();
+        assert_eq!(c.get(&"a".to_string()), None);
+        c.insert("a".to_string(), 1.5);
+        assert_eq!(c.get(&"a".to_string()), Some(1.5));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn peek_and_manual_counts_do_not_double_count() {
+        let c: MemoCache<u64, u64> = MemoCache::new();
+        c.insert(1, 10);
+        assert_eq!(c.peek(&1), Some(10));
+        assert_eq!(c.hits(), 0);
+        c.count_hit();
+        c.count_miss();
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_visible() {
+        let c: MemoCache<u64, u64> = MemoCache::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = &c;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        c.insert(t * 100 + i, i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 800);
+        assert_eq!(c.peek(&(7 * 100 + 99)), Some(99));
+    }
+}

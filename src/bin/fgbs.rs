@@ -10,6 +10,7 @@
 //! options:
 //!   --class test|a|b     dataset class (default a)
 //!   --k N | --k elbow    cluster count policy (default elbow)
+//!   --threads N          worker threads (0 = auto, 1 = serial; default auto)
 //!   --paper-features     cluster on the paper's Table 2 feature list
 //! ```
 
@@ -29,6 +30,7 @@ struct Cli {
     suite: SuiteKind,
     class: Class,
     k: KChoice,
+    threads: usize,
     paper_features: bool,
     target: Option<String>,
     codelet: Option<String>,
@@ -50,8 +52,8 @@ enum SuiteKind {
 }
 
 const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select> \
-[--suite nr|nas] [--class test|a|b] [--k N|elbow] [--target atom|core2|sb] \
-[--codelet NAME] [--paper-features]";
+[--suite nr|nas] [--class test|a|b] [--k N|elbow] [--threads N] \
+[--target atom|core2|sb] [--codelet NAME] [--paper-features]";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -59,6 +61,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         suite: SuiteKind::Nas,
         class: Class::A,
         k: KChoice::Elbow { max_k: 24 },
+        threads: 0, // the CLI defaults to all available cores
         paper_features: false,
         target: None,
         codelet: None,
@@ -100,6 +103,14 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     None => return Err("--k expects a value".into()),
                 }
             }
+            "--threads" => {
+                cli.threads = match it.next().map(String::as_str) {
+                    Some(n) => n
+                        .parse()
+                        .map_err(|_| format!("--threads expects a number, got `{n}`"))?,
+                    None => return Err("--threads expects a value".into()),
+                }
+            }
             "--target" => {
                 cli.target = Some(
                     it.next()
@@ -133,7 +144,7 @@ fn target_by_name(name: &str) -> Result<Arch, String> {
 }
 
 fn build_config(cli: &Cli) -> PipelineConfig {
-    let mut cfg = PipelineConfig::default().with_k(cli.k);
+    let mut cfg = PipelineConfig::default().with_k(cli.k).with_threads(cli.threads);
     if cli.paper_features {
         cfg = cfg.with_features(FeatureMask::from_ids(&table2_features()));
     }
@@ -264,8 +275,9 @@ fn cmd_select(cli: &Cli) {
     let reduced = reduce(&suite, &cfg);
     let targets = Arch::targets_scaled();
     eprintln!(
-        "evaluating {} targets in parallel from {} representatives…",
+        "evaluating {} targets on {} worker thread(s) from {} representatives…",
         targets.len(),
+        cfg.pool().threads(),
         reduced.n_representatives()
     );
     let cache = MicroCache::new();
@@ -318,7 +330,14 @@ mod tests {
         assert_eq!(c.suite, SuiteKind::Nr);
         assert_eq!(c.class, Class::Test);
         assert_eq!(c.k, KChoice::Fixed(5));
+        assert_eq!(c.threads, 0, "auto-detect unless --threads given");
         assert!(!c.paper_features);
+
+        let c = parse(&argv("select --threads 8")).unwrap();
+        assert_eq!(c.threads, 8);
+        assert_eq!(build_config(&c).threads, 8);
+        let c = parse(&argv("select --threads 1")).unwrap();
+        assert_eq!(build_config(&c).pool().threads(), 1);
 
         let c = parse(&argv("predict --target atom --paper-features")).unwrap();
         assert_eq!(c.command, Command::Predict);
@@ -337,6 +356,8 @@ mod tests {
         assert!(parse(&argv("reduce --k banana")).is_err());
         assert!(parse(&argv("reduce --suite spec")).is_err());
         assert!(parse(&argv("reduce --bogus")).is_err());
+        assert!(parse(&argv("select --threads")).is_err());
+        assert!(parse(&argv("select --threads many")).is_err());
     }
 
     #[test]

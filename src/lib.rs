@@ -22,6 +22,7 @@
 //! | [`extract`] | `fgbs-extract` | applications, codelet finder, memory dumps, microbenchmarks |
 //! | [`clustering`] | `fgbs-clustering` | Ward hierarchical clustering + elbow |
 //! | [`genetic`] | `fgbs-genetic` | GA feature selection |
+//! | [`pool`] | `fgbs-pool` | shared work-stealing pool + memoization cache |
 //! | [`suites`] | `fgbs-suites` | Numerical Recipes + NAS-like benchmark suites |
 //! | [`core`] | `fgbs-core` | the five-step pipeline and prediction model |
 //!
@@ -56,4 +57,5 @@ pub use fgbs_extract as extract;
 pub use fgbs_genetic as genetic;
 pub use fgbs_isa as isa;
 pub use fgbs_machine as machine;
+pub use fgbs_pool as pool;
 pub use fgbs_suites as suites;

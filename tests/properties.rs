@@ -4,12 +4,17 @@
 
 use fgbs::clustering::{
     elbow_k, linkage, medoid, normalize, within_variance_curve, DistanceMatrix, Linkage,
+    Partition,
 };
+use fgbs::genetic::{minimize, minimize_parallel, BitGenome, FitnessCache, GaConfig};
 use fgbs::isa::{
     compile, BinOp, BindingBuilder, Codelet, CodeletBuilder, CompileMode, Precision, TargetSpec,
 };
 use fgbs::machine::{Arch, Machine, PARK_SCALE};
+use fgbs::pool::WorkPool;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A random but well-formed streaming codelet: 1-D loop, loads with
 /// strides in {0, 1, -1}, one store or reduction.
@@ -159,6 +164,92 @@ proptest! {
     }
 
     #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 5),
+            2..20,
+        )
+    ) {
+        let d = DistanceMatrix::euclidean(&data);
+        for i in 0..data.len() {
+            prop_assert_eq!(d.get(i, i), 0.0);
+            for j in 0..data.len() {
+                prop_assert_eq!(d.get(i, j).to_bits(), d.get(j, i).to_bits());
+                prop_assert!(d.get(i, j) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_distance_matrix_preserves_partitions(
+        data in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 6),
+            4..24,
+        )
+    ) {
+        // Determinism regression: a distance matrix built on the pool must
+        // be bitwise identical to the serial one, and therefore produce
+        // identical cluster partitions at every cut.
+        let norm = normalize(&data);
+        let serial = DistanceMatrix::euclidean(&norm);
+        for threads in [2usize, 8] {
+            let pooled = DistanceMatrix::euclidean_with(&norm, &WorkPool::new(threads));
+            prop_assert_eq!(&serial, &pooled, "threads={}", threads);
+            let ds = linkage(&serial, Linkage::Ward);
+            let dp = linkage(&pooled, Linkage::Ward);
+            for k in 1..=data.len().min(6) {
+                prop_assert_eq!(ds.cut(k).assignments(), dp.cut(k).assignments());
+            }
+        }
+    }
+
+    #[test]
+    fn partition_is_invariant_under_codelet_reordering(
+        (data, pseed) in (
+            proptest::collection::vec(
+                proptest::collection::vec(-10.0f64..10.0, 4),
+                4..16,
+            ),
+            any::<u64>(),
+        )
+    ) {
+        // Clustering depends on pairwise geometry, not input order: permute
+        // the rows, cluster, map the labels back — the partition (compared
+        // in canonical first-occurrence form) must not change, and every
+        // medoid must still belong to its own cluster.
+        let n = data.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(pseed);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let permuted: Vec<Vec<f64>> = perm.iter().map(|&p| data[p].clone()).collect();
+
+        let t0 = linkage(&DistanceMatrix::euclidean(&data), Linkage::Ward);
+        let t1 = linkage(&DistanceMatrix::euclidean(&permuted), Linkage::Ward);
+        for k in [2usize, 3] {
+            if k > n {
+                continue;
+            }
+            let p0 = t0.cut(k);
+            let p1 = t1.cut(k);
+            let mut back = vec![0usize; n];
+            for (pos, &orig) in perm.iter().enumerate() {
+                back[orig] = p1.assignment(pos);
+            }
+            let canon0 = Partition::from_labels(p0.assignments());
+            let canon1 = Partition::from_labels(&back);
+            prop_assert_eq!(canon0.assignments(), canon1.assignments(), "k={}", k);
+
+            for c in 0..k {
+                let m = medoid(&data, &p0, c, &[]).expect("non-empty cluster");
+                prop_assert!(p0.members(c).contains(&m));
+            }
+        }
+    }
+
+    #[test]
     fn ward_heights_monotone(
         data in proptest::collection::vec(
             proptest::collection::vec(-5.0f64..5.0, 3),
@@ -172,6 +263,76 @@ proptest! {
             prop_assert!(w[1] >= w[0] - 1e-9, "heights {hs:?}");
         }
     }
+}
+
+/// A deterministic, mildly rugged toy objective for the GA determinism
+/// regressions: reward genomes whose set bits sum (through a sine) close
+/// to a target. No randomness, no shared state — any divergence between
+/// the serial and pooled runs is the engine's fault.
+fn rugged_fitness(g: &BitGenome) -> f64 {
+    let mut acc = 0.0;
+    for (i, &b) in g.bits().iter().enumerate() {
+        if b {
+            acc += ((i as f64) * 0.37).sin();
+        }
+    }
+    (acc - 1.5).abs()
+}
+
+/// Determinism regression: for any seed, the parallel GA must reproduce
+/// the serial GA byte for byte — best genome, best fitness, the whole
+/// per-generation history and the distinct-evaluation count — at every
+/// thread count.
+#[test]
+fn ga_serial_and_parallel_runs_are_bitwise_identical() {
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        let cfg = GaConfig {
+            genome_len: 24,
+            population: 20,
+            generations: 12,
+            seed,
+            ..GaConfig::default()
+        };
+        let serial = minimize(&cfg, rugged_fitness);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = WorkPool::new(threads);
+            let par = minimize_parallel(&cfg, &pool, &FitnessCache::new(), rugged_fitness);
+            assert_eq!(serial, par, "seed={seed} threads={threads}");
+            assert_eq!(
+                serial.best_fitness.to_bits(),
+                par.best_fitness.to_bits(),
+                "fitness bits differ: seed={seed} threads={threads}"
+            );
+        }
+    }
+}
+
+/// Different seeds must still disagree (the engine is deterministic, not
+/// degenerate), and a shared cache across runs must never change results.
+#[test]
+fn ga_determinism_is_per_seed_and_cache_transparent() {
+    let cfg = GaConfig {
+        genome_len: 24,
+        population: 20,
+        generations: 10,
+        seed: 7,
+        ..GaConfig::default()
+    };
+    let other = GaConfig { seed: 8, ..cfg.clone() };
+    let a = minimize(&cfg, rugged_fitness);
+    let b = minimize(&other, rugged_fitness);
+    assert_ne!(a.best, b.best, "distinct seeds should explore differently");
+
+    // A warm cache changes the work done, never the answer.
+    let pool = WorkPool::new(4);
+    let cache = FitnessCache::new();
+    let cold = minimize_parallel(&cfg, &pool, &cache, rugged_fitness);
+    let warm = minimize_parallel(&cfg, &pool, &cache, rugged_fitness);
+    assert_eq!(cold.best, warm.best);
+    assert_eq!(cold.best_fitness.to_bits(), warm.best_fitness.to_bits());
+    assert_eq!(cold.history, warm.history);
+    assert_eq!(warm.evaluations, 0, "second run is fully memoised");
+    assert_eq!(a, cold, "serial and pooled agree on the shared workload");
 }
 
 /// The three execution engines must agree on iteration counts: the

@@ -1,0 +1,230 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: [`Criterion::bench_function`], benchmark
+//! groups with [`BenchmarkGroup::bench_with_input`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros. Each benchmark is
+//! warmed up, then sampled in timed batches; the median per-iteration time
+//! is reported on stdout as `name  time: [...]`.
+//!
+//! Substring filters passed on the command line (`cargo bench -- ga`)
+//! select which benchmarks run, like upstream.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const BATCH_TARGET: Duration = Duration::from_millis(50);
+const SAMPLES: usize = 11;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Read substring filters from the process arguments (flags are
+    /// ignored; bare arguments select benchmarks by substring).
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.selected(id) {
+            let mut b = Bencher::default();
+            f(&mut b);
+            b.report(id);
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Upstream compatibility no-op (sample count is fixed here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Criterion {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run `f` as `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Run `f` as `group/id` with an explicit input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.selected(&full) {
+            let mut b = Bencher::default();
+            f(&mut b, input);
+            b.report(&full);
+        }
+        self
+    }
+
+    /// Upstream compatibility no-op.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finish the group (layout no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`group/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call, seconds.
+    result: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, pick a batch size targeting ~50 ms, then time
+    /// several batches and keep the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and single-iteration estimate.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters as f64;
+        let batch = ((BATCH_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result = Some(samples[samples.len() / 2]);
+    }
+
+    fn report(&self, id: &str) {
+        match self.result {
+            Some(median) => println!("{id:<48} time: [{}]", human(median)),
+            None => println!("{id:<48} (no measurement)"),
+        }
+    }
+}
+
+fn human(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..1000u64).sum::<u64>());
+        let t = b.result.expect("measured");
+        assert!(t > 0.0 && t < 0.1, "implausible per-iter time {t}");
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            filters: vec!["ga".into()],
+        };
+        assert!(c.selected("pipeline/ga_serial"));
+        assert!(!c.selected("pipeline/distance"));
+        let all = Criterion::default();
+        assert!(all.selected("anything"));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("Ward").0, "Ward");
+    }
+}

@@ -1,0 +1,52 @@
+//! Collection strategies.
+
+use crate::{Strategy, TestRng};
+
+/// Length specification for [`vec`]: an exact size or a half-open /
+/// inclusive range, mirroring proptest's `Into<SizeRange>` conversions.
+pub trait IntoSizeRange {
+    /// Convert to a half-open `start..end` length range.
+    fn into_size_range(self) -> std::ops::Range<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        *self.start()..*self.end() + 1
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from a half-open range.
+#[derive(Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: std::ops::Range<usize>,
+}
+
+/// `Vec` strategy: each case draws a length in `size`, then that many
+/// elements from `element`. `size` may be an exact `usize`, a `Range`,
+/// or a `RangeInclusive`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let size = size.into_size_range();
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = rng.sample(self.size.clone());
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

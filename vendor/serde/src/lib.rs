@@ -1,0 +1,17 @@
+//! Vendored offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types for
+//! forward compatibility but never actually serialises anything, so this
+//! stand-in provides the two marker traits and re-exports no-op derive
+//! macros from `serde_derive`. If a future PR needs real serialisation it
+//! replaces this vendored crate with the genuine article (same API names).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serialisable types (no-op in the vendored stand-in).
+pub trait Serialize {}
+
+/// Marker for deserialisable types (no-op in the vendored stand-in).
+pub trait Deserialize<'de> {}

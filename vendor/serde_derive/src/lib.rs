@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derives for the vendored serde stand-in.
+//!
+//! Nothing in the workspace serialises data yet, so the derives emit no
+//! code; they exist so `#[derive(Serialize, Deserialize)]` (and any
+//! `#[serde(...)]` helper attributes) keep compiling offline.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing: the vendored `serde::Serialize` is a marker trait with
+/// no required items, so types need no generated impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing, mirroring [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
