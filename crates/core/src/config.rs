@@ -1,10 +1,13 @@
 //! Pipeline configuration.
 
+use std::sync::Arc;
+
 use fgbs_analysis::FeatureMask;
 use fgbs_clustering::Linkage;
 use fgbs_extract::CodeletFinder;
 use fgbs_machine::Arch;
 use fgbs_pool::WorkPool;
+use fgbs_store::Store;
 
 /// How the number of clusters is chosen (§3.3: "the user manually sets K"
 /// or "K is automatically selected using the Elbow method").
@@ -46,6 +49,13 @@ pub struct PipelineConfig {
     /// `0` uses the machine's available parallelism. Results are
     /// identical for every value — parallelism never changes output.
     pub threads: usize,
+    /// Optional artifact store. When set, [`crate::profile_reference`],
+    /// [`crate::reduce_cached`], [`crate::predict`] and
+    /// [`crate::select_features_ga`] consult it before computing and
+    /// persist what they compute; because the pipeline is deterministic,
+    /// a stored artifact is bitwise-identical to a recomputation. `None`
+    /// (the default) keeps every stage purely in-memory.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for PipelineConfig {
@@ -66,6 +76,7 @@ impl Default for PipelineConfig {
             micro_min_invocations: fgbs_extract::MIN_INVOCATIONS,
             noise_seed: 0,
             threads: 1,
+            store: None,
         }
     }
 }
@@ -97,6 +108,20 @@ impl PipelineConfig {
     /// (`0` = available parallelism, `1` = serial).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Same configuration with an artifact store attached.
+    pub fn with_store(mut self, store: Arc<Store>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Same configuration with no artifact store (inner per-genome
+    /// pipelines detach it so GA search does not flood the store with
+    /// throwaway reductions).
+    pub fn without_store(mut self) -> Self {
+        self.store = None;
         self
     }
 

@@ -35,6 +35,14 @@ pub struct FeatureSelection {
     pub cache_hits: u64,
     /// Fitness-cache lookups that required a pipeline run.
     pub cache_misses: u64,
+    /// Artifact-store reads answered from disk during this selection
+    /// (0 without a store).
+    pub store_hits: u64,
+    /// Artifact-store reads that found nothing (0 without a store).
+    pub store_misses: u64,
+    /// Fitness entries preloaded from a persisted snapshot — a
+    /// cross-process warm start (0 without a store or on a cold start).
+    pub warm_entries: usize,
 }
 
 /// Average prediction error (percent) of `suite` on `target` under `mask`,
@@ -80,7 +88,9 @@ pub fn select_features_ga(
 
     // Fitness must evaluate the pipeline serially inside: the pool
     // parallelises across genomes, the coarser (and deterministic) axis.
-    let inner_cfg = cfg.clone().with_threads(1);
+    // The store is detached too — per-genome reductions are throwaway
+    // search state; the warm start below persists their fitness instead.
+    let inner_cfg = cfg.clone().with_threads(1).without_store();
     let fitness = |g: &BitGenome| -> f64 {
         if g.count_ones() == 0 {
             return f64::MAX / 2.0; // empty masks cannot cluster
@@ -99,8 +109,45 @@ pub fn select_features_ga(
         worst * k_used as f64
     };
 
+    // Warm-start the fitness cache from a persisted snapshot: genomes a
+    // previous process already evaluated cost a lookup instead of a
+    // pipeline run. Counter deltas around the call expose this
+    // selection's own store traffic.
     let fitness_cache = FitnessCache::new();
+    let store_before = cfg.store.as_ref().map(|s| s.counters());
+    let snapshot_key = cfg
+        .store
+        .as_ref()
+        .map(|_| crate::persist::fitness_key(suite, targets, ga, cfg));
+    let mut warm_entries = 0usize;
+    if let (Some(store), Some(key)) = (&cfg.store, &snapshot_key) {
+        if let Ok(Some(bytes)) = store.get(fgbs_store::ArtifactKind::Fitness, key) {
+            if let Ok(entries) = crate::persist::decode_fitness_snapshot(&bytes) {
+                warm_entries = entries.len();
+                for (genome, fit) in entries {
+                    fitness_cache.insert(genome, fit);
+                }
+            }
+        }
+    }
+
     let result = minimize_parallel(&ga_cfg, &cfg.pool(), &fitness_cache, fitness);
+
+    if let (Some(store), Some(key)) = (&cfg.store, &snapshot_key) {
+        let _ = store.put(
+            fgbs_store::ArtifactKind::Fitness,
+            key,
+            &crate::persist::encode_fitness_snapshot(&fitness_cache.entries()),
+        );
+    }
+    let (store_hits, store_misses) = match (store_before, cfg.store.as_ref()) {
+        (Some(before), Some(store)) => {
+            let after = store.counters();
+            (after.hits - before.hits, after.misses - before.misses)
+        }
+        _ => (0, 0),
+    };
+
     let mask = FeatureMask::from_bits(result.best.bits().to_vec());
     // Recompute K for the winner on the first target.
     let (_, k) = mask_error(suite, &mask, &targets[0], &runs[0], &cache, &inner_cfg);
@@ -113,6 +160,9 @@ pub fn select_features_ga(
         evaluations: result.evaluations,
         cache_hits: fitness_cache.hits(),
         cache_misses: fitness_cache.misses(),
+        store_hits,
+        store_misses,
+        warm_entries,
     }
 }
 

@@ -47,6 +47,7 @@ mod featsel;
 mod micras;
 mod parallel;
 mod perapp;
+mod persist;
 mod predict;
 mod profile;
 mod reduce;
@@ -59,6 +60,12 @@ pub use featsel::{select_features_ga, FeatureSelection};
 pub use micras::MicroCache;
 pub use parallel::{evaluate_targets, evaluate_targets_with, rank_targets, TargetEvaluation};
 pub use perapp::{per_app_subsetting, PerAppPoint};
+pub use persist::{
+    apps_fingerprint, decode_fitness_snapshot, decode_prediction, decode_profiled_suite,
+    decode_reduced_suite, encode_fitness_snapshot, encode_prediction, encode_profiled_suite,
+    encode_reduced_suite, fitness_key, predict_key, profile_key, reduce_key, suite_fingerprint,
+    CODEC_VERSION,
+};
 pub use predict::{
     model_matrix, predict, predict_with_runs, CodeletPrediction, PredictionOutcome,
 };

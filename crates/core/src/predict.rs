@@ -172,7 +172,36 @@ pub fn predict_with_runs(
 
 /// Step E: run the ground truth on the target, measure the
 /// representatives and predict every codelet.
+///
+/// With a store attached ([`PipelineConfig::store`]) the outcome is
+/// looked up first — keyed by the suite, the reduction's content and the
+/// target — and persisted after computing.
 pub fn predict(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    target: &Arch,
+    cfg: &PipelineConfig,
+) -> PredictionOutcome {
+    let Some(store) = &cfg.store else {
+        return compute_predict(suite, reduced, target, cfg);
+    };
+    let key = crate::persist::predict_key(suite, reduced, target, cfg);
+    if let Ok(Some(bytes)) = store.get(fgbs_store::ArtifactKind::Predict, &key) {
+        if let Ok(out) = crate::persist::decode_prediction(&bytes) {
+            return out;
+        }
+    }
+    let out = compute_predict(suite, reduced, target, cfg);
+    let _ = store.put(
+        fgbs_store::ArtifactKind::Predict,
+        &key,
+        &crate::persist::encode_prediction(&out),
+    );
+    out
+}
+
+/// The uncached Step E.
+fn compute_predict(
     suite: &ProfiledSuite,
     reduced: &ReducedSuite,
     target: &Arch,

@@ -62,7 +62,32 @@ impl ProfiledSuite {
 /// Run Steps A and B: execute every application on the reference
 /// architecture with instrumentation, detect the extractable codelets,
 /// and compute each one's static + dynamic feature vector.
+///
+/// With a store attached ([`PipelineConfig::store`]) the profile is
+/// looked up first and persisted after computing; profiling is
+/// deterministic, so the stored artifact is bitwise-identical to a fresh
+/// run. Store I/O failures fall back to computing.
 pub fn profile_reference(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite {
+    let Some(store) = &cfg.store else {
+        return compute_profile(apps, cfg);
+    };
+    let key = crate::persist::profile_key(apps, cfg);
+    if let Ok(Some(bytes)) = store.get(fgbs_store::ArtifactKind::Profile, &key) {
+        if let Ok(suite) = crate::persist::decode_profiled_suite(&bytes, apps) {
+            return suite;
+        }
+    }
+    let suite = compute_profile(apps, cfg);
+    let _ = store.put(
+        fgbs_store::ArtifactKind::Profile,
+        &key,
+        &crate::persist::encode_profiled_suite(&suite),
+    );
+    suite
+}
+
+/// The uncached Steps A + B.
+fn compute_profile(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite {
     let arch = &cfg.reference;
     let runs: Vec<AppRun> = apps
         .iter()

@@ -146,6 +146,10 @@ pub fn reduce(suite: &ProfiledSuite, cfg: &PipelineConfig) -> ReducedSuite {
 
 /// Run Steps C + D, reusing cached microbenchmark measurements.
 ///
+/// With a store attached ([`PipelineConfig::store`]) the reduction is
+/// looked up first and persisted after computing (store hits skip the
+/// wellness measurements entirely, so the micro cache stays cold).
+///
 /// # Panics
 ///
 /// Panics when the suite is empty or the feature mask selects nothing.
@@ -155,6 +159,26 @@ pub fn reduce_cached(
     cache: &MicroCache,
 ) -> ReducedSuite {
     assert!(!cfg.features.is_empty(), "feature mask selects no features");
+    let Some(store) = &cfg.store else {
+        return compute_reduce(suite, cfg, cache);
+    };
+    let key = crate::persist::reduce_key(suite, cfg);
+    if let Ok(Some(bytes)) = store.get(fgbs_store::ArtifactKind::Reduce, &key) {
+        if let Ok(reduced) = crate::persist::decode_reduced_suite(&bytes) {
+            return reduced;
+        }
+    }
+    let reduced = compute_reduce(suite, cfg, cache);
+    let _ = store.put(
+        fgbs_store::ArtifactKind::Reduce,
+        &key,
+        &crate::persist::encode_reduced_suite(&reduced),
+    );
+    reduced
+}
+
+/// The uncached Steps C + D over the masked feature matrix.
+fn compute_reduce(suite: &ProfiledSuite, cfg: &PipelineConfig, cache: &MicroCache) -> ReducedSuite {
     let raw = suite.features.project(&cfg.features);
     reduce_with_observations(suite, cfg, cache, &raw)
 }

@@ -58,6 +58,13 @@ impl FitnessCache {
         self.inner.insert(genome, fitness);
     }
 
+    /// Snapshot every cached `(genome, fitness)` pair, for persisting
+    /// warm starts across processes. Iteration order is unspecified —
+    /// serialisers must sort.
+    pub fn entries(&self) -> Vec<(BitGenome, f64)> {
+        self.inner.entries()
+    }
+
     /// Number of distinct genomes cached.
     pub fn len(&self) -> usize {
         self.inner.len()

@@ -26,8 +26,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod exec;
 mod memo;
 
+pub use exec::Executor;
 pub use memo::MemoCache;
 
 use std::collections::VecDeque;

@@ -71,6 +71,21 @@ impl<K: Eq + Hash, V: Clone> MemoCache<K, V> {
         self.shard(&key).write().insert(key, value);
     }
 
+    /// Snapshot every cached entry (shard by shard; entries inserted
+    /// concurrently with the walk may or may not appear). Used to persist
+    /// cache contents for cross-process warm starts.
+    pub fn entries(&self) -> Vec<(K, V)>
+    where
+        K: Clone,
+    {
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.read();
+            out.extend(guard.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        out
+    }
+
     /// Cached entry count across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.read().len()).sum()

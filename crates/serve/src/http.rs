@@ -1,0 +1,301 @@
+//! Minimal HTTP/1.1 over `std::io` streams.
+//!
+//! The service speaks just enough HTTP for its JSON endpoints: request
+//! line + headers + optional `Content-Length` body in, status line +
+//! fixed headers + body out, one request per connection
+//! (`Connection: close`). No chunked encoding, no keep-alive, no TLS —
+//! the daemon fronts a deterministic compute cache, not the internet.
+
+use std::io::{self, Read, Write};
+
+use crate::json::Json;
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD: usize = 64 * 1024;
+/// Largest accepted request body.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Method verb, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/predict`).
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of query parameter `name`.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of `name`, or `default` when absent.
+    pub fn param_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.param(name).unwrap_or(default)
+    }
+}
+
+/// Percent-decode one query component (`+` is a space).
+fn decode_component(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse a raw query string into decoded pairs.
+pub fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|part| !part.is_empty())
+        .map(|part| match part.split_once('=') {
+            Some((k, v)) => (decode_component(k), decode_component(v)),
+            None => (decode_component(part), String::new()),
+        })
+        .collect()
+}
+
+/// Read and parse one request from `stream`.
+pub fn read_request(stream: &mut impl Read) -> io::Result<Request> {
+    // Read the head byte-by-byte groupings until CRLFCRLF; the residue
+    // after the head belongs to the body.
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing method"))?
+        .to_ascii_uppercase();
+    let uri = parts
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing request target"))?;
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "request body too large"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    let (path, query) = match uri.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (uri.to_string(), Vec::new()),
+    };
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response ready to serialise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Where the payload came from (`computed`, `store`, `coalesced`);
+    /// rendered as an `x-fgbs-source` header so clients and smoke tests
+    /// can observe cache behaviour without parsing `/metrics`.
+    pub source: Option<&'static str>,
+    /// Response body (JSON).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 response from a JSON value.
+    pub fn json(value: &Json) -> Response {
+        Response {
+            status: 200,
+            source: None,
+            body: value.render().into_bytes(),
+        }
+    }
+
+    /// A 200 response replaying pre-rendered JSON bytes.
+    pub fn json_bytes(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            source: None,
+            body,
+        }
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            source: None,
+            body: Json::obj(vec![("error", Json::str(message))])
+                .render()
+                .into_bytes(),
+        }
+    }
+
+    /// Same response tagged with a payload source.
+    pub fn with_source(mut self, source: &'static str) -> Response {
+        self.source = Some(source);
+        self
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serialise status line, headers and body onto `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            self.status_text(),
+            self.body.len()
+        )?;
+        if let Some(source) = self.source {
+            write!(w, "x-fgbs-source: {source}\r\n")?;
+        }
+        w.write_all(b"\r\n")?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /predict?suite=nr&target=atom&k=8 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.param("suite"), Some("nr"));
+        assert_eq!(req.param("k"), Some("8"));
+        assert_eq!(req.param_or("class", "test"), "test");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /reduce HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn decodes_percent_and_plus() {
+        let q = parse_query("name=a%20b+c&flag&x=%2f");
+        assert_eq!(q[0], ("name".into(), "a b c".into()));
+        assert_eq!(q[1], ("flag".into(), String::new()));
+        assert_eq!(q[2], ("x".into(), "/".into()));
+    }
+
+    #[test]
+    fn truncated_requests_error() {
+        let raw = b"GET /x HTTP/1.1\r\nConten";
+        assert!(read_request(&mut &raw[..]).is_err());
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut &raw[..]).is_err());
+    }
+
+    #[test]
+    fn response_serialises_with_source_header() {
+        let mut out = Vec::new();
+        Response::json(&Json::U64(7))
+            .with_source("store")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("x-fgbs-source: store\r\n"));
+        assert!(text.ends_with("\r\n\r\n7"));
+    }
+
+    #[test]
+    fn error_bodies_are_json() {
+        let r = Response::error(404, "no such endpoint");
+        assert_eq!(r.status, 404);
+        assert_eq!(r.body, br#"{"error":"no such endpoint"}"#);
+    }
+}

@@ -1,0 +1,188 @@
+//! fgbs-serve — a concurrent system-selection service over the fgbs
+//! pipeline.
+//!
+//! The daemon speaks minimal HTTP/1.1 + JSON over
+//! [`std::net::TcpListener`] and dispatches connections onto a
+//! fixed-size [`fgbs_pool::Executor`]. Endpoints:
+//!
+//! | endpoint         | purpose                                        |
+//! |------------------|------------------------------------------------|
+//! | `GET /predict`   | cross-architecture prediction for a suite/target (`suite`, `class`, `target`, `k`) |
+//! | `GET /sweep`     | benchmark-reduction quality across `k` (`kmin`, `kmax`) |
+//! | `POST /reduce`   | subset a suite into representatives (`suite`, `class`, `k`) |
+//! | `GET /artifacts` | list persisted store artifacts                  |
+//! | `GET /metrics`   | request counts, store hit/miss, latency histograms |
+//! | `GET /health`    | liveness probe                                 |
+//!
+//! Every cacheable handler consults the [`fgbs_store::Store`] first and
+//! replays byte-identical bodies on a hit; concurrent identical misses
+//! collapse into one computation via single-flight. See
+//! [`Service`] for the full request lifecycle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fgbs_pool::Executor;
+
+mod http;
+mod json;
+mod metrics;
+mod service;
+
+pub use http::{parse_query, read_request, Request, Response};
+pub use json::Json;
+pub use metrics::{Metrics, N_BUCKETS, SERIES};
+pub use service::Service;
+
+/// How long a connection worker waits for request bytes before giving
+/// up on a stalled client.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running server: a bound listener, an accept thread, and a worker
+/// pool draining connections. Dropping the server shuts it down and
+/// joins every thread.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:8422`; port 0 picks a free port) and
+    /// serve `service` on `threads` connection workers (0 = one per
+    /// core).
+    pub fn start(addr: &str, threads: usize, service: Arc<Service>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let accept = std::thread::Builder::new()
+            .name("fgbs-accept".to_string())
+            .spawn(move || {
+                let exec = Executor::new(threads);
+                for stream in listener.incoming() {
+                    if flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let svc = Arc::clone(&service);
+                    exec.submit(move || handle_connection(stream, &svc));
+                }
+                // `exec` drops here: the queue drains and workers join,
+                // so in-flight responses finish before shutdown returns.
+            })?;
+        Ok(Server {
+            addr: local,
+            shutdown,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let Some(handle) = self.accept.take() else {
+            return;
+        };
+        self.shutdown.store(true, Ordering::Release);
+        // The accept loop blocks in `incoming()`; poke it with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = handle.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serve one connection: parse, handle, respond, close.
+fn handle_connection(mut stream: TcpStream, service: &Service) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(request) => service.handle(&request),
+        Err(err) => Response::error(400, &format!("bad request: {err}")),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_core::PipelineConfig;
+    use fgbs_store::Store;
+    use std::io::{Read as _, Write as _};
+
+    fn test_service(dir: &std::path::Path) -> Arc<Service> {
+        let store = Arc::new(Store::open(dir).unwrap());
+        // Single-threaded pipeline: request-level concurrency comes from
+        // the connection workers.
+        Arc::new(Service::new(
+            PipelineConfig::default().with_threads(1),
+            store,
+        ))
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_health_and_404_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("fgbs-serve-{}", std::process::id()));
+        let service = test_service(&dir);
+        let server = Server::start("127.0.0.1:0", 2, service).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert_eq!(body, r#"{"ok":true}"#);
+
+        let (head, body) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        assert!(body.contains("no such endpoint"));
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let dir = std::env::temp_dir().join(format!("fgbs-serve-bad-{}", std::process::id()));
+        let service = test_service(&dir);
+        let server = Server::start("127.0.0.1:0", 1, service).unwrap();
+
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 400"), "{raw}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

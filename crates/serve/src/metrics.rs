@@ -1,0 +1,188 @@
+//! Request and stage metrics: counts, latencies, log2 histograms.
+//!
+//! Everything is lock-free atomics so recording never contends with the
+//! request path. The registry is a fixed set of named series — the five
+//! endpoints plus the three pipeline stages — rendered into `/metrics`
+//! as JSON.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Number of log2 latency buckets: bucket `i` counts samples in
+/// `[2^i, 2^{i+1})` microseconds (bucket 0 additionally holds 0 µs).
+pub const N_BUCKETS: usize = 22;
+
+/// Series tracked by the registry (endpoints, then pipeline stages).
+pub const SERIES: [&str; 9] = [
+    "predict",
+    "sweep",
+    "reduce",
+    "artifacts",
+    "metrics",
+    "other",
+    "stage.profile",
+    "stage.reduce",
+    "stage.predict",
+];
+
+/// One latency series.
+#[derive(Debug)]
+struct Series {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    last_micros: AtomicU64,
+    buckets: [AtomicU64; N_BUCKETS],
+}
+
+impl Series {
+    fn new() -> Series {
+        Series {
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            last_micros: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.last_micros.store(micros, Ordering::Relaxed);
+        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .map(|b| Json::U64(b.load(Ordering::Relaxed)))
+            .collect();
+        Json::obj(vec![
+            ("count", Json::U64(self.count.load(Ordering::Relaxed))),
+            (
+                "total_micros",
+                Json::U64(self.total_micros.load(Ordering::Relaxed)),
+            ),
+            (
+                "last_micros",
+                Json::U64(self.last_micros.load(Ordering::Relaxed)),
+            ),
+            ("buckets_log2_micros", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Bucket index of a latency sample.
+fn bucket_of(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        (63 - micros.leading_zeros() as usize).min(N_BUCKETS - 1)
+    }
+}
+
+/// The metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    series: Vec<(&'static str, Series)>,
+}
+
+impl Metrics {
+    /// A registry with every known series at zero.
+    pub fn new() -> Metrics {
+        Metrics {
+            series: SERIES.iter().map(|&n| (n, Series::new())).collect(),
+        }
+    }
+
+    /// Record one sample; unknown names fall into `other`.
+    pub fn record(&self, name: &str, micros: u64) {
+        let series = self
+            .series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .or_else(|| self.series.iter().find(|(n, _)| *n == "other"))
+            .map(|(_, s)| s)
+            .expect("`other` series always exists");
+        series.record(micros);
+    }
+
+    /// Samples recorded under `name`.
+    pub fn count(&self, name: &str) -> u64 {
+        self.series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Latency of the most recent sample under `name` (µs).
+    pub fn last_micros(&self, name: &str) -> u64 {
+        self.series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s.last_micros.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Render every series as a JSON object keyed by name.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.series
+                .iter()
+                .map(|(n, s)| (n.to_string(), s.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let m = Metrics::new();
+        m.record("predict", 100);
+        m.record("predict", 200);
+        m.record("nonsense", 5);
+        assert_eq!(m.count("predict"), 2);
+        assert_eq!(m.last_micros("predict"), 200);
+        assert_eq!(m.count("other"), 1);
+        let rendered = m.to_json().render();
+        assert!(rendered.contains("\"predict\""));
+        assert!(rendered.contains("\"stage.profile\""));
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..1000 {
+                        m.record("sweep", i);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.count("sweep"), 8000);
+    }
+}

@@ -1,0 +1,497 @@
+//! The request handlers: routing, parameter resolution, store-first
+//! computation with single-flight deduplication.
+//!
+//! # Request lifecycle
+//!
+//! 1. The connection worker parses the request and calls
+//!    [`Service::handle`].
+//! 2. The router resolves the endpoint and canonicalises its parameters
+//!    (so `?target=ATOM` and `?target=atom` share one cache entry).
+//! 3. Cacheable endpoints derive a response key and consult the store:
+//!    a hit replays the exact bytes rendered by the first computation —
+//!    zero pipeline work, `x-fgbs-source: store`.
+//! 4. On a miss, concurrent identical requests collapse into a single
+//!    flight: one leader runs the pipeline (whose stages themselves
+//!    consult the store for profile/reduce/predict artifacts) and
+//!    persists the rendered body; followers block and share it
+//!    (`computed` vs `coalesced`).
+//! 5. Every request records its latency; pipeline stages record theirs
+//!    under `stage.*` — all visible at `/metrics`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use fgbs_core::{
+    predict, profile_reference, reduce, sweep_k, KChoice, MicroCache, PipelineConfig,
+    ProfiledSuite,
+};
+use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_store::{ArtifactKind, SingleFlight, StableHasher, Store};
+use fgbs_suites::{nas_suite, nr_suite, Class};
+use parking_lot::Mutex;
+
+use crate::http::{Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+
+/// Resolved suite parameters (canonical names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SuiteSpec {
+    kind: &'static str,
+    class_name: &'static str,
+    class: Class,
+}
+
+fn resolve_suite(req: &Request) -> Result<SuiteSpec, Response> {
+    let kind = match req.param_or("suite", "nr").to_ascii_lowercase().as_str() {
+        "nr" => "nr",
+        "nas" => "nas",
+        other => {
+            return Err(Response::error(400, &format!("unknown suite `{other}` (nr|nas)")));
+        }
+    };
+    let (class_name, class) = match req.param_or("class", "test").to_ascii_lowercase().as_str() {
+        "test" => ("test", Class::Test),
+        "a" => ("a", Class::A),
+        "b" => ("b", Class::B),
+        other => {
+            return Err(Response::error(
+                400,
+                &format!("unknown class `{other}` (test|a|b)"),
+            ));
+        }
+    };
+    Ok(SuiteSpec {
+        kind,
+        class_name,
+        class,
+    })
+}
+
+fn resolve_target(req: &Request) -> Result<Arch, Response> {
+    let name = req.param_or("target", "atom");
+    let arch = match name.to_ascii_lowercase().as_str() {
+        "atom" => Arch::atom(),
+        "core2" | "core-2" | "core 2" => Arch::core2(),
+        "sb" | "sandybridge" | "sandy-bridge" => Arch::sandy_bridge(),
+        "nehalem" | "ref" => Arch::nehalem(),
+        other => {
+            return Err(Response::error(
+                400,
+                &format!("unknown target `{other}` (atom|core2|sb|nehalem)"),
+            ));
+        }
+    };
+    Ok(arch.scaled(PARK_SCALE))
+}
+
+/// Resolve `k` to a canonical `(KChoice, label)` pair.
+fn resolve_k(req: &Request) -> Result<(KChoice, String), Response> {
+    match req.param_or("k", "elbow") {
+        "elbow" => Ok((KChoice::Elbow { max_k: 24 }, "elbow".to_string())),
+        n => match n.parse::<usize>() {
+            Ok(k) if k >= 1 => Ok((KChoice::Fixed(k), k.to_string())),
+            _ => Err(Response::error(
+                400,
+                &format!("k must be `elbow` or a positive integer, got `{n}`"),
+            )),
+        },
+    }
+}
+
+fn parse_usize_param(req: &Request, name: &str, default: usize) -> Result<usize, Response> {
+    match req.param(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| {
+            Response::error(400, &format!("{name} must be an integer, got `{raw}`"))
+        }),
+    }
+}
+
+/// The system-selection service: store-first, single-flighted handlers
+/// over the Steps A–E pipeline. Request-agnostic and socket-free — the
+/// server loop in [`crate`] feeds it, and tests call
+/// [`Service::handle`] directly.
+pub struct Service {
+    cfg: PipelineConfig,
+    store: Arc<Store>,
+    flight: SingleFlight<Arc<Response>>,
+    metrics: Metrics,
+    profiles: Mutex<HashMap<String, Arc<ProfiledSuite>>>,
+    computations: AtomicU64,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("store", &self.store.root())
+            .field("computations", &self.computations())
+            .finish()
+    }
+}
+
+impl Service {
+    /// A service computing with `cfg` and persisting into `store`. The
+    /// store is attached to the pipeline configuration, so every stage
+    /// consults it.
+    pub fn new(cfg: PipelineConfig, store: Arc<Store>) -> Service {
+        Service {
+            cfg: cfg.with_store(Arc::clone(&store)),
+            store,
+            flight: SingleFlight::new(),
+            metrics: Metrics::new(),
+            profiles: Mutex::new(HashMap::new()),
+            computations: AtomicU64::new(0),
+        }
+    }
+
+    /// The artifact store behind the service.
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Full pipeline computations performed (one per cache-missing,
+    /// single-flighted request — coalesced and store-hit requests do not
+    /// count).
+    pub fn computations(&self) -> u64 {
+        self.computations.load(Ordering::Relaxed)
+    }
+
+    /// Computations coalesced into another request's flight.
+    pub fn coalesced(&self) -> u64 {
+        self.flight.coalesced()
+    }
+
+    /// Handle one parsed request, recording endpoint latency.
+    pub fn handle(&self, req: &Request) -> Response {
+        let t0 = Instant::now();
+        let (name, resp) = self.route(req);
+        self.metrics.record(name, t0.elapsed().as_micros() as u64);
+        resp
+    }
+
+    fn route(&self, req: &Request) -> (&'static str, Response) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/predict") => ("predict", self.ep_predict(req)),
+            ("GET", "/sweep") => ("sweep", self.ep_sweep(req)),
+            ("POST", "/reduce") => ("reduce", self.ep_reduce(req)),
+            ("GET", "/artifacts") => ("artifacts", self.ep_artifacts()),
+            ("GET", "/metrics") => ("metrics", self.ep_metrics()),
+            ("GET", "/health") => ("other", Response::json(&Json::obj(vec![("ok", Json::Bool(true))]))),
+            (_, "/predict" | "/sweep" | "/reduce" | "/artifacts" | "/metrics") => (
+                "other",
+                Response::error(405, "method not allowed for this endpoint"),
+            ),
+            _ => ("other", Response::error(404, "no such endpoint")),
+        }
+    }
+
+    /// Response key: endpoint + canonical parameters + every pipeline
+    /// input that shapes the body. Configuration changes (seed, feature
+    /// mask, reference machine…) move to fresh keys automatically.
+    fn response_key(&self, endpoint: &str, params: &[&str]) -> String {
+        let mut h = StableHasher::new();
+        h.field(b"response")
+            .field_u64(fgbs_core::CODEC_VERSION as u64)
+            .field(endpoint.as_bytes());
+        for p in params {
+            h.field(p.as_bytes());
+        }
+        h.field_debug(&self.cfg.reference)
+            .field_debug(&self.cfg.finder)
+            .field_debug(&self.cfg.features)
+            .field_debug(&self.cfg.linkage)
+            .field_f64(self.cfg.micro_min_seconds)
+            .field_u64(self.cfg.micro_min_invocations)
+            .field_u64(self.cfg.noise_seed);
+        h.finish_hex()
+    }
+
+    /// Store-first, single-flighted response production (step 3–4 of the
+    /// request lifecycle in the module docs).
+    fn respond_cached(&self, key: &str, compute: impl FnOnce() -> Response) -> Response {
+        if let Ok(Some(bytes)) = self.store.get(ArtifactKind::Response, key) {
+            return Response::json_bytes(bytes).with_source("store");
+        }
+        let (resp, led) = self.flight.run(key, || {
+            let r = compute();
+            if r.status == 200 {
+                let _ = self.store.put(ArtifactKind::Response, key, &r.body);
+            }
+            Arc::new(r)
+        });
+        let r = (*resp).clone();
+        r.with_source(if led { "computed" } else { "coalesced" })
+    }
+
+    /// The profiled suite for a spec, memoised in memory for the
+    /// process's lifetime and store-backed across processes.
+    fn profiled(&self, spec: SuiteSpec) -> Arc<ProfiledSuite> {
+        let memo_key = format!("{}/{}", spec.kind, spec.class_name);
+        if let Some(p) = self.profiles.lock().get(&memo_key) {
+            return Arc::clone(p);
+        }
+        let apps = match spec.kind {
+            "nr" => nr_suite(spec.class),
+            _ => nas_suite(spec.class),
+        };
+        let t0 = Instant::now();
+        let suite = Arc::new(profile_reference(&apps, &self.cfg));
+        self.metrics
+            .record("stage.profile", t0.elapsed().as_micros() as u64);
+        self.profiles
+            .lock()
+            .entry(memo_key)
+            .or_insert(suite)
+            .clone()
+    }
+
+    fn ep_predict(&self, req: &Request) -> Response {
+        let spec = match resolve_suite(req) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        let target = match resolve_target(req) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let (k, k_label) = match resolve_k(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let key = self.response_key(
+            "predict",
+            &[spec.kind, spec.class_name, &target.name, &k_label],
+        );
+        self.respond_cached(&key, || {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            let suite = self.profiled(spec);
+            let cfg = self.cfg.clone().with_k(k);
+
+            let t0 = Instant::now();
+            let reduced = reduce(&suite, &cfg);
+            self.metrics
+                .record("stage.reduce", t0.elapsed().as_micros() as u64);
+
+            let t0 = Instant::now();
+            let out = predict(&suite, &reduced, &target, &cfg);
+            self.metrics
+                .record("stage.predict", t0.elapsed().as_micros() as u64);
+
+            let predictions: Vec<Json> = out
+                .predictions
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("codelet", Json::str(&suite.codelets[p.codelet].name)),
+                        (
+                            "cluster",
+                            p.cluster.map(|c| Json::U64(c as u64)).unwrap_or(Json::Null),
+                        ),
+                        ("representative", Json::Bool(p.is_representative)),
+                        (
+                            "predicted_seconds",
+                            p.predicted_seconds.map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                        ("real_seconds", Json::Num(p.real_seconds)),
+                        (
+                            "error_pct",
+                            p.error_pct.map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(&Json::obj(vec![
+                ("suite", Json::str(spec.kind)),
+                ("class", Json::str(spec.class_name)),
+                ("target", Json::str(&out.target)),
+                ("k", Json::str(&k_label)),
+                ("k_requested", Json::U64(reduced.k_requested as u64)),
+                (
+                    "representatives",
+                    Json::U64(reduced.n_representatives() as u64),
+                ),
+                ("codelets", Json::U64(suite.len() as u64)),
+                ("coverage", Json::Num(suite.coverage)),
+                ("median_error_pct", Json::Num(out.median_error_pct())),
+                ("average_error_pct", Json::Num(out.average_error_pct())),
+                (
+                    "rep_seconds",
+                    Json::Arr(out.rep_seconds.iter().map(|&s| Json::Num(s)).collect()),
+                ),
+                ("predictions", Json::Arr(predictions)),
+            ]))
+        })
+    }
+
+    fn ep_sweep(&self, req: &Request) -> Response {
+        let spec = match resolve_suite(req) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        let target = match resolve_target(req) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let kmin = match parse_usize_param(req, "kmin", 1) {
+            Ok(v) => v.max(1),
+            Err(r) => return r,
+        };
+        let kmax = match parse_usize_param(req, "kmax", 8) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        if kmax < kmin {
+            return Response::error(400, &format!("kmax ({kmax}) must be >= kmin ({kmin})"));
+        }
+        let key = self.response_key(
+            "sweep",
+            &[
+                spec.kind,
+                spec.class_name,
+                &target.name,
+                &kmin.to_string(),
+                &kmax.to_string(),
+            ],
+        );
+        self.respond_cached(&key, || {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            let suite = self.profiled(spec);
+            let cache = MicroCache::new();
+            let points = sweep_k(&suite, &target, kmax, &cache, &self.cfg);
+            let points: Vec<Json> = points
+                .iter()
+                .filter(|p| p.k >= kmin)
+                .map(|p| {
+                    Json::obj(vec![
+                        ("k", Json::U64(p.k as u64)),
+                        ("representatives", Json::U64(p.representatives as u64)),
+                        ("median_error_pct", Json::Num(p.median_error_pct)),
+                        ("reduction_total", Json::Num(p.reduction_total)),
+                    ])
+                })
+                .collect();
+            Response::json(&Json::obj(vec![
+                ("suite", Json::str(spec.kind)),
+                ("class", Json::str(spec.class_name)),
+                ("target", Json::str(&target.name)),
+                ("kmin", Json::U64(kmin as u64)),
+                ("kmax", Json::U64(kmax as u64)),
+                ("points", Json::Arr(points)),
+            ]))
+        })
+    }
+
+    fn ep_reduce(&self, req: &Request) -> Response {
+        let spec = match resolve_suite(req) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        let (k, k_label) = match resolve_k(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let key = self.response_key("reduce", &[spec.kind, spec.class_name, &k_label]);
+        self.respond_cached(&key, || {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            let suite = self.profiled(spec);
+            let cfg = self.cfg.clone().with_k(k);
+            let t0 = Instant::now();
+            let reduced = reduce(&suite, &cfg);
+            self.metrics
+                .record("stage.reduce", t0.elapsed().as_micros() as u64);
+            let clusters: Vec<Json> = reduced
+                .clusters
+                .iter()
+                .map(|c| {
+                    Json::obj(vec![
+                        (
+                            "representative",
+                            Json::str(&suite.codelets[c.representative].name),
+                        ),
+                        (
+                            "members",
+                            Json::Arr(
+                                c.members
+                                    .iter()
+                                    .map(|&m| Json::str(&suite.codelets[m].name))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(&Json::obj(vec![
+                ("suite", Json::str(spec.kind)),
+                ("class", Json::str(spec.class_name)),
+                ("k", Json::str(&k_label)),
+                ("k_requested", Json::U64(reduced.k_requested as u64)),
+                ("codelets", Json::U64(suite.len() as u64)),
+                ("coverage", Json::Num(suite.coverage)),
+                (
+                    "ill_behaved",
+                    Json::Arr(
+                        reduced
+                            .ill_behaved
+                            .iter()
+                            .map(|&i| Json::str(&suite.codelets[i].name))
+                            .collect(),
+                    ),
+                ),
+                ("clusters", Json::Arr(clusters)),
+            ]))
+        })
+    }
+
+    fn ep_artifacts(&self) -> Response {
+        let artifacts: Vec<Json> = self
+            .store
+            .list()
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("kind", Json::str(m.kind.as_str())),
+                    ("key", Json::str(&m.key)),
+                    ("bytes", Json::U64(m.bytes)),
+                    ("stored_at", Json::U64(m.stored_at)),
+                ])
+            })
+            .collect();
+        Response::json(&Json::obj(vec![
+            ("count", Json::U64(artifacts.len() as u64)),
+            ("artifacts", Json::Arr(artifacts)),
+        ]))
+    }
+
+    fn ep_metrics(&self) -> Response {
+        let sc = self.store.counters();
+        Response::json(&Json::obj(vec![
+            ("requests", self.metrics.to_json()),
+            (
+                "store",
+                Json::obj(vec![
+                    ("hits", Json::U64(sc.hits)),
+                    ("misses", Json::U64(sc.misses)),
+                    ("puts", Json::U64(sc.puts)),
+                    ("evictions", Json::U64(sc.evictions)),
+                    ("artifacts", Json::U64(self.store.list().len() as u64)),
+                ]),
+            ),
+            (
+                "flight",
+                Json::obj(vec![
+                    ("flights", Json::U64(self.flight.flights())),
+                    ("coalesced", Json::U64(self.flight.coalesced())),
+                ]),
+            ),
+            ("computations", Json::U64(self.computations())),
+        ]))
+    }
+}

@@ -1,0 +1,162 @@
+//! Single-flight deduplication of concurrent identical computations.
+//!
+//! When N requests for the same key arrive together, exactly one (the
+//! *leader*) runs the computation; the other N−1 (the *followers*) block
+//! until the leader finishes and then share its result. Combined with the
+//! store this gives the serve daemon its "concurrent identical queries
+//! compute once" guarantee: the leader computes and persists, followers
+//! coalesce, and later requests hit the store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A slot the leader fills and followers wait on.
+#[derive(Debug)]
+struct Slot<V> {
+    value: Mutex<Option<V>>,
+    ready: Condvar,
+}
+
+impl<V> Slot<V> {
+    fn new() -> Slot<V> {
+        Slot {
+            value: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// Keyed single-flight group with flight/coalesce counters.
+///
+/// Values are cloned out to every follower, so `V` should be cheap to
+/// clone (the serve daemon stores `Arc`'d response bodies).
+#[derive(Debug, Default)]
+pub struct SingleFlight<V> {
+    inflight: Mutex<HashMap<String, Arc<Slot<V>>>>,
+    flights: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty group.
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+            flights: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Run `compute` for `key`, deduplicating concurrent callers.
+    ///
+    /// Returns `(value, led)`: `led` is true for the caller that actually
+    /// executed `compute`. The flight entry is removed once the leader
+    /// finishes, so a *later* call with the same key starts a fresh flight
+    /// — persistent memoisation is the store's job, not this type's.
+    pub fn run(&self, key: &str, compute: impl FnOnce() -> V) -> (V, bool) {
+        let (slot, leader) = {
+            let mut m = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            match m.get(key) {
+                Some(s) => (Arc::clone(s), false),
+                None => {
+                    let s = Arc::new(Slot::new());
+                    m.insert(key.to_string(), Arc::clone(&s));
+                    (s, true)
+                }
+            }
+        };
+
+        if leader {
+            self.flights.fetch_add(1, Ordering::Relaxed);
+            let v = compute();
+            {
+                let mut g = slot.value.lock().unwrap_or_else(|e| e.into_inner());
+                *g = Some(v.clone());
+            }
+            slot.ready.notify_all();
+            self.inflight
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(key);
+            (v, true)
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut g = slot.value.lock().unwrap_or_else(|e| e.into_inner());
+            while g.is_none() {
+                g = slot.ready.wait(g).unwrap_or_else(|e| e.into_inner());
+            }
+            (g.clone().expect("leader filled the slot"), false)
+        }
+    }
+
+    /// Number of computations actually executed (leaders).
+    pub fn flights(&self) -> u64 {
+        self.flights.load(Ordering::Relaxed)
+    }
+
+    /// Number of callers that shared a leader's result instead of
+    /// computing.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn serial_calls_each_fly() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let (a, led_a) = sf.run("k", || 1);
+        let (b, led_b) = sf.run("k", || 2);
+        assert_eq!((a, led_a), (1, true));
+        assert_eq!((b, led_b), (2, true), "finished flights do not linger");
+        assert_eq!(sf.flights(), 2);
+        assert_eq!(sf.coalesced(), 0);
+    }
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let sf: SingleFlight<u64> = SingleFlight::new();
+        let computed = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        let results: Vec<(u64, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        sf.run("same", || {
+                            computed.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so followers pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            99
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // All callers that overlapped the leader coalesced; anyone who
+        // arrived after it finished led a new flight. With a 30 ms hold
+        // and a barrier start, overlap is overwhelmingly likely but each
+        // flight still computes exactly once.
+        assert!(results.iter().all(|&(v, _)| v == 99));
+        let leaders = results.iter().filter(|&&(_, led)| led).count();
+        assert_eq!(computed.load(Ordering::SeqCst), leaders);
+        assert_eq!(sf.flights() as usize, leaders);
+        assert_eq!(sf.coalesced() as usize, 8 - leaders);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_block_each_other() {
+        let sf: SingleFlight<&'static str> = SingleFlight::new();
+        let (a, _) = sf.run("x", || "x-val");
+        let (b, _) = sf.run("y", || "y-val");
+        assert_eq!((a, b), ("x-val", "y-val"));
+        assert_eq!(sf.flights(), 2);
+    }
+}

@@ -1,0 +1,729 @@
+//! `fgbs-store` — the persistent pipeline-artifact store.
+//!
+//! The paper's economics are *profile once, query forever*: Steps A/B
+//! characterise the suite on the reference machine, and every later
+//! system-selection question (Steps C–E) reuses that characterisation.
+//! This crate supplies the durable half of that bargain: a
+//! content-addressed, versioned, on-disk store that persists each
+//! pipeline stage keyed by a stable hash of its inputs, so a second
+//! process — or a long-running query service — answers in O(lookup)
+//! instead of O(pipeline).
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST                     # integrity-checked index of every artifact
+//!   objects/<kind>/<key>.bin     # self-describing artifact files
+//! ```
+//!
+//! Every object file carries a magic number, format version, its own kind
+//! and key, and an FNV-1a checksum of the payload, so a corrupted or
+//! truncated artifact is *detected* on read (and reported as an error)
+//! rather than silently decoded. Writes go to a `.tmp` sibling first and
+//! are published with an atomic rename: a crash mid-write leaves the
+//! previous artifact (and the manifest) intact.
+//!
+//! # Keys
+//!
+//! Keys are 128-bit stable hashes (hex) of the *inputs* of a stage —
+//! suite content, architecture, clustering options, format version — so
+//! any input change moves to a fresh key and stale artifacts are simply
+//! never looked up again. Eviction is explicit ([`Store::gc`]), never
+//! implicit.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+mod flight;
+mod hash;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use flight::SingleFlight;
+pub use hash::{fnv64, hash_fields, StableHasher};
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+/// Artifact file magic bytes.
+const MAGIC: &[u8; 4] = b"FGBS";
+/// On-disk format version; bumping it orphans (but never corrupts) old
+/// artifacts.
+pub const FORMAT_VERSION: u32 = 1;
+/// First line of a valid manifest.
+const MANIFEST_HEADER: &str = "fgbs-store-manifest v1";
+
+/// The pipeline stage an artifact belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ArtifactKind {
+    /// Steps A+B: a profiled suite (reference characterisation).
+    Profile,
+    /// Steps C+D: a reduced suite (clusters + representatives).
+    Reduce,
+    /// Step E: a prediction outcome on one target.
+    Predict,
+    /// A GA fitness-cache snapshot (genome → fitness).
+    Fitness,
+    /// A rendered service response body (byte-exact replay).
+    Response,
+}
+
+impl ArtifactKind {
+    /// All kinds, in display order.
+    pub const ALL: [ArtifactKind; 5] = [
+        ArtifactKind::Profile,
+        ArtifactKind::Reduce,
+        ArtifactKind::Predict,
+        ArtifactKind::Fitness,
+        ArtifactKind::Response,
+    ];
+
+    /// Directory / manifest name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ArtifactKind::Profile => "profile",
+            ArtifactKind::Reduce => "reduce",
+            ArtifactKind::Predict => "predict",
+            ArtifactKind::Fitness => "fitness",
+            ArtifactKind::Response => "response",
+        }
+    }
+
+    /// Parse a kind name.
+    pub fn parse(s: &str) -> Option<ArtifactKind> {
+        ArtifactKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One manifest entry describing a stored artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// Stage the artifact belongs to.
+    pub kind: ArtifactKind,
+    /// Content key (32 hex chars).
+    pub key: String,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// FNV-1a checksum of the payload.
+    pub checksum: u64,
+    /// Unix seconds when the artifact was stored (eviction order).
+    pub stored_at: u64,
+}
+
+/// Monotonic hit/miss/put/eviction counters, observable at any time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// `get`s answered from disk.
+    pub hits: u64,
+    /// `get`s that found nothing (caller must compute).
+    pub misses: u64,
+    /// Artifacts written.
+    pub puts: u64,
+    /// Artifacts removed by `gc` or `remove`.
+    pub evictions: u64,
+}
+
+/// Report of one garbage-collection pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Artifacts removed.
+    pub removed: usize,
+    /// Payload bytes freed.
+    pub bytes_freed: u64,
+}
+
+/// The content-addressed artifact store.
+///
+/// Thread safe: `put`/`get`/`gc` all take `&self`; share it behind an
+/// `Arc`. The manifest assumes a single writing process (the CLI or the
+/// serve daemon); concurrent writers in *different* processes keep the
+/// object files correct (atomic renames) but may interleave manifest
+/// rewrites — [`Store::rebuild_manifest`] restores the index from the
+/// objects on disk.
+pub struct Store {
+    root: PathBuf,
+    manifest: Mutex<HashMap<(ArtifactKind, String), ArtifactMeta>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("root", &self.root)
+            .field("artifacts", &self.manifest.lock().len())
+            .field("counters", &self.counters())
+            .finish()
+    }
+}
+
+impl Store {
+    /// Open (creating if necessary) a store rooted at `root`.
+    ///
+    /// Fails with `InvalidData` when an existing manifest is corrupt —
+    /// wrong header, malformed entry, or checksum mismatch — so silent
+    /// index corruption cannot masquerade as an empty store. Use
+    /// [`Store::rebuild_manifest`] to recover from the objects on disk.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        let store = Store {
+            root,
+            manifest: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        };
+        let path = store.manifest_path();
+        if path.exists() {
+            let text = fs::read_to_string(&path)?;
+            let entries = parse_manifest(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            *store.manifest.lock() =
+                entries.into_iter().map(|m| ((m.kind, m.key.clone()), m)).collect();
+        } else {
+            store.write_manifest(&store.manifest.lock())?;
+        }
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("MANIFEST")
+    }
+
+    fn object_path(&self, kind: ArtifactKind, key: &str) -> PathBuf {
+        self.root.join("objects").join(kind.as_str()).join(format!("{key}.bin"))
+    }
+
+    /// Store `payload` under `(kind, key)`, replacing any previous
+    /// version atomically (write `.tmp`, fsync, rename).
+    pub fn put(&self, kind: ArtifactKind, key: &str, payload: &[u8]) -> io::Result<()> {
+        let path = self.object_path(kind, key);
+        fs::create_dir_all(path.parent().expect("object path has a parent"))?;
+
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::from_le_bytes(*MAGIC));
+        w.put_u32(FORMAT_VERSION);
+        w.put_str(kind.as_str());
+        w.put_str(key);
+        w.put_u64(fnv64(payload));
+        w.put_bytes(payload);
+        let framed = w.into_bytes();
+
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&framed)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+
+        let meta = ArtifactMeta {
+            kind,
+            key: key.to_string(),
+            bytes: payload.len() as u64,
+            checksum: fnv64(payload),
+            stored_at: unix_now(),
+        };
+        let mut m = self.manifest.lock();
+        m.insert((kind, key.to_string()), meta);
+        self.write_manifest(&m)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Fetch the payload stored under `(kind, key)`.
+    ///
+    /// `Ok(None)` means "not stored" (a miss the caller should compute);
+    /// `Err(InvalidData)` means the artifact exists but fails its
+    /// integrity checks — wrong magic, version, identity, or checksum.
+    pub fn get(&self, kind: ArtifactKind, key: &str) -> io::Result<Option<Vec<u8>>> {
+        let path = self.object_path(kind, key);
+        let mut framed = Vec::new();
+        match fs::File::open(&path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut framed)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        }
+        match unframe(&framed, kind, key) {
+            Ok(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(payload))
+            }
+            Err(msg) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{kind}/{key}: {msg}"),
+                ))
+            }
+        }
+    }
+
+    /// True when `(kind, key)` is stored (no counter side effects).
+    pub fn contains(&self, kind: ArtifactKind, key: &str) -> bool {
+        self.object_path(kind, key).exists()
+    }
+
+    /// Remove one artifact; true when something was deleted.
+    pub fn remove(&self, kind: ArtifactKind, key: &str) -> io::Result<bool> {
+        let path = self.object_path(kind, key);
+        let existed = path.exists();
+        if existed {
+            fs::remove_file(&path)?;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut m = self.manifest.lock();
+        if m.remove(&(kind, key.to_string())).is_some() || existed {
+            self.write_manifest(&m)?;
+        }
+        Ok(existed)
+    }
+
+    /// Every stored artifact, sorted by kind then key (stable listing).
+    pub fn list(&self) -> Vec<ArtifactMeta> {
+        let mut v: Vec<ArtifactMeta> = self.manifest.lock().values().cloned().collect();
+        v.sort_by(|a, b| (a.kind, &a.key).cmp(&(b.kind, &b.key)));
+        v
+    }
+
+    /// Evict the oldest artifacts, keeping at most `keep_per_kind` of
+    /// each kind (newest first by `stored_at`, key as tie-break).
+    pub fn gc(&self, keep_per_kind: usize) -> io::Result<GcReport> {
+        let victims: Vec<ArtifactMeta> = {
+            let m = self.manifest.lock();
+            let mut by_kind: HashMap<ArtifactKind, Vec<&ArtifactMeta>> = HashMap::new();
+            for meta in m.values() {
+                by_kind.entry(meta.kind).or_default().push(meta);
+            }
+            let mut victims = Vec::new();
+            for metas in by_kind.values_mut() {
+                metas.sort_by(|a, b| {
+                    b.stored_at.cmp(&a.stored_at).then_with(|| a.key.cmp(&b.key))
+                });
+                victims.extend(metas.iter().skip(keep_per_kind).map(|m| (*m).clone()));
+            }
+            victims
+        };
+        let mut report = GcReport::default();
+        for meta in victims {
+            if self.remove(meta.kind, &meta.key)? {
+                report.removed += 1;
+                report.bytes_freed += meta.bytes;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Check every manifest entry against its object file; returns a
+    /// description of each problem found (empty = healthy).
+    pub fn verify(&self) -> Vec<String> {
+        let mut issues = Vec::new();
+        let entries = self.list();
+        for meta in &entries {
+            let path = self.object_path(meta.kind, &meta.key);
+            let framed = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    issues.push(format!("{}/{}: unreadable object: {e}", meta.kind, meta.key));
+                    continue;
+                }
+            };
+            match unframe(&framed, meta.kind, &meta.key) {
+                Ok(payload) => {
+                    if fnv64(&payload) != meta.checksum || payload.len() as u64 != meta.bytes {
+                        issues.push(format!(
+                            "{}/{}: object does not match its manifest entry",
+                            meta.kind, meta.key
+                        ));
+                    }
+                }
+                Err(msg) => issues.push(format!("{}/{}: {msg}", meta.kind, meta.key)),
+            }
+        }
+        // Orphans: objects on disk the manifest does not know about.
+        for kind in ArtifactKind::ALL {
+            let dir = self.root.join("objects").join(kind.as_str());
+            let Ok(rd) = fs::read_dir(&dir) else { continue };
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(key) = name.strip_suffix(".bin") else { continue };
+                if !entries.iter().any(|m| m.kind == kind && m.key == key) {
+                    issues.push(format!("{kind}/{key}: orphan object (not in manifest)"));
+                }
+            }
+        }
+        issues
+    }
+
+    /// Rebuild the manifest by scanning the object files on disk —
+    /// recovery path for a lost or corrupt index. Unreadable objects are
+    /// skipped (and stay on disk for inspection).
+    pub fn rebuild_manifest(&self) -> io::Result<usize> {
+        let mut rebuilt = HashMap::new();
+        for kind in ArtifactKind::ALL {
+            let dir = self.root.join("objects").join(kind.as_str());
+            let Ok(rd) = fs::read_dir(&dir) else { continue };
+            for entry in rd.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let Some(key) = name.strip_suffix(".bin") else { continue };
+                let Ok(framed) = fs::read(entry.path()) else { continue };
+                let Ok(payload) = unframe(&framed, kind, key) else { continue };
+                let stored_at = entry
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0);
+                rebuilt.insert(
+                    (kind, key.to_string()),
+                    ArtifactMeta {
+                        kind,
+                        key: key.to_string(),
+                        bytes: payload.len() as u64,
+                        checksum: fnv64(&payload),
+                        stored_at,
+                    },
+                );
+            }
+        }
+        let n = rebuilt.len();
+        let mut m = self.manifest.lock();
+        *m = rebuilt;
+        self.write_manifest(&m)?;
+        Ok(n)
+    }
+
+    /// Current counter snapshot.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serialise and atomically publish the manifest.
+    fn write_manifest(
+        &self,
+        entries: &HashMap<(ArtifactKind, String), ArtifactMeta>,
+    ) -> io::Result<()> {
+        let mut metas: Vec<&ArtifactMeta> = entries.values().collect();
+        metas.sort_by(|a, b| (a.kind, &a.key).cmp(&(b.kind, &b.key)));
+        let mut body = String::from(MANIFEST_HEADER);
+        body.push('\n');
+        for m in metas {
+            body.push_str(&format!(
+                "{}\t{}\t{}\t{:016x}\t{}\n",
+                m.kind, m.key, m.bytes, m.checksum, m.stored_at
+            ));
+        }
+        body.push_str(&format!("checksum {:016x}\n", fnv64(body.as_bytes())));
+
+        let path = self.manifest_path();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+}
+
+/// Validate an object file frame and extract its payload.
+fn unframe(framed: &[u8], kind: ArtifactKind, key: &str) -> Result<Vec<u8>, String> {
+    let mut r = ByteReader::new(framed);
+    let magic = r.get_u32().map_err(|e| e.to_string())?;
+    if magic != u32::from_le_bytes(*MAGIC) {
+        return Err("bad magic".into());
+    }
+    let version = r.get_u32().map_err(|e| e.to_string())?;
+    if version != FORMAT_VERSION {
+        return Err(format!("format version {version} != {FORMAT_VERSION}"));
+    }
+    let stored_kind = r.get_str().map_err(|e| e.to_string())?;
+    let stored_key = r.get_str().map_err(|e| e.to_string())?;
+    if stored_kind != kind.as_str() || stored_key != key {
+        return Err(format!(
+            "identity mismatch: file says {stored_kind}/{stored_key}"
+        ));
+    }
+    let checksum = r.get_u64().map_err(|e| e.to_string())?;
+    let payload = r.get_bytes().map_err(|e| e.to_string())?;
+    r.finish().map_err(|e| e.to_string())?;
+    if fnv64(&payload) != checksum {
+        return Err("payload checksum mismatch".into());
+    }
+    Ok(payload)
+}
+
+/// Parse and integrity-check a manifest file.
+fn parse_manifest(text: &str) -> Result<Vec<ArtifactMeta>, String> {
+    let mut lines = text.lines();
+    if lines.next() != Some(MANIFEST_HEADER) {
+        return Err("manifest: missing or unrecognised header".into());
+    }
+    let Some(body_end) = text.rfind("checksum ") else {
+        return Err("manifest: missing checksum line".into());
+    };
+    let (body, tail) = text.split_at(body_end);
+    let declared = tail
+        .trim_end()
+        .strip_prefix("checksum ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or("manifest: malformed checksum line")?;
+    if fnv64(body.as_bytes()) != declared {
+        return Err("manifest: checksum mismatch (index is corrupt)".into());
+    }
+
+    let mut out = Vec::new();
+    for line in body.lines().skip(1) {
+        let parts: Vec<&str> = line.split('\t').collect();
+        if parts.len() != 5 {
+            return Err(format!("manifest: malformed entry `{line}`"));
+        }
+        let kind = ArtifactKind::parse(parts[0])
+            .ok_or_else(|| format!("manifest: unknown kind `{}`", parts[0]))?;
+        let bytes: u64 = parts[2]
+            .parse()
+            .map_err(|_| format!("manifest: bad size in `{line}`"))?;
+        let checksum = u64::from_str_radix(parts[3], 16)
+            .map_err(|_| format!("manifest: bad checksum in `{line}`"))?;
+        let stored_at: u64 = parts[4]
+            .parse()
+            .map_err(|_| format!("manifest: bad timestamp in `{line}`"))?;
+        out.push(ArtifactMeta {
+            kind,
+            key: parts[1].to_string(),
+            bytes,
+            checksum,
+            stored_at,
+        });
+    }
+    Ok(out)
+}
+
+fn unix_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fgbs-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trip_and_counters() {
+        let root = tmp_root("roundtrip");
+        let s = Store::open(&root).unwrap();
+        assert_eq!(s.get(ArtifactKind::Profile, "k1").unwrap(), None);
+        s.put(ArtifactKind::Profile, "k1", b"hello artifacts").unwrap();
+        assert_eq!(
+            s.get(ArtifactKind::Profile, "k1").unwrap().as_deref(),
+            Some(&b"hello artifacts"[..])
+        );
+        let c = s.counters();
+        assert_eq!((c.hits, c.misses, c.puts), (1, 1, 1));
+        assert!(s.contains(ArtifactKind::Profile, "k1"));
+        assert!(!s.contains(ArtifactKind::Reduce, "k1"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let root = tmp_root("reopen");
+        {
+            let s = Store::open(&root).unwrap();
+            s.put(ArtifactKind::Predict, "p", &[1, 2, 3]).unwrap();
+        }
+        let s = Store::open(&root).unwrap();
+        assert_eq!(s.get(ArtifactKind::Predict, "p").unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(s.list().len(), 1);
+        assert!(s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupted_object_is_detected_not_decoded() {
+        let root = tmp_root("corrupt-obj");
+        let s = Store::open(&root).unwrap();
+        s.put(ArtifactKind::Reduce, "r", b"payload-bytes").unwrap();
+        // Flip a byte in the middle of the object file.
+        let path = root.join("objects/reduce/r.bin");
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() - 3;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = s.get(ArtifactKind::Reduce, "r").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(!s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupted_manifest_fails_open_and_rebuilds() {
+        let root = tmp_root("corrupt-manifest");
+        {
+            let s = Store::open(&root).unwrap();
+            s.put(ArtifactKind::Fitness, "f", b"snapshot").unwrap();
+        }
+        // Corrupt the index.
+        let mpath = root.join("MANIFEST");
+        let mut text = fs::read_to_string(&mpath).unwrap();
+        text = text.replace("fitness", "fitnesz");
+        fs::write(&mpath, &text).unwrap();
+        let err = Store::open(&root).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Recovery: drop the bad index and rebuild from objects.
+        fs::remove_file(&mpath).unwrap();
+        let s = Store::open(&root).unwrap();
+        assert_eq!(s.rebuild_manifest().unwrap(), 1);
+        assert_eq!(s.get(ArtifactKind::Fitness, "f").unwrap(), Some(b"snapshot".to_vec()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn interrupted_write_leaves_old_artifact_intact() {
+        let root = tmp_root("crash");
+        let s = Store::open(&root).unwrap();
+        s.put(ArtifactKind::Profile, "suite", b"version-1").unwrap();
+        // Simulate a crash mid-rewrite: a partially written .tmp exists
+        // but the rename never happened.
+        let tmp = root.join("objects/profile/suite.tmp");
+        fs::write(&tmp, b"garbage half-written artifa").unwrap();
+        // The published artifact still reads back exactly.
+        assert_eq!(
+            s.get(ArtifactKind::Profile, "suite").unwrap(),
+            Some(b"version-1".to_vec())
+        );
+        // Re-opening the store is unaffected by the stray .tmp.
+        drop(s);
+        let s = Store::open(&root).unwrap();
+        assert_eq!(
+            s.get(ArtifactKind::Profile, "suite").unwrap(),
+            Some(b"version-1".to_vec())
+        );
+        assert!(s.verify().is_empty(), "tmp files are not artifacts");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn replacement_is_atomic_and_versioned_by_key() {
+        let root = tmp_root("replace");
+        let s = Store::open(&root).unwrap();
+        s.put(ArtifactKind::Response, "q", b"old").unwrap();
+        s.put(ArtifactKind::Response, "q", b"new").unwrap();
+        assert_eq!(s.get(ArtifactKind::Response, "q").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(s.list().len(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_keeps_newest_per_kind() {
+        let root = tmp_root("gc");
+        let s = Store::open(&root).unwrap();
+        for i in 0..5 {
+            s.put(ArtifactKind::Predict, &format!("k{i}"), &[i]).unwrap();
+        }
+        s.put(ArtifactKind::Profile, "keepme", b"x").unwrap();
+        // Make eviction order deterministic despite same-second stamps.
+        {
+            let mut m = s.manifest.lock();
+            for (_, meta) in m.iter_mut() {
+                if let Some(i) = meta.key.strip_prefix('k').and_then(|t| t.parse::<u64>().ok()) {
+                    meta.stored_at = 1000 + i;
+                }
+            }
+        }
+        let report = s.gc(2).unwrap();
+        assert_eq!(report.removed, 3);
+        assert_eq!(report.bytes_freed, 3);
+        let left: Vec<String> = s.list().into_iter().map(|m| m.key).collect();
+        assert_eq!(left, vec!["keepme", "k3", "k4"]);
+        assert_eq!(s.counters().evictions, 3);
+        assert!(s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wrong_identity_is_rejected() {
+        let root = tmp_root("identity");
+        let s = Store::open(&root).unwrap();
+        s.put(ArtifactKind::Profile, "a", b"data").unwrap();
+        // Copy the object under a different key: identity check must trip.
+        fs::copy(
+            root.join("objects/profile/a.bin"),
+            root.join("objects/profile/b.bin"),
+        )
+        .unwrap();
+        let err = s.get(ArtifactKind::Profile, "b").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_puts_and_gets_are_safe() {
+        let root = tmp_root("concurrent");
+        let s = Store::open(&root).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..10u8 {
+                        let key = format!("t{t}-i{i}");
+                        s.put(ArtifactKind::Response, &key, &[t, i]).unwrap();
+                        assert_eq!(
+                            s.get(ArtifactKind::Response, &key).unwrap(),
+                            Some(vec![t, i])
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(s.list().len(), 40);
+        assert!(s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -48,6 +48,16 @@ fn main() {
     for id in &sel.feature_ids {
         println!("  - {} [{:?}]", cat[*id].name, cat[*id].kind);
     }
+    println!(
+        "counters: {} evaluations, fitness cache {} hits / {} misses, \
+         store {} hits / {} misses, {} warm-start entries",
+        sel.evaluations,
+        sel.cache_hits,
+        sel.cache_misses,
+        sel.store_hits,
+        sel.store_misses,
+        sel.warm_entries
+    );
 
     // Compare three masks on held-out Core 2.
     let core2 = Arch::core2().scaled(PARK_SCALE);

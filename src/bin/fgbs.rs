@@ -6,21 +6,34 @@
 //! fgbs reduce  --suite nr|nas [options]   # steps A-D: clusters + representatives
 //! fgbs predict --suite nr|nas --target atom|core2|sb [options]
 //! fgbs select  --suite nr|nas [options]   # full system selection across all targets
+//! fgbs features [options]                 # GA feature selection + cache counters
+//! fgbs serve   [--addr HOST:PORT] [options]      # system-selection daemon
+//! fgbs store ls                           # list persisted pipeline artifacts
+//! fgbs store gc [--keep N]                # evict all but the newest N per kind
+//! fgbs help                               # this text
 //!
 //! options:
 //!   --class test|a|b     dataset class (default a)
 //!   --k N | --k elbow    cluster count policy (default elbow)
 //!   --threads N          worker threads (0 = auto, 1 = serial; default auto)
 //!   --paper-features     cluster on the paper's Table 2 feature list
+//!   --results-dir DIR    experiment outputs and artifact store root (default results/)
+//!   --store              persist/reuse pipeline artifacts under the results dir
 //! ```
 
-use fgbs::analysis::{table2_features, FeatureMask};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fgbs::analysis::{catalog, table2_features, FeatureMask};
 use fgbs::clustering::render_dendrogram;
 use fgbs::core::{
-    evaluate_targets, predict, profile_reference, rank_targets, reduce, KChoice, MicroCache,
-    PipelineConfig,
+    evaluate_targets, predict, profile_reference, rank_targets, reduce, select_features_ga,
+    KChoice, MicroCache, PipelineConfig,
 };
+use fgbs::genetic::GaConfig;
 use fgbs::machine::{Arch, PARK_SCALE};
+use fgbs::serve::{Server, Service};
+use fgbs::store::Store;
 use fgbs::suites::{nas_suite, nr_suite, Class, NAS_APPS};
 
 /// Parsed command line.
@@ -34,6 +47,13 @@ struct Cli {
     paper_features: bool,
     target: Option<String>,
     codelet: Option<String>,
+    results_dir: String,
+    use_store: bool,
+    addr: String,
+    keep: usize,
+    generations: usize,
+    population: usize,
+    seed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +63,11 @@ enum Command {
     Reduce,
     Predict,
     Select,
+    Features,
+    Serve,
+    StoreLs,
+    StoreGc,
+    Help,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,9 +76,42 @@ enum SuiteKind {
     Nas,
 }
 
-const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select> \
+const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|help> \
 [--suite nr|nas] [--class test|a|b] [--k N|elbow] [--threads N] \
-[--target atom|core2|sb] [--codelet NAME] [--paper-features]";
+[--target atom|core2|sb] [--codelet NAME] [--paper-features] \
+[--results-dir DIR] [--store] [--addr HOST:PORT] [--keep N] \
+[--generations N] [--population N] [--seed N]";
+
+const HELP: &str = "fgbs — fine-grained benchmark subsetting for system selection
+
+commands:
+  info                 machine park and suite inventory
+  show                 pseudo-code of the codelets (filter with --codelet)
+  reduce               steps A-D: clusters + representatives
+  predict              predict a target from representatives (--target required)
+  select               full system selection across the machine park
+  features             GA feature selection; reports fitness/store cache counters
+  serve                HTTP system-selection daemon (endpoints: /predict /sweep
+                       /reduce /artifacts /metrics /health)
+  store ls             list persisted pipeline artifacts
+  store gc             evict all but the newest --keep artifacts per kind
+  help                 this text
+
+options:
+  --suite nr|nas       benchmark suite (default nas)
+  --class test|a|b     dataset class (default a)
+  --k N|elbow          cluster count policy (default elbow)
+  --threads N          worker threads; for serve: connection workers (0 = auto)
+  --target NAME        atom | core2 | sb (predict; serve default target)
+  --codelet NAME       substring filter for show
+  --paper-features     cluster on the paper's Table 2 feature list
+  --results-dir DIR    experiment outputs and artifact store root (default results/)
+  --store              persist/reuse pipeline artifacts in DIR/store
+  --addr HOST:PORT     serve bind address (default 127.0.0.1:8422)
+  --keep N             store gc: artifacts kept per kind (default 4)
+  --generations N      features: GA generations (default 12)
+  --population N       features: GA population (default 40)
+  --seed N             features: GA seed (default 7)";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -65,6 +123,13 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         paper_features: false,
         target: None,
         codelet: None,
+        results_dir: "results".to_string(),
+        use_store: false,
+        addr: "127.0.0.1:8422".to_string(),
+        keep: 4,
+        generations: 12,
+        population: 40,
+        seed: 7,
     };
     let mut it = args.iter();
     match it.next().map(String::as_str) {
@@ -73,6 +138,17 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         Some("reduce") => cli.command = Command::Reduce,
         Some("predict") => cli.command = Command::Predict,
         Some("select") => cli.command = Command::Select,
+        Some("features") => cli.command = Command::Features,
+        Some("serve") => cli.command = Command::Serve,
+        Some("store") => {
+            cli.command = match it.next().map(String::as_str) {
+                Some("ls") => Command::StoreLs,
+                Some("gc") => Command::StoreGc,
+                Some(other) => return Err(format!("unknown store subcommand `{other}` (ls|gc)")),
+                None => return Err("store expects a subcommand: ls|gc".to_string()),
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") => cli.command = Command::Help,
         Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
         None => return Err(USAGE.to_string()),
     }
@@ -103,14 +179,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     None => return Err("--k expects a value".into()),
                 }
             }
-            "--threads" => {
-                cli.threads = match it.next().map(String::as_str) {
-                    Some(n) => n
-                        .parse()
-                        .map_err(|_| format!("--threads expects a number, got `{n}`"))?,
-                    None => return Err("--threads expects a value".into()),
-                }
-            }
+            "--threads" => cli.threads = parse_num(&mut it, "--threads")?,
             "--target" => {
                 cli.target = Some(
                     it.next()
@@ -126,10 +195,39 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 )
             }
             "--paper-features" => cli.paper_features = true,
+            "--results-dir" => {
+                cli.results_dir = it
+                    .next()
+                    .ok_or_else(|| "--results-dir expects a path".to_string())?
+                    .clone()
+            }
+            "--store" => cli.use_store = true,
+            "--addr" => {
+                cli.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr expects HOST:PORT".to_string())?
+                    .clone()
+            }
+            "--keep" => cli.keep = parse_num(&mut it, "--keep")?,
+            "--generations" => cli.generations = parse_num(&mut it, "--generations")?,
+            "--population" => cli.population = parse_num(&mut it, "--population")?,
+            "--seed" => cli.seed = parse_num(&mut it, "--seed")?,
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
     }
     Ok(cli)
+}
+
+fn parse_num<T: std::str::FromStr>(
+    it: &mut std::slice::Iter<'_, String>,
+    flag: &str,
+) -> Result<T, String> {
+    match it.next() {
+        Some(n) => n
+            .parse()
+            .map_err(|_| format!("{flag} expects a number, got `{n}`")),
+        None => Err(format!("{flag} expects a value")),
+    }
 }
 
 fn target_by_name(name: &str) -> Result<Arch, String> {
@@ -143,12 +241,23 @@ fn target_by_name(name: &str) -> Result<Arch, String> {
     Ok(arch.scaled(PARK_SCALE))
 }
 
-fn build_config(cli: &Cli) -> PipelineConfig {
+/// The artifact store under the results dir (`<results-dir>/store`).
+fn open_store(cli: &Cli) -> Result<Arc<Store>, String> {
+    let root = PathBuf::from(&cli.results_dir).join("store");
+    Store::open(&root)
+        .map(Arc::new)
+        .map_err(|e| format!("cannot open store at {}: {e}", root.display()))
+}
+
+fn build_config(cli: &Cli) -> Result<PipelineConfig, String> {
     let mut cfg = PipelineConfig::default().with_k(cli.k).with_threads(cli.threads);
     if cli.paper_features {
         cfg = cfg.with_features(FeatureMask::from_ids(&table2_features()));
     }
-    cfg
+    if cli.use_store {
+        cfg = cfg.with_store(open_store(cli)?);
+    }
+    Ok(cfg)
 }
 
 fn suite_apps(cli: &Cli) -> Vec<fgbs::extract::Application> {
@@ -206,8 +315,8 @@ fn cmd_show(cli: &Cli) {
     }
 }
 
-fn cmd_reduce(cli: &Cli) {
-    let cfg = build_config(cli);
+fn cmd_reduce(cli: &Cli) -> Result<(), String> {
+    let cfg = build_config(cli)?;
     let apps = suite_apps(cli);
     eprintln!("profiling on {}…", cfg.reference.name);
     let suite = profile_reference(&apps, &cfg);
@@ -230,6 +339,8 @@ fn cmd_reduce(cli: &Cli) {
     let labels: Vec<String> = suite.codelets.iter().map(|c| c.name.clone()).collect();
     println!("\ndendrogram:");
     print!("{}", render_dendrogram(&reduced.dendrogram, &labels, 36));
+    report_store(&cfg);
+    Ok(())
 }
 
 fn cmd_predict(cli: &Cli) -> Result<(), String> {
@@ -238,7 +349,7 @@ fn cmd_predict(cli: &Cli) -> Result<(), String> {
         .as_deref()
         .ok_or("predict requires --target atom|core2|sb")?;
     let target = target_by_name(name)?;
-    let cfg = build_config(cli);
+    let cfg = build_config(cli)?;
     let apps = suite_apps(cli);
     eprintln!("profiling on {}…", cfg.reference.name);
     let suite = profile_reference(&apps, &cfg);
@@ -264,11 +375,12 @@ fn cmd_predict(cli: &Cli) -> Result<(), String> {
         out.median_error_pct(),
         out.average_error_pct()
     );
+    report_store(&cfg);
     Ok(())
 }
 
-fn cmd_select(cli: &Cli) {
-    let cfg = build_config(cli);
+fn cmd_select(cli: &Cli) -> Result<(), String> {
+    let cfg = build_config(cli)?;
     let apps = suite_apps(cli);
     eprintln!("profiling on {}…", cfg.reference.name);
     let suite = profile_reference(&apps, &cfg);
@@ -290,6 +402,122 @@ fn cmd_select(cli: &Cli) {
     }
     let rank = rank_targets(&evals);
     println!("\nrecommended system: {}", rank[0].0);
+    report_store(&cfg);
+    Ok(())
+}
+
+fn cmd_features(cli: &Cli) -> Result<(), String> {
+    let cfg = build_config(cli)?;
+    let apps = suite_apps(cli);
+    eprintln!("profiling on {}…", cfg.reference.name);
+    let suite = profile_reference(&apps, &cfg);
+    let targets = vec![
+        Arch::atom().scaled(PARK_SCALE),
+        Arch::sandy_bridge().scaled(PARK_SCALE),
+    ];
+    let ga = GaConfig {
+        population: cli.population,
+        generations: cli.generations,
+        seed: cli.seed,
+        ..GaConfig::default()
+    };
+    eprintln!(
+        "GA feature selection: population {}, {} generations, seed {}…",
+        ga.population, ga.generations, ga.seed
+    );
+    let sel = select_features_ga(&suite, &targets, &ga, &cfg);
+    println!(
+        "selected {} features (fitness {:.2}, elbow K = {}):",
+        sel.feature_ids.len(),
+        sel.fitness,
+        sel.k
+    );
+    let cat = catalog();
+    for id in &sel.feature_ids {
+        println!("  - {} [{:?}]", cat[*id].name, cat[*id].kind);
+    }
+    println!(
+        "\ncounters: {} evaluations, fitness cache {} hits / {} misses, \
+         store {} hits / {} misses, {} warm-start entries",
+        sel.evaluations,
+        sel.cache_hits,
+        sel.cache_misses,
+        sel.store_hits,
+        sel.store_misses,
+        sel.warm_entries
+    );
+    Ok(())
+}
+
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let store = open_store(cli)?;
+    // Requests run the pipeline serially; concurrency comes from the
+    // connection workers, so identical queries stay deterministic.
+    let mut cfg = PipelineConfig::default().with_k(cli.k).with_threads(1);
+    if cli.paper_features {
+        cfg = cfg.with_features(FeatureMask::from_ids(&table2_features()));
+    }
+    let service = Arc::new(Service::new(cfg, store));
+    let server = Server::start(&cli.addr, cli.threads, service)
+        .map_err(|e| format!("cannot bind {}: {e}", cli.addr))?;
+    println!("fgbs-serve listening on http://{}", server.addr());
+    println!("store: {}/store — try: curl 'http://{}/predict?suite=nr&class=test&target=atom'",
+        cli.results_dir, server.addr());
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn cmd_store_ls(cli: &Cli) -> Result<(), String> {
+    let store = open_store(cli)?;
+    let mut artifacts = store.list();
+    artifacts.sort_by(|a, b| (a.kind.as_str(), &a.key).cmp(&(b.kind.as_str(), &b.key)));
+    println!("{:<10} {:<34} {:>10} {:>12}", "kind", "key", "bytes", "stored_at");
+    for m in &artifacts {
+        println!(
+            "{:<10} {:<34} {:>10} {:>12}",
+            m.kind.as_str(),
+            m.key,
+            m.bytes,
+            m.stored_at
+        );
+    }
+    println!("{} artifact(s) at {}", artifacts.len(), store.root().display());
+    let problems = store.verify();
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("integrity: {p}");
+        }
+        return Err(format!("{} integrity problem(s) found", problems.len()));
+    }
+    Ok(())
+}
+
+fn cmd_store_gc(cli: &Cli) -> Result<(), String> {
+    let store = open_store(cli)?;
+    let report = store
+        .gc(cli.keep)
+        .map_err(|e| format!("gc failed: {e}"))?;
+    println!(
+        "evicted {} artifact(s), freed {} bytes (keeping newest {} per kind)",
+        report.removed, report.bytes_freed, cli.keep
+    );
+    Ok(())
+}
+
+/// Print store counters when a store was attached (`--store`).
+fn report_store(cfg: &PipelineConfig) {
+    if let Some(store) = &cfg.store {
+        let c = store.counters();
+        eprintln!(
+            "store: {} hits, {} misses, {} writes ({})",
+            c.hits,
+            c.misses,
+            c.puts,
+            store.root().display()
+        );
+    }
 }
 
 fn main() {
@@ -301,17 +529,37 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match cli.command {
-        Command::Info => cmd_info(),
-        Command::Show => cmd_show(&cli),
-        Command::Reduce => cmd_reduce(&cli),
-        Command::Predict => {
-            if let Err(e) = cmd_predict(&cli) {
-                eprintln!("{e}");
-                std::process::exit(2);
-            }
+    let outcome = match cli.command {
+        Command::Info => {
+            cmd_info();
+            Ok(())
         }
+        Command::Show => {
+            cmd_show(&cli);
+            Ok(())
+        }
+        Command::Help => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Command::Reduce => cmd_reduce(&cli),
+        Command::Predict => cmd_predict(&cli),
         Command::Select => cmd_select(&cli),
+        Command::Features => cmd_features(&cli),
+        Command::Serve => cmd_serve(&cli),
+        Command::StoreLs => cmd_store_ls(&cli),
+        Command::StoreGc => cmd_store_gc(&cli),
+    };
+    if let Err(e) = outcome {
+        eprintln!("{e}");
+        // Usage errors (bad --target and friends) exit 2, runtime
+        // failures (store I/O, bind) exit 1.
+        let code = if e.starts_with("predict requires") || e.starts_with("unknown target") {
+            2
+        } else {
+            1
+        };
+        std::process::exit(code);
     }
 }
 
@@ -332,12 +580,14 @@ mod tests {
         assert_eq!(c.k, KChoice::Fixed(5));
         assert_eq!(c.threads, 0, "auto-detect unless --threads given");
         assert!(!c.paper_features);
+        assert_eq!(c.results_dir, "results", "default results dir");
+        assert!(!c.use_store);
 
         let c = parse(&argv("select --threads 8")).unwrap();
         assert_eq!(c.threads, 8);
-        assert_eq!(build_config(&c).threads, 8);
+        assert_eq!(build_config(&c).unwrap().threads, 8);
         let c = parse(&argv("select --threads 1")).unwrap();
-        assert_eq!(build_config(&c).pool().threads(), 1);
+        assert_eq!(build_config(&c).unwrap().pool().threads(), 1);
 
         let c = parse(&argv("predict --target atom --paper-features")).unwrap();
         assert_eq!(c.command, Command::Predict);
@@ -350,6 +600,33 @@ mod tests {
     }
 
     #[test]
+    fn parses_new_subcommands() {
+        let c = parse(&argv("serve --addr 0.0.0.0:9000 --threads 4")).unwrap();
+        assert_eq!(c.command, Command::Serve);
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.threads, 4);
+
+        let c = parse(&argv("store ls --results-dir /tmp/x")).unwrap();
+        assert_eq!(c.command, Command::StoreLs);
+        assert_eq!(c.results_dir, "/tmp/x");
+
+        let c = parse(&argv("store gc --keep 2")).unwrap();
+        assert_eq!(c.command, Command::StoreGc);
+        assert_eq!(c.keep, 2);
+
+        let c = parse(&argv("features --generations 3 --population 10 --seed 1")).unwrap();
+        assert_eq!(c.command, Command::Features);
+        assert_eq!((c.generations, c.population, c.seed), (3, 10, 1));
+
+        let c = parse(&argv("reduce --store")).unwrap();
+        assert!(c.use_store);
+
+        let c = parse(&argv("help")).unwrap();
+        assert_eq!(c.command, Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&argv("")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
@@ -358,6 +635,12 @@ mod tests {
         assert!(parse(&argv("reduce --bogus")).is_err());
         assert!(parse(&argv("select --threads")).is_err());
         assert!(parse(&argv("select --threads many")).is_err());
+        assert!(parse(&argv("store")).is_err(), "store needs a subcommand");
+        assert!(parse(&argv("store drop")).is_err());
+        assert!(parse(&argv("serve --addr")).is_err());
+        assert!(parse(&argv("store gc --keep some")).is_err());
+        assert!(parse(&argv("features --seed x")).is_err());
+        assert!(parse(&argv("reduce --results-dir")).is_err());
     }
 
     #[test]

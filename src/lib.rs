@@ -25,6 +25,8 @@
 //! | [`pool`] | `fgbs-pool` | shared work-stealing pool + memoization cache |
 //! | [`suites`] | `fgbs-suites` | Numerical Recipes + NAS-like benchmark suites |
 //! | [`core`] | `fgbs-core` | the five-step pipeline and prediction model |
+//! | [`store`] | `fgbs-store` | content-addressed, versioned on-disk artifact store |
+//! | [`serve`] | `fgbs-serve` | concurrent HTTP system-selection service |
 //!
 //! # Quickstart
 //!
@@ -58,4 +60,6 @@ pub use fgbs_genetic as genetic;
 pub use fgbs_isa as isa;
 pub use fgbs_machine as machine;
 pub use fgbs_pool as pool;
+pub use fgbs_serve as serve;
+pub use fgbs_store as store;
 pub use fgbs_suites as suites;
