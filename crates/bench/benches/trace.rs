@@ -1,0 +1,114 @@
+//! The tracing subsystem, measured: per-span overhead and whole-pipeline
+//! regression. The contract under test is the "cheap enough to leave on"
+//! claim — a span costs under 100 ns on the hot path, and tracing a full
+//! NR reduce pipeline costs under 2 % wall-clock. Both bounds are
+//! asserted, not just reported, so a regression fails `cargo bench`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fgbs_core::{profile_reference, reduce_cached, KChoice, MicroCache, PipelineConfig};
+use fgbs_suites::{nr_suite, Class};
+
+/// Nanoseconds per span over `n` open/close cycles (with one u64 arg,
+/// the common instrumentation shape).
+fn ns_per_span(n: u64) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..n {
+        let mut s = fgbs_trace::span("bench.span");
+        s.arg_u64("i", i);
+    }
+    t0.elapsed().as_nanos() as f64 / n as f64
+}
+
+/// Median wall-clock of `runs` NR Test-class profile+reduce pipelines.
+fn median_pipeline_ns(runs: usize) -> f64 {
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(10).collect();
+    let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(4)).with_threads(2);
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let suite = profile_reference(&apps, &cfg);
+            let reduced = reduce_cached(&suite, &cfg, &MicroCache::new());
+            assert!(reduced.n_representatives() >= 1);
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+fn bench_span_overhead(c: &mut Criterion) {
+    // A bounded buffer keeps the 1M-span measurement loops from
+    // accumulating memory; eviction cost is part of the honest price.
+    fgbs_trace::set_capacity(8192);
+
+    fgbs_trace::set_enabled(true);
+    ns_per_span(100_000); // warm up the thread shard
+    let enabled_ns = ns_per_span(1_000_000);
+    fgbs_trace::set_enabled(false);
+    let disabled_ns = ns_per_span(1_000_000);
+    let _ = fgbs_trace::drain();
+    fgbs_trace::set_capacity(0);
+
+    println!("span overhead: enabled {enabled_ns:.1} ns, disabled {disabled_ns:.1} ns");
+    assert!(
+        enabled_ns < 100.0,
+        "an enabled span must cost < 100 ns, measured {enabled_ns:.1} ns"
+    );
+    assert!(
+        disabled_ns < enabled_ns,
+        "a disabled span must be cheaper than an enabled one"
+    );
+
+    c.bench_function("trace/span_enabled", |b| {
+        fgbs_trace::set_enabled(true);
+        fgbs_trace::set_capacity(8192);
+        b.iter(|| {
+            let mut s = fgbs_trace::span("bench.criterion");
+            s.arg_u64("i", 1);
+        });
+        fgbs_trace::set_enabled(false);
+        let _ = fgbs_trace::drain();
+        fgbs_trace::set_capacity(0);
+    });
+}
+
+fn bench_pipeline_regression(c: &mut Criterion) {
+    const RUNS: usize = 7;
+    // Interleave by measuring untraced → traced → untraced so drift
+    // (cache warmth, frequency scaling) biases against neither side.
+    let cold = median_pipeline_ns(RUNS);
+    fgbs_trace::set_enabled(true);
+    let traced = median_pipeline_ns(RUNS);
+    fgbs_trace::set_enabled(false);
+    let _ = fgbs_trace::drain();
+    let untraced = median_pipeline_ns(RUNS).min(cold);
+
+    let ratio = traced / untraced;
+    println!(
+        "pipeline: untraced {:.2} ms, traced {:.2} ms, ratio {ratio:.4}",
+        untraced / 1e6,
+        traced / 1e6
+    );
+    assert!(
+        ratio <= 1.02,
+        "tracing must cost <= 2 % of pipeline wall-clock, measured {:.2} %",
+        (ratio - 1.0) * 100.0
+    );
+
+    c.bench_function("trace/pipeline_traced", |b| {
+        let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(6).collect();
+        let cfg = PipelineConfig::fast().with_k(KChoice::Fixed(3)).with_threads(2);
+        fgbs_trace::set_enabled(true);
+        b.iter(|| {
+            let suite = profile_reference(&apps, &cfg);
+            reduce_cached(&suite, &cfg, &MicroCache::new())
+        });
+        fgbs_trace::set_enabled(false);
+        let _ = fgbs_trace::drain();
+    });
+}
+
+criterion_group!(benches, bench_span_overhead, bench_pipeline_regression);
+criterion_main!(benches);

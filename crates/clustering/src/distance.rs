@@ -33,6 +33,8 @@ impl DistanceMatrix {
     /// Panics if rows have inconsistent lengths.
     pub fn euclidean_with(data: &[Vec<f64>], pool: &WorkPool) -> DistanceMatrix {
         let n = data.len();
+        let mut build_span = fgbs_trace::span("cluster.distance");
+        build_span.arg_u64("observations", n as u64);
         let rows = pool.map_indexed(n.saturating_sub(1), |i| {
             let mut row = Vec::with_capacity(n - 1 - i);
             for j in (i + 1)..n {
@@ -44,6 +46,8 @@ impl DistanceMatrix {
                     .sum();
                 row.push(s.sqrt());
             }
+            // Pair counts sum identically for any scheduling.
+            fgbs_trace::counter("cluster.pairs", (n - 1 - i) as u64);
             row
         });
         let mut d = Vec::with_capacity(n * n.saturating_sub(1) / 2);

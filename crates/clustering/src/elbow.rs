@@ -11,6 +11,8 @@ pub fn within_variance_curve(
     k_max: usize,
 ) -> Vec<(usize, f64)> {
     let k_max = k_max.min(dendro.len()).max(1);
+    let mut scan_span = fgbs_trace::span("cluster.elbow");
+    scan_span.arg_u64("k_max", k_max as u64);
     (1..=k_max)
         .map(|k| (k, dendro.cut(k).wcss(data)))
         .collect()

@@ -30,6 +30,9 @@ pub enum Linkage {
 pub fn linkage(dist: &DistanceMatrix, method: Linkage) -> Dendrogram {
     let n = dist.len();
     assert!(n > 0, "cannot cluster zero observations");
+    let mut linkage_span = fgbs_trace::span("cluster.linkage");
+    linkage_span.arg_u64("observations", n as u64);
+    fgbs_trace::counter("cluster.merges", n.saturating_sub(1) as u64);
 
     // Active-cluster distance matrix (full, for simplicity; n is small).
     let mut d = vec![vec![0.0f64; n]; n];

@@ -77,6 +77,10 @@ pub fn select_features_ga(
     cfg: &PipelineConfig,
 ) -> FeatureSelection {
     assert!(!targets.is_empty(), "need at least one training target");
+    let mut stage_span = fgbs_trace::span("stage.featsel");
+    stage_span.arg_u64("targets", targets.len() as u64);
+    stage_span.arg_u64("population", ga.population as u64);
+    stage_span.arg_u64("generations", ga.generations as u64);
     let cache = MicroCache::new();
     let runs: Vec<Vec<AppRun>> = targets
         .iter()
@@ -130,6 +134,8 @@ pub fn select_features_ga(
             }
         }
     }
+
+    fgbs_trace::counter("ga.warm_entries", warm_entries as u64);
 
     let result = minimize_parallel(&ga_cfg, &cfg.pool(), &fitness_cache, fitness);
 

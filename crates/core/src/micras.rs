@@ -35,9 +35,13 @@ impl MicroCache {
     ) -> MicroResult {
         let key = (idx, arch.name.clone());
         if let Some(hit) = self.inner.lock().get(&key) {
+            // Stats, not counters: two threads missing the same key both
+            // measure, so hit/measure tallies depend on scheduling.
+            fgbs_trace::stat("micro.cache_hits", 1);
             return hit.clone();
         }
         let r = micro.run_with(arch, noise_seed ^ idx as u64, min_seconds, min_invocations);
+        fgbs_trace::stat("micro.measured", 1);
         self.inner.lock().insert(key, r.clone());
         r
     }

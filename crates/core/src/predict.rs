@@ -107,6 +107,9 @@ pub fn predict_with_runs(
     cache: &MicroCache,
     cfg: &PipelineConfig,
 ) -> PredictionOutcome {
+    let mut stage_span = fgbs_trace::span("stage.predict");
+    stage_span.arg_u64("representatives", reduced.clusters.len() as u64);
+    stage_span.arg_u64("codelets", suite.len() as u64);
     // Measure each representative's standalone microbenchmark on the
     // target (the only target-side cost of the method).
     let rep_seconds: Vec<f64> = reduced

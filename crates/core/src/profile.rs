@@ -88,18 +88,23 @@ pub fn profile_reference(apps: &[Application], cfg: &PipelineConfig) -> Profiled
 
 /// The uncached Steps A + B.
 fn compute_profile(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite {
+    let mut stage_span = fgbs_trace::span("stage.profile");
+    stage_span.arg_u64("apps", apps.len() as u64);
     let arch = &cfg.reference;
-    let runs: Vec<AppRun> = apps
-        .iter()
-        .enumerate()
-        .map(|(i, app)| run_application(app, arch, cfg.noise_seed ^ (i as u64) << 8))
-        .collect();
+    let runs: Vec<AppRun> = {
+        let _run_span = fgbs_trace::span("profile.run");
+        apps.iter()
+            .enumerate()
+            .map(|(i, app)| run_application(app, arch, cfg.noise_seed ^ (i as u64) << 8))
+            .collect()
+    };
 
     let mut codelets = Vec::new();
     let mut features = FeatureMatrix::new();
     let mut covered = 0.0;
     let mut total = 0.0;
 
+    let detect_span = fgbs_trace::span("profile.detect");
     for (ai, (app, run)) in apps.iter().zip(&runs).enumerate() {
         total += run.total_cycles;
         let det = cfg.finder.detect(app, run, arch);
@@ -128,6 +133,10 @@ fn compute_profile(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite 
         }
     }
 
+    drop(detect_span);
+    fgbs_trace::counter("profile.codelets", codelets.len() as u64);
+    stage_span.arg_u64("codelets", codelets.len() as u64);
+
     ProfiledSuite {
         apps: apps.to_vec(),
         runs,
@@ -140,6 +149,8 @@ fn compute_profile(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite 
 /// Ground-truth target run: execute every application in full on `target`
 /// (this is exactly what the reduced suite is meant to replace).
 pub fn profile_target(suite: &ProfiledSuite, target: &Arch, cfg: &PipelineConfig) -> Vec<AppRun> {
+    let mut span = fgbs_trace::span("profile.target");
+    span.arg_str("target", target.name.clone());
     suite
         .apps
         .iter()

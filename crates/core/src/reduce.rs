@@ -199,6 +199,9 @@ pub fn reduce_with_observations(
     assert!(!suite.is_empty(), "cannot reduce an empty suite");
     assert_eq!(raw.len(), suite.len(), "one observation row per codelet");
 
+    let mut stage_span = fgbs_trace::span("stage.reduce");
+    stage_span.arg_u64("codelets", suite.len() as u64);
+
     let data = normalize(raw);
     let dist = DistanceMatrix::euclidean_with(&data, &cfg.pool());
     let dendro = linkage(&dist, cfg.linkage);
@@ -214,9 +217,18 @@ pub fn reduce_with_observations(
     };
     let partition = dendro.cut(k);
 
-    let eligible = wellness(suite, cfg, cache);
+    let eligible = {
+        let _wellness_span = fgbs_trace::span("reduce.wellness");
+        wellness(suite, cfg, cache)
+    };
     let ill_behaved: Vec<usize> = (0..suite.len()).filter(|&i| !eligible[i]).collect();
-    let (clusters, assignment) = select_representatives(&data, &partition, &eligible);
+    let (clusters, assignment) = {
+        let _select_span = fgbs_trace::span("reduce.select");
+        select_representatives(&data, &partition, &eligible)
+    };
+
+    stage_span.arg_u64("k_requested", k as u64);
+    stage_span.arg_u64("clusters", clusters.len() as u64);
 
     ReducedSuite {
         clusters,

@@ -37,13 +37,18 @@ pub fn sweep_k(
     cache: &MicroCache,
     cfg: &PipelineConfig,
 ) -> Vec<SweepPoint> {
+    let mut stage_span = fgbs_trace::span("stage.sweep");
+    stage_span.arg_u64("k_max", k_max as u64);
     let runs: Vec<AppRun> = profile_target(suite, target, cfg);
     (1..=k_max.min(suite.len()))
         .map(|k| {
+            let mut k_span = fgbs_trace::span("sweep.k");
+            k_span.arg_u64("k", k as u64);
             let kcfg = cfg.clone().with_k(KChoice::Fixed(k));
             let reduced = reduce_cached(suite, &kcfg, cache);
             let out = predict_with_runs(suite, &reduced, target, &runs, cache, &kcfg);
             let red = reduction_factor(suite, &reduced, &out, target, cache, &kcfg);
+            k_span.arg_u64("representatives", reduced.n_representatives() as u64);
             SweepPoint {
                 k,
                 representatives: reduced.n_representatives(),

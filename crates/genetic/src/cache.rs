@@ -33,7 +33,12 @@ impl FitnessCache {
 
     /// Cached fitness of `genome`, recording a hit or a miss.
     pub fn lookup(&self, genome: &BitGenome) -> Option<f64> {
-        self.inner.get(genome)
+        let found = self.inner.get(genome);
+        match found {
+            Some(_) => fgbs_trace::counter("ga.cache_hits", 1),
+            None => fgbs_trace::counter("ga.cache_misses", 1),
+        }
+        found
     }
 
     /// Cached fitness without touching the counters (batch evaluation
@@ -46,11 +51,13 @@ impl FitnessCache {
     /// Record a hit accounted externally (see [`FitnessCache::peek`]).
     pub fn count_hit(&self) {
         self.inner.count_hit();
+        fgbs_trace::counter("ga.cache_hits", 1);
     }
 
     /// Record a miss accounted externally.
     pub fn count_miss(&self) {
         self.inner.count_miss();
+        fgbs_trace::counter("ga.cache_misses", 1);
     }
 
     /// Store the fitness of a genome evaluated by the caller.

@@ -117,12 +117,15 @@ impl<F: FnMut(&BitGenome) -> f64> Evaluator for SerialEvaluator<F> {
             .iter()
             .map(|g| {
                 if let Some(&v) = self.memo.get(g) {
+                    fgbs_trace::counter("ga.cache_hits", 1);
                     return v;
                 }
+                fgbs_trace::counter("ga.cache_misses", 1);
                 let v = (self.fitness)(g);
                 assert!(!v.is_nan(), "fitness must not be NaN");
                 self.memo.insert(g.clone(), v);
                 self.evals += 1;
+                fgbs_trace::counter("ga.evaluations", 1);
                 v
             })
             .collect()
@@ -180,6 +183,7 @@ impl<F: Fn(&BitGenome) -> f64 + Sync> Evaluator for PooledEvaluator<'_, F> {
             self.cache.insert(g.clone(), v);
         }
         self.evals += fresh.len();
+        fgbs_trace::counter("ga.evaluations", fresh.len() as u64);
 
         plan.into_iter()
             .map(|p| match p {
@@ -263,7 +267,11 @@ fn drive(cfg: &GaConfig, evaluator: &mut dyn Evaluator) -> GaResult {
     let genomes: Vec<BitGenome> = (0..cfg.population)
         .map(|_| BitGenome::random(cfg.genome_len, cfg.init_density, &mut rng))
         .collect();
-    let fits = evaluator.eval_batch(&genomes);
+    let fits = {
+        let mut init_span = fgbs_trace::span("ga.init");
+        init_span.arg_u64("population", cfg.population as u64);
+        evaluator.eval_batch(&genomes)
+    };
     let mut pop: Vec<(BitGenome, f64)> = genomes.into_iter().zip(fits).collect();
 
     let mut history = Vec::with_capacity(cfg.generations);
@@ -274,13 +282,21 @@ fn drive(cfg: &GaConfig, evaluator: &mut dyn Evaluator) -> GaResult {
         }
     }
 
-    for _gen in 0..cfg.generations {
+    for gen in 0..cfg.generations {
+        // Per-generation progress rides on the trace: best/mean fitness
+        // are deterministic, so they are span args, not stats.
+        let mut gen_span = fgbs_trace::span("ga.generation");
+        gen_span.arg_u64("gen", gen as u64);
+
         // Rank ascending (minimisation).
         pop.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("fitness is not NaN"));
         if pop[0].1 < best.1 {
             best = pop[0].clone();
         }
         history.push(best.1);
+        gen_span.arg_f64("best", best.1);
+        let mean: f64 = pop.iter().map(|p| p.1).sum::<f64>() / pop.len() as f64;
+        gen_span.arg_f64("mean", mean);
 
         let elite: Vec<(BitGenome, f64)> =
             pop.iter().take(cfg.elitism.min(pop.len())).cloned().collect();

@@ -14,12 +14,15 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-/// Shared queue state between the handle and the workers.
+/// Shared queue state between the handle and the workers. Each job
+/// carries its enqueue time so workers can report queue wait vs. run
+/// time to the tracing subsystem.
 struct Queue {
-    jobs: Mutex<(VecDeque<Job>, bool /* shutting down */)>,
+    jobs: Mutex<(VecDeque<(Job, Instant)>, bool /* shutting down */)>,
     available: Condvar,
     submitted: AtomicU64,
     completed: AtomicU64,
@@ -85,7 +88,7 @@ impl Executor {
         if guard.1 {
             return;
         }
-        guard.0.push_back(Box::new(job));
+        guard.0.push_back((Box::new(job), Instant::now()));
         self.queue.submitted.fetch_add(1, Ordering::Relaxed);
         drop(guard);
         self.queue.available.notify_one();
@@ -117,7 +120,7 @@ impl Drop for Executor {
 
 fn worker_loop(queue: &Queue) {
     loop {
-        let job = {
+        let (job, queued_at) = {
             let mut guard = queue.jobs.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = guard.0.pop_front() {
@@ -132,8 +135,20 @@ fn worker_loop(queue: &Queue) {
                     .unwrap_or_else(|e| e.into_inner());
             }
         };
+        let run_started = Instant::now();
         job();
         queue.completed.fetch_add(1, Ordering::Relaxed);
+        if fgbs_trace::enabled() {
+            fgbs_trace::counter("exec.jobs", 1);
+            fgbs_trace::stat(
+                "exec.wait_us",
+                run_started.duration_since(queued_at).as_micros() as u64,
+            );
+            fgbs_trace::stat("exec.run_us", run_started.elapsed().as_micros() as u64);
+            // Executor workers are long-lived: publish the job's spans
+            // now so `/trace` snapshots see completed requests.
+            fgbs_trace::flush();
+        }
     }
 }
 

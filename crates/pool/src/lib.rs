@@ -81,15 +81,27 @@ impl WorkPool {
     ///
     /// `f` must be pure: the determinism contract (identical output for
     /// every thread count) holds only when `f(i)` depends on `i` alone.
+    ///
+    /// Every call records a `pool.map` trace span; spans recorded inside
+    /// `f` on worker threads inherit it as their parent, so the logical
+    /// span tree is the same whether the map runs inline or fanned out.
     pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
+        let mut map_span = fgbs_trace::span("pool.map");
+        map_span.arg_u64("items", n as u64);
+        fgbs_trace::counter("pool.maps", 1);
+        fgbs_trace::counter("pool.items", n as u64);
+
         let workers = self.threads.min(n.max(1));
         if workers <= 1 || n <= 1 {
             return (0..n).map(f).collect();
         }
+        // The open `pool.map` span is the logical parent of every span
+        // `f` records on a worker.
+        let span_parent = fgbs_trace::current_span_id();
 
         let chunk = chunk_size(n, workers);
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
@@ -116,37 +128,59 @@ impl WorkPool {
                     let windows = &windows;
                     let in_flight = &in_flight;
                     let f = &f;
-                    scope.spawn(move || loop {
-                        // Own work first (front), then steal from the back
-                        // of the most-loaded victim. The own-queue guard
-                        // must drop before stealing: holding it while
-                        // locking a victim's queue is an AB-BA deadlock
-                        // when two empty workers steal from each other.
-                        let own = queues[me].lock().pop_front();
-                        let next = own.or_else(|| {
-                            let victim = (0..queues.len())
-                                .filter(|&v| v != me)
-                                .max_by_key(|&v| queues[v].lock().len())?;
-                            queues[victim].lock().pop_back()
-                        });
-                        let Some(c) = next else {
-                            // All queues looked empty; someone may still be
-                            // filling slots, but no new work will appear.
-                            if in_flight.load(Ordering::Acquire) == 0 {
-                                return;
+                    scope.spawn(move || {
+                        let _trace_ctx = fgbs_trace::inherit_parent(span_parent);
+                        let spawned = std::time::Instant::now();
+                        let mut run_ns: u64 = 0;
+                        let mut chunks: u64 = 0;
+                        loop {
+                            // Own work first (front), then steal from the
+                            // back of the most-loaded victim. The own-queue
+                            // guard must drop before stealing: holding it
+                            // while locking a victim's queue is an AB-BA
+                            // deadlock when two empty workers steal from
+                            // each other.
+                            let own = queues[me].lock().pop_front();
+                            let next = own.or_else(|| {
+                                let victim = (0..queues.len())
+                                    .filter(|&v| v != me)
+                                    .max_by_key(|&v| queues[v].lock().len())?;
+                                queues[victim].lock().pop_back()
+                            });
+                            let Some(c) = next else {
+                                // All queues looked empty; someone may still
+                                // be filling slots, but no new work will
+                                // appear.
+                                if in_flight.load(Ordering::Acquire) == 0 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                                if queues.iter().all(|q| q.lock().is_empty()) {
+                                    break;
+                                }
+                                continue;
+                            };
+                            let run_started = std::time::Instant::now();
+                            let mut guard = windows[c].lock();
+                            let (start, window) = &mut *guard;
+                            for (off, slot) in window.iter_mut().enumerate() {
+                                *slot = Some(f(*start + off));
                             }
-                            std::thread::yield_now();
-                            if queues.iter().all(|q| q.lock().is_empty()) {
-                                return;
-                            }
-                            continue;
-                        };
-                        let mut guard = windows[c].lock();
-                        let (start, window) = &mut *guard;
-                        for (off, slot) in window.iter_mut().enumerate() {
-                            *slot = Some(f(*start + off));
+                            in_flight.fetch_sub(1, Ordering::Release);
+                            run_ns += run_started.elapsed().as_nanos() as u64;
+                            chunks += 1;
                         }
-                        in_flight.fetch_sub(1, Ordering::Release);
+                        // Queue wait = worker lifetime minus time spent
+                        // running chunks: claim/steal/idle overhead.
+                        if fgbs_trace::enabled() {
+                            let total_ns = spawned.elapsed().as_nanos() as u64;
+                            fgbs_trace::stat(&format!("pool.w{me}.run_us"), run_ns / 1_000);
+                            fgbs_trace::stat(
+                                &format!("pool.w{me}.wait_us"),
+                                total_ns.saturating_sub(run_ns) / 1_000,
+                            );
+                            fgbs_trace::stat(&format!("pool.w{me}.chunks"), chunks);
+                        }
                     });
                 }
             });

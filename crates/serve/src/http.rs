@@ -8,7 +8,7 @@
 
 use std::io::{self, Read, Write};
 
-use crate::json::Json;
+use fgbs_trace::Json;
 
 /// Largest accepted request head (request line + headers).
 const MAX_HEAD: usize = 64 * 1024;

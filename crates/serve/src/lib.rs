@@ -32,12 +32,11 @@ use std::time::Duration;
 use fgbs_pool::Executor;
 
 mod http;
-mod json;
 mod metrics;
 mod service;
 
+pub use fgbs_trace::Json;
 pub use http::{parse_query, read_request, Request, Response};
-pub use json::Json;
 pub use metrics::{Metrics, N_BUCKETS, SERIES};
 pub use service::Service;
 

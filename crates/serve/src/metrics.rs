@@ -7,19 +7,21 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::json::Json;
+use fgbs_trace::Json;
 
 /// Number of log2 latency buckets: bucket `i` counts samples in
 /// `[2^i, 2^{i+1})` microseconds (bucket 0 additionally holds 0 µs).
 pub const N_BUCKETS: usize = 22;
 
 /// Series tracked by the registry (endpoints, then pipeline stages).
-pub const SERIES: [&str; 9] = [
+pub const SERIES: [&str; 11] = [
     "predict",
     "sweep",
     "reduce",
     "artifacts",
     "metrics",
+    "health",
+    "trace",
     "other",
     "stage.profile",
     "stage.reduce",

@@ -33,8 +33,8 @@ use fgbs_suites::{nas_suite, nr_suite, Class};
 use parking_lot::Mutex;
 
 use crate::http::{Request, Response};
-use crate::json::Json;
 use crate::metrics::Metrics;
+use fgbs_trace::Json;
 
 /// Resolved suite parameters (canonical names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,6 +137,11 @@ impl Service {
     /// store is attached to the pipeline configuration, so every stage
     /// consults it.
     pub fn new(cfg: PipelineConfig, store: Arc<Store>) -> Service {
+        // Leave the tracer on for the daemon's lifetime with a bounded
+        // per-thread span buffer: `/trace` serves a rolling window of
+        // recent pipeline activity without unbounded memory growth.
+        fgbs_trace::set_capacity(4096);
+        fgbs_trace::set_enabled(true);
         Service {
             cfg: cfg.with_store(Arc::clone(&store)),
             store,
@@ -184,8 +189,9 @@ impl Service {
             ("POST", "/reduce") => ("reduce", self.ep_reduce(req)),
             ("GET", "/artifacts") => ("artifacts", self.ep_artifacts()),
             ("GET", "/metrics") => ("metrics", self.ep_metrics()),
-            ("GET", "/health") => ("other", Response::json(&Json::obj(vec![("ok", Json::Bool(true))]))),
-            (_, "/predict" | "/sweep" | "/reduce" | "/artifacts" | "/metrics") => (
+            ("GET", "/trace") => ("trace", self.ep_trace()),
+            ("GET", "/health") => ("health", Response::json(&Json::obj(vec![("ok", Json::Bool(true))]))),
+            (_, "/predict" | "/sweep" | "/reduce" | "/artifacts" | "/metrics" | "/trace") => (
                 "other",
                 Response::error(405, "method not allowed for this endpoint"),
             ),
@@ -470,10 +476,46 @@ impl Service {
         ]))
     }
 
+    /// Live Chrome-trace export of the tracer's rolling span window —
+    /// load the body in `chrome://tracing` or summarise it with
+    /// `fgbs trace summary`.
+    fn ep_trace(&self) -> Response {
+        Response::json(&fgbs_trace::chrome::to_chrome(&fgbs_trace::snapshot()))
+    }
+
     fn ep_metrics(&self) -> Response {
         let sc = self.store.counters();
+        let trace = fgbs_trace::snapshot();
+        let span_totals: Vec<Json> = trace
+            .span_totals
+            .iter()
+            .map(|t| {
+                Json::obj(vec![
+                    ("name", Json::str(&t.name)),
+                    ("count", Json::U64(t.count)),
+                    ("total_ns", Json::U64(t.total_ns)),
+                ])
+            })
+            .collect();
+        let kv = |pairs: &[(String, u64)]| {
+            Json::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                    .collect(),
+            )
+        };
         Response::json(&Json::obj(vec![
             ("requests", self.metrics.to_json()),
+            (
+                "trace",
+                Json::obj(vec![
+                    ("counters", kv(&trace.counters)),
+                    ("stats", kv(&trace.stats)),
+                    ("span_totals", Json::Arr(span_totals)),
+                    ("dropped", Json::U64(trace.dropped)),
+                ]),
+            ),
             (
                 "store",
                 Json::obj(vec![

@@ -69,6 +69,9 @@ impl<V: Clone> SingleFlight<V> {
 
         if leader {
             self.flights.fetch_add(1, Ordering::Relaxed);
+            // Leadership depends on arrival timing, so these are stats,
+            // not deterministic counters.
+            fgbs_trace::stat("flight.flights", 1);
             let v = compute();
             {
                 let mut g = slot.value.lock().unwrap_or_else(|e| e.into_inner());
@@ -82,6 +85,7 @@ impl<V: Clone> SingleFlight<V> {
             (v, true)
         } else {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
+            fgbs_trace::stat("flight.coalesced", 1);
             let mut g = slot.value.lock().unwrap_or_else(|e| e.into_inner());
             while g.is_none() {
                 g = slot.ready.wait(g).unwrap_or_else(|e| e.into_inner());

@@ -220,6 +220,7 @@ impl Store {
     /// Store `payload` under `(kind, key)`, replacing any previous
     /// version atomically (write `.tmp`, fsync, rename).
     pub fn put(&self, kind: ArtifactKind, key: &str, payload: &[u8]) -> io::Result<()> {
+        let publish_started = std::time::Instant::now();
         let path = self.object_path(kind, key);
         fs::create_dir_all(path.parent().expect("object path has a parent"))?;
 
@@ -251,6 +252,8 @@ impl Store {
         m.insert((kind, key.to_string()), meta);
         self.write_manifest(&m)?;
         self.puts.fetch_add(1, Ordering::Relaxed);
+        fgbs_trace::counter("store.puts", 1);
+        fgbs_trace::stat("store.put_us", publish_started.elapsed().as_micros() as u64);
         Ok(())
     }
 
@@ -260,6 +263,7 @@ impl Store {
     /// `Err(InvalidData)` means the artifact exists but fails its
     /// integrity checks — wrong magic, version, identity, or checksum.
     pub fn get(&self, kind: ArtifactKind, key: &str) -> io::Result<Option<Vec<u8>>> {
+        let lookup_started = std::time::Instant::now();
         let path = self.object_path(kind, key);
         let mut framed = Vec::new();
         match fs::File::open(&path) {
@@ -268,23 +272,29 @@ impl Store {
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                fgbs_trace::counter("store.misses", 1);
+                fgbs_trace::stat("store.get_us", lookup_started.elapsed().as_micros() as u64);
                 return Ok(None);
             }
             Err(e) => return Err(e),
         }
-        match unframe(&framed, kind, key) {
+        let result = match unframe(&framed, kind, key) {
             Ok(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                fgbs_trace::counter("store.hits", 1);
                 Ok(Some(payload))
             }
             Err(msg) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                fgbs_trace::counter("store.misses", 1);
                 Err(io::Error::new(
                     io::ErrorKind::InvalidData,
                     format!("{kind}/{key}: {msg}"),
                 ))
             }
-        }
+        };
+        fgbs_trace::stat("store.get_us", lookup_started.elapsed().as_micros() as u64);
+        result
     }
 
     /// True when `(kind, key)` is stored (no counter side effects).
@@ -299,6 +309,7 @@ impl Store {
         if existed {
             fs::remove_file(&path)?;
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            fgbs_trace::counter("store.evictions", 1);
         }
         let mut m = self.manifest.lock();
         if m.remove(&(kind, key.to_string())).is_some() || existed {
@@ -317,6 +328,7 @@ impl Store {
     /// Evict the oldest artifacts, keeping at most `keep_per_kind` of
     /// each kind (newest first by `stored_at`, key as tie-break).
     pub fn gc(&self, keep_per_kind: usize) -> io::Result<GcReport> {
+        let gc_started = std::time::Instant::now();
         let victims: Vec<ArtifactMeta> = {
             let m = self.manifest.lock();
             let mut by_kind: HashMap<ArtifactKind, Vec<&ArtifactMeta>> = HashMap::new();
@@ -339,6 +351,7 @@ impl Store {
                 report.bytes_freed += meta.bytes;
             }
         }
+        fgbs_trace::stat("store.gc_us", gc_started.elapsed().as_micros() as u64);
         Ok(report)
     }
 

@@ -1,0 +1,170 @@
+//! Chrome `chrome://tracing` / Perfetto JSON export.
+//!
+//! [`to_chrome`] serializes a [`Trace`] in the Trace Event Format:
+//! spans become `"X"` (complete) events with microsecond timestamps,
+//! counters and stats become `"C"` (counter) events distinguished by
+//! their `cat` field, and `"M"` (metadata) events name the process and
+//! threads. The span's `id` and `parent` ride along in `args` so the
+//! file is a complete serialization of the span forest, not just a
+//! flame view.
+
+use crate::{ArgValue, Json, Trace};
+
+/// The synthetic process id used for all fgbs events.
+const PID: u64 = 1;
+
+/// Serialize `trace` as a Chrome Trace Event Format document.
+pub fn to_chrome(trace: &Trace) -> Json {
+    let mut events: Vec<Json> = Vec::with_capacity(trace.spans.len() + 16);
+
+    events.push(Json::obj(vec![
+        ("name", Json::str("process_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(0)),
+        ("args", Json::obj(vec![("name", Json::str("fgbs"))])),
+    ]));
+    let mut tids: Vec<u64> = trace.spans.iter().map(|s| s.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        events.push(Json::obj(vec![
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::U64(PID)),
+            ("tid", Json::U64(tid)),
+            ("args", Json::obj(vec![("name", Json::str(format!("fgbs-thread-{tid}")))])),
+        ]));
+    }
+
+    let mut end_us = 0.0f64;
+    for span in &trace.spans {
+        let ts = span.start_ns as f64 / 1000.0;
+        let dur = span.dur_ns as f64 / 1000.0;
+        end_us = end_us.max(ts + dur);
+        let mut args = vec![("id", Json::U64(span.id))];
+        if let Some(parent) = span.parent {
+            args.push(("parent", Json::U64(parent)));
+        }
+        for (key, value) in &span.args {
+            args.push((
+                key,
+                match value {
+                    ArgValue::U64(v) => Json::U64(*v),
+                    ArgValue::F64(v) => Json::Num(*v),
+                    ArgValue::Str(s) => Json::str(s.clone()),
+                },
+            ));
+        }
+        events.push(Json::obj(vec![
+            ("name", Json::str(span.name)),
+            ("cat", Json::str("fgbs")),
+            ("ph", Json::str("X")),
+            ("ts", Json::Num(ts)),
+            ("dur", Json::Num(dur)),
+            ("pid", Json::U64(PID)),
+            ("tid", Json::U64(span.tid)),
+            ("args", Json::Obj(args.into_iter().map(|(k, v)| (k.to_string(), v)).collect())),
+        ]));
+    }
+
+    for (name, value) in &trace.counters {
+        events.push(counter_event(name, *value, "counter", end_us));
+    }
+    for (name, value) in &trace.stats {
+        events.push(counter_event(name, *value, "stat", end_us));
+    }
+    if trace.dropped > 0 {
+        events.push(counter_event("trace.dropped", trace.dropped, "meta", end_us));
+    }
+
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+}
+
+fn counter_event(name: &str, value: u64, cat: &str, ts_us: f64) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("cat", Json::str(cat)),
+        ("ph", Json::str("C")),
+        ("ts", Json::Num(ts_us)),
+        ("pid", Json::U64(PID)),
+        ("tid", Json::U64(0)),
+        ("args", Json::obj(vec![("value", Json::U64(value))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "stage.reduce",
+                    tid: 0,
+                    start_ns: 1_000,
+                    dur_ns: 5_000,
+                    args: vec![("k", ArgValue::U64(4)), ("err", ArgValue::F64(0.5))].into(),
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "cluster.distance",
+                    tid: 0,
+                    start_ns: 1_500,
+                    dur_ns: 2_000,
+                    args: crate::Args::new(),
+                },
+            ],
+            counters: vec![("cluster.merges".to_string(), 9)],
+            stats: vec![("pool.w0.run_us".to_string(), 123)],
+            span_totals: vec![],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn exports_complete_and_counter_events() {
+        let doc = to_chrome(&sample_trace());
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(phases.contains(&"M"));
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert_eq!(phases.iter().filter(|p| **p == "C").count(), 2);
+
+        let x = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("stage.reduce"))
+            .unwrap();
+        assert_eq!(x.get("ts").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(x.get("dur").and_then(Json::as_f64), Some(5.0));
+        let args = x.get("args").unwrap();
+        assert_eq!(args.get("k").and_then(Json::as_u64), Some(4));
+        assert_eq!(args.get("id").and_then(Json::as_u64), Some(1));
+
+        let child = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("cluster.distance"))
+            .unwrap();
+        assert_eq!(child.get("args").unwrap().get("parent").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn export_round_trips_through_the_parser() {
+        // Integral floats reparse as integers (`1` not `1.0`), so the
+        // invariant is render-stability, not node-level equality.
+        let rendered = to_chrome(&sample_trace()).render();
+        let reparsed = Json::parse(&rendered).expect("emitted trace must parse");
+        assert_eq!(reparsed.render(), rendered);
+    }
+}

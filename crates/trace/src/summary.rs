@@ -1,0 +1,264 @@
+//! Strict validation and aggregation of Chrome-format trace files.
+//!
+//! `fgbs trace summary <file>` parses the emitted JSON with
+//! [`Json::parse`], validates every event against the Trace Event
+//! Format subset fgbs emits ([`summarize`] rejects anything malformed)
+//! and renders a per-span-name table plus counter/stat listings.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::Json;
+
+/// Aggregate of all complete (`"X"`) events sharing one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Summed duration, microseconds.
+    pub total_us: f64,
+    /// Shortest span, microseconds.
+    pub min_us: f64,
+    /// Longest span, microseconds.
+    pub max_us: f64,
+}
+
+/// Everything `fgbs trace summary` extracts from a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeSummary {
+    /// Per-span-name aggregates, by total duration descending.
+    pub rows: Vec<SummaryRow>,
+    /// Counter (`cat == "counter"`) final values, by name.
+    pub counters: Vec<(String, u64)>,
+    /// Stat (`cat == "stat"`) final values, by name.
+    pub stats: Vec<(String, u64)>,
+    /// Total events in the file (all phases).
+    pub events: usize,
+}
+
+/// Validate a parsed Chrome trace document and aggregate it. Strict:
+/// the document must be an object with a `traceEvents` array, and every
+/// event must be an object carrying the fields its phase requires
+/// (`X`: name/ts/dur/pid/tid, `C`: name/args.value, `M`: name). Unknown
+/// phases are rejected so a corrupt emitter cannot slip through.
+pub fn summarize(doc: &Json) -> Result<ChromeSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing 'traceEvents'")?
+        .as_arr()
+        .ok_or("'traceEvents' is not an array")?;
+
+    let mut spans: BTreeMap<String, SummaryRow> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stats: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (i, event) in events.iter().enumerate() {
+        let fail = |what: &str| format!("event {i}: {what}");
+        if !matches!(event, Json::Obj(_)) {
+            return Err(fail("not an object"));
+        }
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string 'name'"))?;
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string 'ph'"))?;
+        match ph {
+            "X" => {
+                event
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail("X event missing numeric 'ts'"))?;
+                let dur = event
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| fail("X event missing numeric 'dur'"))?;
+                event
+                    .get("pid")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail("X event missing 'pid'"))?;
+                event
+                    .get("tid")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail("X event missing 'tid'"))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(fail("X event has invalid 'dur'"));
+                }
+                let row = spans.entry(name.to_string()).or_insert(SummaryRow {
+                    name: name.to_string(),
+                    count: 0,
+                    total_us: 0.0,
+                    min_us: f64::INFINITY,
+                    max_us: 0.0,
+                });
+                row.count += 1;
+                row.total_us += dur;
+                row.min_us = row.min_us.min(dur);
+                row.max_us = row.max_us.max(dur);
+            }
+            "C" => {
+                let value = event
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| fail("C event missing integer 'args.value'"))?;
+                let cat = event.get("cat").and_then(Json::as_str).unwrap_or("counter");
+                match cat {
+                    "stat" => {
+                        stats.insert(name.to_string(), value);
+                    }
+                    _ => {
+                        counters.insert(name.to_string(), value);
+                    }
+                }
+            }
+            "M" => {
+                event.get("args").ok_or_else(|| fail("M event missing 'args'"))?;
+            }
+            other => return Err(fail(&format!("unknown phase {other:?}"))),
+        }
+    }
+
+    let mut rows: Vec<SummaryRow> = spans.into_values().collect();
+    rows.sort_by(|a, b| {
+        b.total_us
+            .partial_cmp(&a.total_us)
+            .expect("finite totals")
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    Ok(ChromeSummary {
+        rows,
+        counters: counters.into_iter().collect(),
+        stats: stats.into_iter().collect(),
+        events: events.len(),
+    })
+}
+
+impl ChromeSummary {
+    /// Render the aggregated per-stage table plus counters and stats.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>14} {:>12} {:>12}",
+            "span", "count", "total ms", "mean us", "max us"
+        );
+        for row in &self.rows {
+            let mean = row.total_us / row.count as f64;
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>14.3} {:>12.1} {:>12.1}",
+                row.name,
+                row.count,
+                row.total_us / 1000.0,
+                mean,
+                row.max_us
+            );
+        }
+        if self.rows.is_empty() {
+            let _ = writeln!(out, "(no spans)");
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        if !self.stats.is_empty() {
+            let _ = writeln!(out, "\nstats:");
+            for (name, value) in &self.stats {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chrome, ArgValue, SpanRecord, Trace};
+
+    fn sample() -> Trace {
+        Trace {
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: None,
+                    name: "stage.reduce",
+                    tid: 0,
+                    start_ns: 0,
+                    dur_ns: 4_000,
+                    args: vec![("k", ArgValue::U64(3))].into(),
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: Some(1),
+                    name: "cluster.linkage",
+                    tid: 0,
+                    start_ns: 500,
+                    dur_ns: 1_000,
+                    args: crate::Args::new(),
+                },
+                SpanRecord {
+                    id: 3,
+                    parent: Some(1),
+                    name: "cluster.linkage",
+                    tid: 1,
+                    start_ns: 900,
+                    dur_ns: 3_000,
+                    args: crate::Args::new(),
+                },
+            ],
+            counters: vec![("cluster.merges".to_string(), 5)],
+            stats: vec![("pool.w1.run_us".to_string(), 77)],
+            span_totals: vec![],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_aggregates() {
+        let rendered = chrome::to_chrome(&sample()).render();
+        let parsed = Json::parse(&rendered).expect("emitted trace must parse");
+        let summary = summarize(&parsed).expect("emitted trace must validate");
+
+        assert_eq!(summary.rows.len(), 2);
+        let linkage = summary.rows.iter().find(|r| r.name == "cluster.linkage").unwrap();
+        assert_eq!(linkage.count, 2);
+        assert!((linkage.total_us - 4.0).abs() < 1e-9);
+        assert!((linkage.min_us - 1.0).abs() < 1e-9);
+        assert!((linkage.max_us - 3.0).abs() < 1e-9);
+        assert_eq!(summary.counters, vec![("cluster.merges".to_string(), 5)]);
+        assert_eq!(summary.stats, vec![("pool.w1.run_us".to_string(), 77)]);
+
+        let table = summary.render();
+        assert!(table.contains("stage.reduce"), "{table}");
+        assert!(table.contains("cluster.merges = 5"), "{table}");
+    }
+
+    #[test]
+    fn rejects_malformed_events() {
+        for (doc, why) in [
+            (r#"{"foo":[]}"#, "no traceEvents"),
+            (r#"{"traceEvents":{}}"#, "not an array"),
+            (r#"{"traceEvents":[{"ph":"X"}]}"#, "missing name"),
+            (r#"{"traceEvents":[{"name":"a","ph":"Z"}]}"#, "unknown phase"),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"X","ts":1,"pid":1,"tid":0}]}"#,
+                "missing dur",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"C","args":{}}]}"#,
+                "missing value",
+            ),
+        ] {
+            let parsed = Json::parse(doc).unwrap();
+            assert!(summarize(&parsed).is_err(), "should reject: {why}");
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! fgbs serve   [--addr HOST:PORT] [options]      # system-selection daemon
 //! fgbs store ls                           # list persisted pipeline artifacts
 //! fgbs store gc [--keep N]                # evict all but the newest N per kind
+//! fgbs trace summary FILE                 # aggregate a Chrome-trace file
 //! fgbs help                               # this text
 //!
 //! options:
@@ -19,6 +20,7 @@
 //!   --paper-features     cluster on the paper's Table 2 feature list
 //!   --results-dir DIR    experiment outputs and artifact store root (default results/)
 //!   --store              persist/reuse pipeline artifacts under the results dir
+//!   --trace FILE         record a Chrome trace of the run into FILE
 //! ```
 
 use std::path::PathBuf;
@@ -54,6 +56,8 @@ struct Cli {
     generations: usize,
     population: usize,
     seed: u64,
+    trace: Option<String>,
+    trace_file: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +71,7 @@ enum Command {
     Serve,
     StoreLs,
     StoreGc,
+    TraceSummary,
     Help,
 }
 
@@ -76,11 +81,11 @@ enum SuiteKind {
     Nas,
 }
 
-const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|help> \
+const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|trace|help> \
 [--suite nr|nas] [--class test|a|b] [--k N|elbow] [--threads N] \
 [--target atom|core2|sb] [--codelet NAME] [--paper-features] \
 [--results-dir DIR] [--store] [--addr HOST:PORT] [--keep N] \
-[--generations N] [--population N] [--seed N]";
+[--generations N] [--population N] [--seed N] [--trace FILE]";
 
 const HELP: &str = "fgbs — fine-grained benchmark subsetting for system selection
 
@@ -92,9 +97,10 @@ commands:
   select               full system selection across the machine park
   features             GA feature selection; reports fitness/store cache counters
   serve                HTTP system-selection daemon (endpoints: /predict /sweep
-                       /reduce /artifacts /metrics /health)
+                       /reduce /artifacts /metrics /trace /health)
   store ls             list persisted pipeline artifacts
   store gc             evict all but the newest --keep artifacts per kind
+  trace summary FILE   aggregate a Chrome-trace file into a per-span table
   help                 this text
 
 options:
@@ -111,7 +117,8 @@ options:
   --keep N             store gc: artifacts kept per kind (default 4)
   --generations N      features: GA generations (default 12)
   --population N       features: GA population (default 40)
-  --seed N             features: GA seed (default 7)";
+  --seed N             features: GA seed (default 7)
+  --trace FILE         record a Chrome trace (chrome://tracing) of the run";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -130,6 +137,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         generations: 12,
         population: 40,
         seed: 7,
+        trace: None,
+        trace_file: String::new(),
     };
     let mut it = args.iter();
     match it.next().map(String::as_str) {
@@ -146,6 +155,21 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 Some("gc") => Command::StoreGc,
                 Some(other) => return Err(format!("unknown store subcommand `{other}` (ls|gc)")),
                 None => return Err("store expects a subcommand: ls|gc".to_string()),
+            }
+        }
+        Some("trace") => {
+            cli.command = match it.next().map(String::as_str) {
+                Some("summary") => {
+                    cli.trace_file = it
+                        .next()
+                        .ok_or_else(|| "trace summary expects a trace file path".to_string())?
+                        .clone();
+                    Command::TraceSummary
+                }
+                Some(other) => {
+                    return Err(format!("unknown trace subcommand `{other}` (summary)"))
+                }
+                None => return Err("trace expects a subcommand: summary FILE".to_string()),
             }
         }
         Some("help") | Some("--help") | Some("-h") => cli.command = Command::Help,
@@ -209,6 +233,13 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     .clone()
             }
             "--keep" => cli.keep = parse_num(&mut it, "--keep")?,
+            "--trace" => {
+                cli.trace = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace expects a file path".to_string())?
+                        .clone(),
+                )
+            }
             "--generations" => cli.generations = parse_num(&mut it, "--generations")?,
             "--population" => cli.population = parse_num(&mut it, "--population")?,
             "--seed" => cli.seed = parse_num(&mut it, "--seed")?,
@@ -426,6 +457,7 @@ fn cmd_features(cli: &Cli) -> Result<(), String> {
         ga.population, ga.generations, ga.seed
     );
     let sel = select_features_ga(&suite, &targets, &ga, &cfg);
+    print_ga_progress(&fgbs::trace::snapshot());
     println!(
         "selected {} features (fitness {:.2}, elbow K = {}):",
         sel.feature_ids.len(),
@@ -506,6 +538,56 @@ fn cmd_store_gc(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// The per-generation GA progress table (`ga.generation` trace spans
+/// carry `gen`/`best`/`mean` arguments recorded by the GA driver).
+fn print_ga_progress(trace: &fgbs::trace::Trace) {
+    let spans = trace.spans_named("ga.generation");
+    if spans.is_empty() {
+        return;
+    }
+    let arg = |s: &fgbs::trace::SpanRecord, key: &str| -> Option<f64> {
+        s.args.iter().find(|(k, _)| *k == key).map(|(_, v)| match v {
+            fgbs::trace::ArgValue::U64(n) => *n as f64,
+            fgbs::trace::ArgValue::F64(x) => *x,
+            fgbs::trace::ArgValue::Str(_) => f64::NAN,
+        })
+    };
+    println!("{:>4} {:>14} {:>14}", "gen", "best", "mean");
+    for s in spans {
+        let gen = arg(s, "gen").unwrap_or(f64::NAN);
+        let best = arg(s, "best").unwrap_or(f64::NAN);
+        let mean = arg(s, "mean").unwrap_or(f64::NAN);
+        println!("{gen:>4} {best:>14.3} {mean:>14.3}");
+    }
+    println!();
+}
+
+fn cmd_trace_summary(cli: &Cli) -> Result<(), String> {
+    let raw = std::fs::read_to_string(&cli.trace_file)
+        .map_err(|e| format!("cannot read {}: {e}", cli.trace_file))?;
+    let doc = fgbs::trace::Json::parse(&raw)
+        .map_err(|e| format!("{} is not valid JSON: {e}", cli.trace_file))?;
+    let summary = fgbs::trace::summary::summarize(&doc)
+        .map_err(|e| format!("{} is not a Chrome trace: {e}", cli.trace_file))?;
+    print!("{}", summary.render());
+    Ok(())
+}
+
+/// Write the collector's contents as a Chrome trace into `path`.
+fn write_trace(path: &str) -> Result<(), String> {
+    let trace = fgbs::trace::drain();
+    let doc = fgbs::trace::chrome::to_chrome(&trace);
+    std::fs::write(path, doc.render())
+        .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+    eprintln!(
+        "trace: {} span(s), {} counter(s) -> {path} (load in chrome://tracing \
+         or run `fgbs trace summary {path}`)",
+        trace.spans.len(),
+        trace.counters.len()
+    );
+    Ok(())
+}
+
 /// Print store counters when a store was attached (`--store`).
 fn report_store(cfg: &PipelineConfig) {
     if let Some(store) = &cfg.store {
@@ -529,6 +611,11 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `--trace` turns the collector on for any command; `features`
+    // always records so it can report per-generation GA progress.
+    if cli.trace.is_some() || cli.command == Command::Features {
+        fgbs::trace::set_enabled(true);
+    }
     let outcome = match cli.command {
         Command::Info => {
             cmd_info();
@@ -549,7 +636,12 @@ fn main() {
         Command::Serve => cmd_serve(&cli),
         Command::StoreLs => cmd_store_ls(&cli),
         Command::StoreGc => cmd_store_gc(&cli),
+        Command::TraceSummary => cmd_trace_summary(&cli),
     };
+    let outcome = outcome.and_then(|()| match &cli.trace {
+        Some(path) => write_trace(path),
+        None => Ok(()),
+    });
     if let Err(e) = outcome {
         eprintln!("{e}");
         // Usage errors (bad --target and friends) exit 2, runtime
@@ -621,6 +713,13 @@ mod tests {
         let c = parse(&argv("reduce --store")).unwrap();
         assert!(c.use_store);
 
+        let c = parse(&argv("reduce --trace out.json")).unwrap();
+        assert_eq!(c.trace.as_deref(), Some("out.json"));
+
+        let c = parse(&argv("trace summary results/run.json")).unwrap();
+        assert_eq!(c.command, Command::TraceSummary);
+        assert_eq!(c.trace_file, "results/run.json");
+
         let c = parse(&argv("help")).unwrap();
         assert_eq!(c.command, Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
@@ -641,6 +740,10 @@ mod tests {
         assert!(parse(&argv("store gc --keep some")).is_err());
         assert!(parse(&argv("features --seed x")).is_err());
         assert!(parse(&argv("reduce --results-dir")).is_err());
+        assert!(parse(&argv("reduce --trace")).is_err());
+        assert!(parse(&argv("trace")).is_err(), "trace needs a subcommand");
+        assert!(parse(&argv("trace summary")).is_err(), "summary needs a file");
+        assert!(parse(&argv("trace dump x.json")).is_err());
     }
 
     #[test]

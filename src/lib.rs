@@ -27,6 +27,7 @@
 //! | [`core`] | `fgbs-core` | the five-step pipeline and prediction model |
 //! | [`store`] | `fgbs-store` | content-addressed, versioned on-disk artifact store |
 //! | [`serve`] | `fgbs-serve` | concurrent HTTP system-selection service |
+//! | [`trace`] | `fgbs-trace` | cross-crate spans, counters, Chrome-trace export |
 //!
 //! # Quickstart
 //!
@@ -63,3 +64,4 @@ pub use fgbs_pool as pool;
 pub use fgbs_serve as serve;
 pub use fgbs_store as store;
 pub use fgbs_suites as suites;
+pub use fgbs_trace as trace;
