@@ -1,5 +1,6 @@
 //! Feature vectors and matrices.
 
+use fgbs_matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 use crate::catalog::{N_FEATURES, N_STATIC};
@@ -150,9 +151,26 @@ impl FeatureMatrix {
     }
 
     /// Project every row onto `mask`: the raw observation matrix handed to
-    /// the clustering step.
-    pub fn project(&self, mask: &FeatureMask) -> Vec<Vec<f64>> {
-        self.rows.iter().map(|r| r.project(mask)).collect()
+    /// the clustering step, in contiguous row-major storage.
+    pub fn project(&self, mask: &FeatureMask) -> Matrix {
+        let ids = mask.ids();
+        let mut data = Vec::with_capacity(self.rows.len() * ids.len());
+        for r in &self.rows {
+            data.extend(ids.iter().map(|&i| r.values[i]));
+        }
+        Matrix::from_flat(self.rows.len(), ids.len(), data)
+    }
+
+    /// The full raw observation matrix — every feature column, row per
+    /// codelet. The GA's incremental fitness path normalises this once
+    /// and projects columns per mask.
+    pub fn matrix(&self) -> Matrix {
+        let cols = if self.rows.is_empty() { 0 } else { self.rows[0].values.len() };
+        let mut data = Vec::with_capacity(self.rows.len() * cols);
+        for r in &self.rows {
+            data.extend_from_slice(&r.values);
+        }
+        Matrix::from_flat(self.rows.len(), cols, data)
     }
 }
 
@@ -214,7 +232,18 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m.names(), &["a".to_string(), "b".to_string()]);
         let p = m.project(&FeatureMask::from_ids(&[3]));
-        assert_eq!(p, vec![vec![3.0], vec![4.0]]);
+        assert_eq!(p.to_rows(), vec![vec![3.0], vec![4.0]]);
         assert_eq!(m.row(1).get(0), 1.0);
+    }
+
+    #[test]
+    fn full_matrix_matches_all_mask_projection() {
+        let mut m = FeatureMatrix::new();
+        m.push("a", fv(0.0));
+        m.push("b", fv(1.0));
+        let full = m.matrix();
+        assert_eq!(full.nrows(), 2);
+        assert_eq!(full.ncols(), N_FEATURES);
+        assert_eq!(full, m.project(&FeatureMask::all()));
     }
 }

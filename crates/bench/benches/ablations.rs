@@ -10,9 +10,11 @@ use fgbs_core::{profile_reference, reduce_cached, KChoice, MicroCache, PipelineC
 use fgbs_suites::{nr_suite, Class};
 
 fn bench_linkages(c: &mut Criterion) {
-    let data: Vec<Vec<f64>> = (0..67)
-        .map(|i| (0..14).map(|j| ((i * 29 + j * 13) % 19) as f64).collect())
-        .collect();
+    let data = fgbs_matrix::Matrix::from_rows(
+        &(0..67)
+            .map(|i| (0..14).map(|j| ((i * 29 + j * 13) % 19) as f64).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    );
     let norm = normalize(&data);
     let d = DistanceMatrix::euclidean(&norm);
     let mut g = c.benchmark_group("ablation/linkage");

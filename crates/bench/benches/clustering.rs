@@ -1,0 +1,80 @@
+//! Clustering-kernel benches: the flat numeric layer this repo's Step C
+//! runs on. Tracks the NN-chain linkage against the O(n³) naive scan it
+//! replaced, the blocked distance kernel, and the incremental masked
+//! distances of the GA fitness path. (`bench_json` emits the same
+//! measurements as machine-readable JSON with the speedup assertions.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgbs_clustering::{linkage, naive_linkage, normalize, DistanceMatrix, Linkage, MaskedDistanceCache};
+use fgbs_matrix::{kernel, Matrix};
+
+/// Deterministic synthetic observation matrix: `n` codelets, 14 features
+/// of loosely clustered values.
+fn observations(n: usize, cols: usize) -> Matrix {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..cols)
+                .map(|j| {
+                    let blob = (i % 7) as f64 * 10.0;
+                    blob + ((i * 31 + j * 17) % 23) as f64 / 23.0
+                })
+                .collect()
+        })
+        .collect();
+    normalize(&Matrix::from_rows(&rows))
+}
+
+fn bench_linkage_nn_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering/linkage");
+    for n in [64usize, 256] {
+        let d = DistanceMatrix::euclidean(&observations(n, 14));
+        g.bench_with_input(BenchmarkId::new("nn_chain", n), &d, |b, d| {
+            b.iter(|| linkage(d, Linkage::Ward))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &d, |b, d| {
+            b.iter(|| naive_linkage(d, Linkage::Ward))
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance_kernel(c: &mut Criterion) {
+    let data = observations(256, 76);
+    let mut g = c.benchmark_group("clustering/kernel");
+    g.bench_function("sq_dist_76", |b| {
+        let x = data.row(0);
+        let y = data.row(128);
+        b.iter(|| kernel::sq_dist(x, y))
+    });
+    g.bench_function("euclidean_256x76", |b| {
+        b.iter(|| DistanceMatrix::euclidean(&data))
+    });
+    g.finish();
+}
+
+fn bench_masked_incremental(c: &mut Criterion) {
+    let z = observations(128, 76);
+    let all: Vec<usize> = (0..64).collect();
+    let mut flipped = all.clone();
+    flipped.remove(3);
+    flipped.push(70);
+
+    let mut g = c.benchmark_group("clustering/masked");
+    g.bench_function("scratch_64_of_76", |b| {
+        b.iter(|| MaskedDistanceCache::new(z.clone()).distances(&all))
+    });
+    g.bench_function("patch_2_of_76", |b| {
+        // Alternate between two masks two bits apart: every call patches.
+        let mut cache = MaskedDistanceCache::new(z.clone());
+        let _ = cache.distances(&all);
+        let mut turn = false;
+        b.iter(|| {
+            turn = !turn;
+            cache.distances(if turn { &flipped } else { &all })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_linkage_nn_vs_naive, bench_distance_kernel, bench_masked_incremental);
+criterion_main!(benches);

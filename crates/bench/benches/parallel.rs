@@ -107,9 +107,11 @@ fn bench_ga(c: &mut Criterion) {
 
 fn bench_distance_matrix(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
-    let data: Vec<Vec<f64>> = (0..600)
-        .map(|_| (0..14).map(|_| rng.gen::<f64>()).collect())
-        .collect();
+    let data = fgbs_matrix::Matrix::from_rows(
+        &(0..600)
+            .map(|_| (0..14).map(|_| rng.gen::<f64>()).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    );
 
     let serial = DistanceMatrix::euclidean(&data);
     let pooled = DistanceMatrix::euclidean_with(&data, &WorkPool::new(8));

@@ -65,9 +65,11 @@ fn bench_feature_extraction(c: &mut Criterion) {
 
 fn bench_clustering(c: &mut Criterion) {
     // A 67 x 14 observation matrix, like the NAS clustering.
-    let data: Vec<Vec<f64>> = (0..67)
-        .map(|i| (0..14).map(|j| ((i * 31 + j * 17) % 23) as f64).collect())
-        .collect();
+    let data = fgbs_matrix::Matrix::from_rows(
+        &(0..67)
+            .map(|i| (0..14).map(|j| ((i * 31 + j * 17) % 23) as f64).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    );
     let norm = normalize(&data);
     c.bench_function("clustering/ward_67x14", |b| {
         b.iter(|| {

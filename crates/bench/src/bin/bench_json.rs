@@ -1,0 +1,189 @@
+//! Machine-readable clustering/GA performance snapshot.
+//!
+//! Measures the flat numeric kernel layer end to end — pairwise
+//! distances, NN-chain vs naive linkage, medoid selection — on synthetic
+//! codelet matrices at n ∈ {28, 256, 1024}, plus the GA feature-selection
+//! wall time on the Test-class NR suite, and writes the medians to
+//! `BENCH_clustering.json`.
+//!
+//! Doubles as a perf regression gate: it *asserts* that the NN-chain
+//! linkage beats the naive O(n³) scan by ≥ 5× at n = 1024 while
+//! producing a structurally identical dendrogram.
+//!
+//! Usage: `cargo run --release -p fgbs-bench --bin bench_json
+//! [-- --threads N]`.
+
+use std::time::Instant;
+
+use fgbs_clustering::{
+    dendrogram_digest, linkage, medoid, naive_linkage, normalize, DistanceMatrix, Linkage,
+};
+use fgbs_core::{profile_reference, select_features_ga, PipelineConfig};
+use fgbs_genetic::GaConfig;
+use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_matrix::Matrix;
+use fgbs_suites::{nr_suite, Class};
+
+/// Deterministic synthetic observation matrix: `n` codelets in 7 loose
+/// blobs over 14 features (the paper's Table 2 width). A splitmix-style
+/// per-cell hash keeps rows in generic position — no exactly tied
+/// distances, so the chain and the naive scan produce identical trees.
+fn observations(n: usize) -> Matrix {
+    fn unit(seed: u64) -> f64 {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..14)
+                .map(|j| {
+                    let blob = (i % 7) as f64 * 10.0;
+                    blob + unit((i * 14 + j) as u64)
+                })
+                .collect()
+        })
+        .collect();
+    normalize(&Matrix::from_rows(&rows))
+}
+
+/// Median wall-nanoseconds of `reps` runs of `f`.
+fn median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
+    let mut samples: Vec<u64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct SizePoint {
+    n: usize,
+    distance_ns: u64,
+    linkage_nn_ns: u64,
+    linkage_naive_ns: u64,
+    medoid_ns: u64,
+    digest_match: bool,
+}
+
+fn measure_size(n: usize) -> SizePoint {
+    let data = observations(n);
+    let reps = (20_000 / n).clamp(3, 50);
+    let naive_reps = if n >= 512 { 3 } else { reps };
+
+    let distance_ns = median_ns(reps, || DistanceMatrix::euclidean(&data));
+    let d = DistanceMatrix::euclidean(&data);
+    let linkage_nn_ns = median_ns(reps, || linkage(&d, Linkage::Ward));
+    let linkage_naive_ns = median_ns(naive_reps, || naive_linkage(&d, Linkage::Ward));
+
+    let fast = linkage(&d, Linkage::Ward);
+    let slow = naive_linkage(&d, Linkage::Ward);
+    let digest_match = dendrogram_digest(&fast) == dendrogram_digest(&slow);
+
+    let k = 8.min(n);
+    let part = fast.cut(k);
+    let medoid_ns = median_ns(reps, || {
+        (0..k).map(|c| medoid(&data, &part, c, &[])).collect::<Vec<_>>()
+    });
+
+    SizePoint {
+        n,
+        distance_ns,
+        linkage_nn_ns,
+        linkage_naive_ns,
+        medoid_ns,
+        digest_match,
+    }
+}
+
+fn main() {
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            other => panic!("unknown argument `{other}` (usage: bench_json [--threads N])"),
+        }
+    }
+
+    let points: Vec<SizePoint> = [28usize, 256, 1024].iter().map(|&n| measure_size(n)).collect();
+
+    // Perf gate: at n = 1024 the chain must beat the naive scan ≥ 5×
+    // while producing the same tree.
+    let big = points.last().expect("three sizes measured");
+    let speedup = big.linkage_naive_ns as f64 / big.linkage_nn_ns.max(1) as f64;
+    assert!(
+        big.digest_match,
+        "NN-chain dendrogram diverged from the naive scan at n = {}",
+        big.n
+    );
+    assert!(
+        speedup >= 5.0,
+        "NN-chain linkage only {speedup:.1}x faster than naive at n = {} (need >= 5x)",
+        big.n
+    );
+
+    // GA feature selection end to end on the Test-class NR suite.
+    let cfg = PipelineConfig::fast().with_threads(threads);
+    let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(10).collect();
+    let suite = profile_reference(&apps, &cfg);
+    let ga = GaConfig {
+        population: 12,
+        generations: 4,
+        ..GaConfig::default()
+    };
+    let target = Arch::atom().scaled(PARK_SCALE);
+    let t = Instant::now();
+    let sel = select_features_ga(&suite, &[target], &ga, &cfg);
+    let ga_wall_ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    assert!(sel.fitness.is_finite(), "GA must produce a finite fitness");
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"sizes\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"distance_ns\": {}, \"linkage_nnchain_ns\": {}, \
+             \"linkage_naive_ns\": {}, \"medoid_ns\": {}, \"digest_match\": {}}}{}\n",
+            p.n,
+            p.distance_ns,
+            p.linkage_nn_ns,
+            p.linkage_naive_ns,
+            p.medoid_ns,
+            p.digest_match,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"linkage_speedup_at_1024\": {speedup:.2},\n"
+    ));
+    out.push_str(&format!(
+        "  \"ga\": {{\"wall_ns\": {}, \"evaluations\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"k\": {}}}\n",
+        ga_wall_ns, sel.evaluations, sel.cache_hits, sel.cache_misses, sel.k
+    ));
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_clustering.json", &out).expect("write BENCH_clustering.json");
+    println!("{out}");
+    eprintln!(
+        "linkage n=1024: nn-chain {} ns vs naive {} ns ({speedup:.1}x), digests match; \
+         GA ({} evals, --threads {threads}) in {:.2} s",
+        big.linkage_nn_ns,
+        big.linkage_naive_ns,
+        sel.evaluations,
+        ga_wall_ns as f64 / 1e9
+    );
+}

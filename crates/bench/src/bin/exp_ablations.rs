@@ -61,16 +61,17 @@ fn main() {
 
     // 2. Feature sets.
     let mut rows = Vec::new();
-    let archind: Vec<Vec<f64>> = lab
-        .suite
-        .codelets
-        .iter()
-        .map(|c| {
-            let app = &lab.suite.apps[c.app];
-            let binding = app.first_context(c.local).expect("detected codelets run");
-            archind_features(&app.codelets[c.local], binding)
-        })
-        .collect();
+    let archind = fgbs_matrix::Matrix::from_rows(
+        &lab.suite
+            .codelets
+            .iter()
+            .map(|c| {
+                let app = &lab.suite.apps[c.app];
+                let binding = app.first_context(c.local).expect("detected codelets run");
+                archind_features(&app.codelets[c.local], binding)
+            })
+            .collect::<Vec<Vec<f64>>>(),
+    );
     for (label, reduced) in [
         (
             "GA-trained",

@@ -101,8 +101,8 @@ mod tests {
     use crate::distance::DistanceMatrix;
     use crate::hierarchy::{linkage, Linkage};
 
-    fn chain_data() -> Vec<Vec<f64>> {
-        vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0], vec![50.0]]
+    fn chain_data() -> fgbs_matrix::Matrix {
+        fgbs_matrix::Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0], vec![50.0]])
     }
 
     fn dendro() -> Dendrogram {

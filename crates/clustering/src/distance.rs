@@ -1,22 +1,18 @@
 //! Condensed pairwise distance matrices.
 
+use fgbs_matrix::{kernel, Condensed, Matrix};
 use fgbs_pool::WorkPool;
 
 /// A symmetric pairwise distance matrix over `n` observations, stored in
-/// condensed upper-triangular form.
+/// condensed upper-triangular form ([`Condensed`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
-    n: usize,
-    d: Vec<f64>,
+    d: Condensed<f64>,
 }
 
 impl DistanceMatrix {
     /// Euclidean distances between rows of `data`, computed serially.
-    ///
-    /// # Panics
-    ///
-    /// Panics if rows have inconsistent lengths.
-    pub fn euclidean(data: &[Vec<f64>]) -> DistanceMatrix {
+    pub fn euclidean(data: &Matrix) -> DistanceMatrix {
         DistanceMatrix::euclidean_with(data, &WorkPool::serial())
     }
 
@@ -26,25 +22,18 @@ impl DistanceMatrix {
     /// Each row of the triangle is an independent contiguous span of the
     /// condensed vector, so rows map onto the pool and concatenate back
     /// in index order — the result is bitwise identical to
-    /// [`DistanceMatrix::euclidean`] for any thread count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if rows have inconsistent lengths.
-    pub fn euclidean_with(data: &[Vec<f64>], pool: &WorkPool) -> DistanceMatrix {
-        let n = data.len();
+    /// [`DistanceMatrix::euclidean`] for any thread count. Row shape was
+    /// validated when `data` was built, so the inner loop is pure
+    /// arithmetic over contiguous row slices ([`kernel::dist`]).
+    pub fn euclidean_with(data: &Matrix, pool: &WorkPool) -> DistanceMatrix {
+        let n = data.nrows();
         let mut build_span = fgbs_trace::span("cluster.distance");
         build_span.arg_u64("observations", n as u64);
         let rows = pool.map_indexed(n.saturating_sub(1), |i| {
+            let a = data.row(i);
             let mut row = Vec::with_capacity(n - 1 - i);
             for j in (i + 1)..n {
-                assert_eq!(data[i].len(), data[j].len(), "ragged distance input");
-                let s: f64 = data[i]
-                    .iter()
-                    .zip(&data[j])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
-                row.push(s.sqrt());
+                row.push(kernel::dist(a, data.row(j)));
             }
             // Pair counts sum identically for any scheduling.
             fgbs_trace::counter("cluster.pairs", (n - 1 - i) as u64);
@@ -54,28 +43,42 @@ impl DistanceMatrix {
         for row in rows {
             d.extend(row);
         }
-        DistanceMatrix { n, d }
+        DistanceMatrix {
+            d: Condensed::from_vec(n, d),
+        }
     }
 
     /// Build from an explicit full matrix accessor (for tests/ablations).
     pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> DistanceMatrix {
-        let mut d = Vec::with_capacity(n * (n - 1) / 2);
+        let mut d = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
                 d.push(f(i, j));
             }
         }
-        DistanceMatrix { n, d }
+        DistanceMatrix {
+            d: Condensed::from_vec(n, d),
+        }
+    }
+
+    /// Wrap an existing condensed triangle.
+    pub fn from_condensed(d: Condensed<f64>) -> DistanceMatrix {
+        DistanceMatrix { d }
     }
 
     /// Number of observations.
     pub fn len(&self) -> usize {
-        self.n
+        self.d.n()
     }
 
     /// True for an empty matrix.
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.d.is_empty()
+    }
+
+    /// The condensed triangle backing this matrix.
+    pub fn condensed(&self) -> &Condensed<f64> {
+        &self.d
     }
 
     /// Distance between observations `i` and `j`.
@@ -85,14 +88,11 @@ impl DistanceMatrix {
     /// Panics when an index is out of range.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n && j < self.n, "index out of range");
         if i == j {
+            assert!(i < self.len(), "index out of range");
             return 0.0;
         }
-        let (a, b) = if i < j { (i, j) } else { (j, i) };
-        // Offset of row a in the condensed triangle.
-        let row_start = a * self.n - a * (a + 1) / 2;
-        self.d[row_start + (b - a - 1)]
+        self.d.get(i, j)
     }
 }
 
@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn euclidean_matches_hand_computation() {
-        let data = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![3.0, 4.0], vec![0.0, 1.0]]);
         let d = DistanceMatrix::euclidean(&data);
         assert_eq!(d.len(), 3);
         assert!((d.get(0, 1) - 5.0).abs() < 1e-12);
@@ -126,15 +126,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "index out of range")]
     fn out_of_range_panics() {
-        let d = DistanceMatrix::euclidean(&[vec![0.0], vec![1.0]]);
+        let d = DistanceMatrix::euclidean(&Matrix::from_rows(&[vec![0.0], vec![1.0]]));
         let _ = d.get(0, 2);
     }
 
     #[test]
     fn pooled_build_is_bitwise_identical() {
-        let data: Vec<Vec<f64>> = (0..67)
-            .map(|i| (0..14).map(|j| ((i * 31 + j * 17) % 23) as f64 / 7.0).collect())
-            .collect();
+        let data = Matrix::from_rows(
+            &(0..67)
+                .map(|i| {
+                    (0..14)
+                        .map(|j| ((i * 31 + j * 17) % 23) as f64 / 7.0)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+        );
         let serial = DistanceMatrix::euclidean(&data);
         for threads in [2, 4, 8] {
             let pooled = DistanceMatrix::euclidean_with(&data, &WorkPool::new(threads));
@@ -145,8 +151,9 @@ mod tests {
     #[test]
     fn pooled_build_handles_degenerate_sizes() {
         let pool = WorkPool::new(4);
-        assert_eq!(DistanceMatrix::euclidean_with(&[], &pool).len(), 0);
-        let one = DistanceMatrix::euclidean_with(&[vec![1.0]], &pool);
+        let empty = Matrix::from_rows::<Vec<f64>>(&[]);
+        assert_eq!(DistanceMatrix::euclidean_with(&empty, &pool).len(), 0);
+        let one = DistanceMatrix::euclidean_with(&Matrix::from_rows(&[vec![1.0]]), &pool);
         assert_eq!(one.len(), 1);
         assert_eq!(one.get(0, 0), 0.0);
     }

@@ -1,12 +1,14 @@
 //! The Elbow method (Thorndike 1953): pick the cluster count where the
 //! within-cluster variance stops improving significantly (§3.3).
 
+use fgbs_matrix::Matrix;
+
 use crate::dendrogram::Dendrogram;
 
 /// Within-cluster variance `W(k)` for `k = 1..=k_max` cuts of the
 /// dendrogram, computed over the observation matrix the clustering used.
 pub fn within_variance_curve(
-    data: &[Vec<f64>],
+    data: &Matrix,
     dendro: &Dendrogram,
     k_max: usize,
 ) -> Vec<(usize, f64)> {
@@ -69,14 +71,14 @@ mod tests {
     use crate::normalize::normalize;
 
     /// Three well-separated blobs of 4 points each.
-    fn blobs() -> Vec<Vec<f64>> {
+    fn blobs() -> fgbs_matrix::Matrix {
         let mut v = Vec::new();
         for (cx, cy) in [(0.0, 0.0), (20.0, 0.0), (0.0, 20.0)] {
             for (dx, dy) in [(0.0, 0.0), (0.4, 0.1), (0.1, 0.4), (0.3, 0.3)] {
                 v.push(vec![cx + dx, cy + dy]);
             }
         }
-        v
+        fgbs_matrix::Matrix::from_rows(&v)
     }
 
     #[test]

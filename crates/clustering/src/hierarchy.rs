@@ -1,4 +1,38 @@
-//! Agglomerative clustering via the Lance–Williams recurrence.
+//! Agglomerative clustering.
+//!
+//! The production path ([`linkage`]) is the O(n²) nearest-neighbor-chain
+//! algorithm (Benzécri 1982, the algorithm behind SciPy's `nn_chain`)
+//! operating in place on a condensed working triangle. The original
+//! O(n³) closest-pair scan survives as [`naive_linkage`]: the oracle the
+//! equivalence tests and the perf benches compare against.
+//!
+//! # Why the chain algorithm gives the same dendrogram
+//!
+//! All four [`Linkage`] criteria are *reducible*: merging clusters `x`
+//! and `y` never moves the merged cluster closer to a third cluster `k`
+//! than the nearer of its parts was
+//! (`d(k, x∪y) ≥ min(d(k, x), d(k, y))`). Under reducibility, merging a
+//! pair of *reciprocal nearest neighbours* — each the other's closest
+//! cluster — commutes with every other merge the greedy closest-pair
+//! algorithm would perform, so the set of merges (the tree and its
+//! heights) is identical; only the order of discovery differs. Sorting
+//! the discovered merges by height and relabelling through a union-find
+//! recovers the greedy order exactly (heights are monotone for reducible
+//! linkages, so the greedy algorithm merges in non-decreasing height
+//! order). Heights are computed by the same Lance–Williams expressions
+//! as the naive path but may differ in final ulps when the discovery
+//! order interleaves differently; the equivalence tests pin structure
+//! exactly and heights to a 1e-8 relative tolerance.
+//!
+//! The structure guarantee holds in generic position. When two merges
+//! have *exactly* tied heights, the order in which the sorted merge
+//! list emits them is implementation-defined — the chain and the scan
+//! may number the tied merges differently (SciPy's `nn_chain` behaves
+//! the same way). Both outputs are valid dendrograms of the input; the
+//! tie property tests assert the invariants that survive
+//! (monotonicity, sizes, the single-linkage height multiset).
+
+use fgbs_matrix::Condensed;
 
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::distance::DistanceMatrix;
@@ -18,11 +52,37 @@ pub enum Linkage {
     Average,
 }
 
+impl Linkage {
+    /// Lance–Williams distance from the merge of clusters `i` (size
+    /// `ni`, at `dik` from `k`) and `j` (size `nj`, at `djk`) to cluster
+    /// `k` of size `nk`, where `dij` is the merged pair's distance.
+    ///
+    /// This is the exact expression of the historical naive scan, so the
+    /// chain algorithm reproduces its arithmetic operation for
+    /// operation.
+    #[inline]
+    fn update(self, dik: f64, djk: f64, dij: f64, ni: f64, nj: f64, nk: f64) -> f64 {
+        match self {
+            Linkage::Ward => {
+                let t = ni + nj + nk;
+                (((ni + nk) * dik * dik + (nj + nk) * djk * djk - nk * dij * dij) / t)
+                    .max(0.0)
+                    .sqrt()
+            }
+            Linkage::Single => dik.min(djk),
+            Linkage::Complete => dik.max(djk),
+            Linkage::Average => (ni * dik + nj * djk) / (ni + nj),
+        }
+    }
+}
+
 /// Cluster observations bottom-up, recording every merge.
 ///
 /// Leaves are clusters `0..n`; the merge at step `t` creates cluster
 /// `n + t` (SciPy convention). The process runs until a single cluster
-/// remains.
+/// remains. Runs the O(n²) nearest-neighbor-chain algorithm directly on
+/// a condensed working triangle — see the module docs for the argument
+/// that the result matches [`naive_linkage`].
 ///
 /// # Panics
 ///
@@ -33,8 +93,188 @@ pub fn linkage(dist: &DistanceMatrix, method: Linkage) -> Dendrogram {
     let mut linkage_span = fgbs_trace::span("cluster.linkage");
     linkage_span.arg_u64("observations", n as u64);
     fgbs_trace::counter("cluster.merges", n.saturating_sub(1) as u64);
+    if n == 1 {
+        return Dendrogram::new(1, Vec::new());
+    }
 
-    // Active-cluster distance matrix (full, for simplicity; n is small).
+    // Working state: cluster `s` lives in slot `s` of the condensed
+    // triangle; a merged cluster takes over the smaller slot, so a slot
+    // index is always the smallest leaf index of its cluster.
+    let mut d: Condensed<f64> = dist.condensed().clone();
+    let mut size: Vec<f64> = vec![1.0; n];
+    let mut active: Vec<bool> = vec![true; n];
+
+    // Raw merges in discovery order: (slot of smaller-leaf cluster,
+    // slot of larger-leaf cluster, height).
+    let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+    let mut seed = 0usize; // lowest-index cluster that may still be active
+
+    while raw.len() < n - 1 {
+        if chain.is_empty() {
+            while !active[seed] {
+                seed += 1;
+            }
+            chain.push(seed);
+        }
+        loop {
+            let x = *chain.last().expect("chain is non-empty");
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            let (y, dxy) = nearest_active(&d, &active, n, x, prev);
+            if Some(y) == prev {
+                // Reciprocal nearest neighbours: merge them.
+                chain.pop();
+                chain.pop();
+                merge_into_lower_slot(&mut d, &mut size, &mut active, n, x, y, dxy, method, &mut raw);
+                break;
+            }
+            chain.push(y);
+        }
+    }
+
+    // Sort merges into greedy order (non-decreasing height; the stable
+    // tie-break keeps discovery order, which always emits children
+    // before parents) and relabel slots to dendrogram ids.
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&a, &b| {
+        raw[a]
+            .2
+            .partial_cmp(&raw[b].2)
+            .expect("linkage heights are not NaN")
+            .then(a.cmp(&b))
+    });
+
+    // Union-find over slots; a root carries its cluster's dendrogram id
+    // and size.
+    let mut uf: Vec<usize> = (0..n).collect();
+    let mut clid: Vec<usize> = (0..n).collect();
+    let mut csize: Vec<usize> = vec![1; n];
+    fn find(uf: &mut [usize], mut s: usize) -> usize {
+        while uf[s] != s {
+            uf[s] = uf[uf[s]];
+            s = uf[s];
+        }
+        s
+    }
+    let mut merges = Vec::with_capacity(n - 1);
+    for (t, &o) in order.iter().enumerate() {
+        let (lo, hi, height) = raw[o];
+        let rl = find(&mut uf, lo);
+        let rh = find(&mut uf, hi);
+        debug_assert_ne!(rl, rh, "a merge joins two distinct clusters");
+        merges.push(Merge {
+            a: clid[rl],
+            b: clid[rh],
+            height,
+            size: csize[rl] + csize[rh],
+        });
+        uf[rh] = rl;
+        clid[rl] = n + t;
+        csize[rl] += csize[rh];
+    }
+
+    Dendrogram::new(n, merges)
+}
+
+/// Nearest active cluster to `x` (smallest index wins strict ties) —
+/// except that `prefer`, when given, wins any tie with the minimum, which
+/// guarantees the chain terminates on reciprocal nearest neighbours even
+/// among equidistant clusters.
+///
+/// Walks the condensed triangle's cells for `x` directly: the column
+/// segment above the diagonal (stride shrinking by one per row) and the
+/// contiguous row segment after it.
+#[inline]
+fn nearest_active(
+    d: &Condensed<f64>,
+    active: &[bool],
+    n: usize,
+    x: usize,
+    prefer: Option<usize>,
+) -> (usize, f64) {
+    let cells = d.as_slice();
+    let (mut best, mut best_d) = match prefer {
+        Some(p) => (p, cells[d.index(x, p)]),
+        None => (usize::MAX, f64::INFINITY),
+    };
+    if x > 0 {
+        // Pairs {k, x} with k < x: cell offsets step by n - k - 2.
+        let mut at = x - 1; // index of the cell {0, x}
+        for (k, &alive) in active.iter().enumerate().take(x) {
+            if alive && cells[at] < best_d {
+                best_d = cells[at];
+                best = k;
+            }
+            at += n - k - 2;
+        }
+    }
+    if x + 1 < n {
+        // Pairs {x, k} with k > x: one contiguous run.
+        let base = x * n - x * (x + 1) / 2; // index of the cell {x, x+1}
+        for (off, k) in (x + 1..n).enumerate() {
+            if active[k] {
+                let v = cells[base + off];
+                if v < best_d {
+                    best_d = v;
+                    best = k;
+                }
+            }
+        }
+    }
+    debug_assert_ne!(best, usize::MAX, "x has at least one active peer");
+    (best, best_d)
+}
+
+/// Merge clusters in slots `x` and `y` at height `dxy`: record the raw
+/// merge, apply the Lance–Williams update in place against every other
+/// active cluster, and retire the larger slot.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn merge_into_lower_slot(
+    d: &mut Condensed<f64>,
+    size: &mut [f64],
+    active: &mut [bool],
+    n: usize,
+    x: usize,
+    y: usize,
+    dxy: f64,
+    method: Linkage,
+    raw: &mut Vec<(usize, usize, f64)>,
+) {
+    let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+    raw.push((lo, hi, dxy));
+    let (ni, nj) = (size[lo], size[hi]);
+    for k in 0..n {
+        if !active[k] || k == lo || k == hi {
+            continue;
+        }
+        let dik = d.get(lo, k);
+        let djk = d.get(hi, k);
+        let new = method.update(dik, djk, dxy, ni, nj, size[k]);
+        d.set(lo, k, new);
+    }
+    active[hi] = false;
+    size[lo] += size[hi];
+}
+
+/// The historical O(n³) Lance–Williams closest-pair scan over a dense
+/// copy of the distance matrix. Kept solely as the oracle for the
+/// NN-chain equivalence tests and the speedup benches — production code
+/// calls [`linkage`].
+///
+/// # Panics
+///
+/// Panics on an empty distance matrix.
+pub fn naive_linkage(dist: &DistanceMatrix, method: Linkage) -> Dendrogram {
+    let n = dist.len();
+    assert!(n > 0, "cannot cluster zero observations");
+
+    // Active-cluster distance matrix (full, dense — the layout this
+    // implementation always used).
     let mut d = vec![vec![0.0f64; n]; n];
     for (i, row) in d.iter_mut().enumerate() {
         for (j, cell) in row.iter_mut().enumerate() {
@@ -81,21 +321,7 @@ pub fn linkage(dist: &DistanceMatrix, method: Linkage) -> Dendrogram {
             if !active[k] || k == bi || k == bj {
                 continue;
             }
-            let dik = d[bi][k];
-            let djk = d[bj][k];
-            let dij = d[bi][bj];
-            let nk = size[k];
-            let new = match method {
-                Linkage::Ward => {
-                    let t = ni + nj + nk;
-                    (((ni + nk) * dik * dik + (nj + nk) * djk * djk - nk * dij * dij) / t)
-                        .max(0.0)
-                        .sqrt()
-                }
-                Linkage::Single => dik.min(djk),
-                Linkage::Complete => dik.max(djk),
-                Linkage::Average => (ni * dik + nj * djk) / (ni + nj),
-            };
+            let new = method.update(d[bi][k], d[bj][k], d[bi][bj], ni, nj, size[k]);
             d[bi][k] = new;
             d[k][bi] = new;
         }
@@ -108,18 +334,41 @@ pub fn linkage(dist: &DistanceMatrix, method: Linkage) -> Dendrogram {
     Dendrogram::new(n, merges)
 }
 
+/// A structural digest of a dendrogram: a 64-bit FNV-1a hash over every
+/// merge's `(a, b, size)` triple in order. Heights are deliberately
+/// excluded — [`linkage`] and [`naive_linkage`] agree on them only to
+/// ulps (see the module docs), so structure is hashed exactly and
+/// heights are compared with a tolerance where it matters.
+pub fn dendrogram_digest(d: &Dendrogram) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+    };
+    eat(d.len() as u64);
+    for m in d.merges() {
+        eat(m.a as u64);
+        eat(m.b as u64);
+        eat(m.size as u64);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fgbs_matrix::Matrix;
 
-    fn two_blob_data() -> Vec<Vec<f64>> {
-        vec![
+    fn two_blob_data() -> Matrix {
+        Matrix::from_rows(&[
             vec![0.0, 0.0],
             vec![0.2, 0.1],
             vec![0.1, 0.2],
             vec![10.0, 10.0],
             vec![10.2, 9.9],
-        ]
+        ])
     }
 
     #[test]
@@ -149,6 +398,33 @@ mod tests {
     }
 
     #[test]
+    fn chain_matches_naive_on_blobs() {
+        let d = DistanceMatrix::euclidean(&two_blob_data());
+        for m in [
+            Linkage::Ward,
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+        ] {
+            let fast = linkage(&d, m);
+            let slow = naive_linkage(&d, m);
+            assert_eq!(
+                dendrogram_digest(&fast),
+                dendrogram_digest(&slow),
+                "{m:?}: structure must match"
+            );
+            for (f, s) in fast.merges().iter().zip(slow.merges()) {
+                assert!(
+                    (f.height - s.height).abs() <= 1e-9 * s.height.max(1.0),
+                    "{m:?}: heights {} vs {}",
+                    f.height,
+                    s.height
+                );
+            }
+        }
+    }
+
+    #[test]
     fn ward_heights_are_monotone() {
         let d = DistanceMatrix::euclidean(&two_blob_data());
         let dendro = linkage(&d, Linkage::Ward);
@@ -168,7 +444,7 @@ mod tests {
 
     #[test]
     fn single_observation() {
-        let d = DistanceMatrix::euclidean(&[vec![1.0]]);
+        let d = DistanceMatrix::euclidean(&Matrix::from_rows(&[vec![1.0]]));
         let dendro = linkage(&d, Linkage::Ward);
         assert!(dendro.merges().is_empty());
         assert_eq!(dendro.cut(1).k(), 1);
@@ -181,6 +457,46 @@ mod tests {
         let dendro = linkage(&d, Linkage::Ward);
         let p = dendro.cut(1);
         assert_eq!(p.k(), 1);
-        assert!((0..data.len()).all(|i| p.assignment(i) == 0));
+        assert!((0..data.nrows()).all(|i| p.assignment(i) == 0));
+    }
+
+    #[test]
+    fn equidistant_points_still_produce_a_full_tree() {
+        // A tie-heavy input: the four corners of a square plus its
+        // centre. The chain must terminate and produce n-1 merges.
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![2.0, 0.0],
+            vec![2.0, 2.0],
+            vec![0.0, 2.0],
+            vec![1.0, 1.0],
+        ]);
+        let d = DistanceMatrix::euclidean(&data);
+        for m in [
+            Linkage::Ward,
+            Linkage::Single,
+            Linkage::Complete,
+            Linkage::Average,
+        ] {
+            let dendro = linkage(&d, m);
+            assert_eq!(dendro.merges().len(), 4, "{m:?}");
+            assert_eq!(dendro.cut(1).k(), 1, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn digest_separates_distinct_trees() {
+        let d = DistanceMatrix::euclidean(&two_blob_data());
+        let a = linkage(&d, Linkage::Ward);
+        let chain = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![3.0, 0.0],
+            vec![7.0, 0.0],
+            vec![15.0, 0.0],
+        ]);
+        let b = linkage(&DistanceMatrix::euclidean(&chain), Linkage::Ward);
+        assert_ne!(dendrogram_digest(&a), dendrogram_digest(&b));
+        assert_eq!(dendrogram_digest(&a), dendrogram_digest(&a.clone()));
     }
 }

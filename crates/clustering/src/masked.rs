@@ -1,0 +1,244 @@
+//! Incremental masked distances: the GA fitness hot path.
+//!
+//! The GA evaluates thousands of feature masks over one fixed
+//! z-normalised observation matrix. Recomputing every pairwise distance
+//! from scratch costs O(n² · 76) per genome; consecutive genomes differ
+//! in only a few bits, so almost all of that work repeats.
+//!
+//! [`MaskedDistanceCache`] keeps, for the most recently evaluated mask,
+//! the full condensed triangle of *quantised squared-distance
+//! accumulators* (`Condensed<i128>`, see [`fgbs_matrix::kernel`]). A new
+//! mask is evaluated by patching each pair's accumulator with the
+//! contributions of the features that were added and removed — O(n² ·
+//! |Δ|) — whenever the symmetric difference is smaller than the mask
+//! itself, and from scratch otherwise.
+//!
+//! # Exactness invariant
+//!
+//! Because per-feature contributions are quantised to integers once and
+//! integer addition is associative and exact, a pair's accumulator is a
+//! pure function of the mask *set*: patching from any anchor mask, in
+//! any order, yields bit-for-bit the accumulator a from-scratch
+//! evaluation produces. Fitness values therefore do not depend on which
+//! genome happened to be cached — the property that keeps the GA
+//! deterministic even when a shared cache is raced over by a thread
+//! pool (behind a lock).
+
+use fgbs_matrix::{kernel, Condensed, Matrix};
+
+use crate::distance::DistanceMatrix;
+
+/// Cached incremental evaluator of masked pairwise distances over a
+/// fixed observation matrix (rows = observations, columns = features —
+/// normally the z-normalised full feature matrix).
+#[derive(Debug)]
+pub struct MaskedDistanceCache {
+    z: Matrix,
+    /// Mask of the cached accumulators, as a bitset over columns.
+    cached_mask: Vec<bool>,
+    /// Number of set bits in `cached_mask`.
+    cached_len: usize,
+    /// Quantised squared-distance accumulators for `cached_mask`.
+    acc: Condensed<i128>,
+    /// Pair-feature contributions evaluated incrementally so far.
+    patched: u64,
+    /// Pair-feature contributions evaluated from scratch so far.
+    scratched: u64,
+}
+
+impl MaskedDistanceCache {
+    /// A cache over `z` with an empty anchor mask (every accumulator 0).
+    pub fn new(z: Matrix) -> MaskedDistanceCache {
+        let n = z.nrows();
+        MaskedDistanceCache {
+            cached_mask: vec![false; z.ncols()],
+            cached_len: 0,
+            acc: Condensed::filled(n, 0i128),
+            z,
+            patched: 0,
+            scratched: 0,
+        }
+    }
+
+    /// The observation matrix the cache evaluates masks over.
+    pub fn observations(&self) -> &Matrix {
+        &self.z
+    }
+
+    /// `(incremental, from_scratch)` pair-feature contribution counts —
+    /// the cache's work ledger, for telemetry.
+    pub fn work_counts(&self) -> (u64, u64) {
+        (self.patched, self.scratched)
+    }
+
+    /// Pairwise Euclidean distances restricted to the feature columns in
+    /// `ids`, updating the cached accumulators to this mask.
+    ///
+    /// Result is identical — bitwise — no matter which mask was cached
+    /// before the call (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a feature id is out of range.
+    pub fn distances(&mut self, ids: &[usize]) -> DistanceMatrix {
+        for &f in ids {
+            assert!(f < self.z.ncols(), "feature id {f} out of range");
+        }
+        let n = self.z.nrows();
+
+        // Symmetric difference against the cached mask.
+        let mut next_mask = vec![false; self.z.ncols()];
+        for &f in ids {
+            next_mask[f] = true;
+        }
+        let mut added: Vec<usize> = Vec::new();
+        let mut removed: Vec<usize> = Vec::new();
+        for (f, (&was, &now)) in self.cached_mask.iter().zip(&next_mask).enumerate() {
+            match (was, now) {
+                (false, true) => added.push(f),
+                (true, false) => removed.push(f),
+                _ => {}
+            }
+        }
+
+        let delta = added.len() + removed.len();
+        // Cardinality of the new mask (ids may repeat; added/removed are
+        // computed set-wise against the cached mask).
+        let next_len = self.cached_len + added.len() - removed.len();
+        if delta < next_len {
+            // Patch the cached triangle in place. A *stat*, not a counter:
+            // which anchor a genome patches from depends on evaluation
+            // order (thread scheduling), even though the distances do not.
+            fgbs_trace::stat("cluster.masked_incremental", 1);
+            self.patched += (n * n.saturating_sub(1) / 2) as u64 * delta as u64;
+            let mut at = 0usize;
+            for i in 0..n {
+                let a = self.z.row(i);
+                for j in (i + 1)..n {
+                    let cell = &mut self.acc.as_mut_slice()[at];
+                    *cell = kernel::masked_sq_delta(*cell, a, self.z.row(j), &added, &removed);
+                    at += 1;
+                }
+            }
+        } else {
+            // From scratch: cheaper than patching, or nothing cached yet.
+            fgbs_trace::stat("cluster.masked_scratch", 1);
+            self.scratched += (n * n.saturating_sub(1) / 2) as u64 * next_len as u64;
+            let mut at = 0usize;
+            for i in 0..n {
+                let a = self.z.row(i);
+                for j in (i + 1)..n {
+                    self.acc.as_mut_slice()[at] = kernel::masked_sq_acc(a, self.z.row(j), ids);
+                    at += 1;
+                }
+            }
+        }
+        self.cached_len = next_len;
+        self.cached_mask = next_mask;
+
+        let d: Vec<f64> = self.acc.as_slice().iter().map(|&a| kernel::acc_to_dist(a)).collect();
+        DistanceMatrix::from_condensed(Condensed::from_vec(n, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z() -> Matrix {
+        Matrix::from_rows(
+            &(0..9)
+                .map(|i| {
+                    (0..12)
+                        .map(|j| ((i * 7 + j * 13) % 19) as f64 / 3.0 - 2.5)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn scratch_distances(z: &Matrix, ids: &[usize]) -> DistanceMatrix {
+        let mut fresh = MaskedDistanceCache::new(z.clone());
+        fresh.distances(ids)
+    }
+
+    #[test]
+    fn incremental_equals_scratch_bitwise() {
+        let z = z();
+        let mut cache = MaskedDistanceCache::new(z.clone());
+        // A walk of masks that exercises additions, removals and both.
+        let masks: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8],
+            vec![0, 1, 2, 3, 4, 5, 6, 9],
+            vec![2, 3, 4, 5, 6, 9],
+            vec![0, 11],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        ];
+        for ids in &masks {
+            let inc = cache.distances(ids);
+            let scr = scratch_distances(&z, ids);
+            assert_eq!(inc, scr, "mask {ids:?} must be anchor-independent");
+        }
+        let (patched, scratched) = cache.work_counts();
+        assert!(patched > 0, "small deltas must take the incremental path");
+        assert!(scratched > 0, "large deltas must take the scratch path");
+    }
+
+    #[test]
+    fn repeated_mask_is_free_of_feature_work() {
+        let z = z();
+        let mut cache = MaskedDistanceCache::new(z.clone());
+        let ids = [1usize, 4, 7];
+        let first = cache.distances(&ids);
+        let work_after_first = cache.work_counts();
+        let second = cache.distances(&ids);
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.work_counts().0 + cache.work_counts().1,
+            work_after_first.0 + work_after_first.1,
+            "an unchanged mask patches zero contributions"
+        );
+    }
+
+    #[test]
+    fn matches_float_kernel_to_tolerance() {
+        // Quantised distances approximate the float kernel to far below
+        // any behavioural threshold.
+        let z = z();
+        let ids = [0usize, 2, 5, 11];
+        let q = scratch_distances(&z, &ids);
+        let proj = z.project_cols(&ids);
+        let f = DistanceMatrix::euclidean(&proj);
+        for i in 0..z.nrows() {
+            for j in (i + 1)..z.nrows() {
+                assert!(
+                    (q.get(i, j) - f.get(i, j)).abs() < 1e-9,
+                    "({i},{j}): {} vs {}",
+                    q.get(i, j),
+                    f.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mask_is_all_zero_distances() {
+        let z = z();
+        let mut cache = MaskedDistanceCache::new(z.clone());
+        let _ = cache.distances(&[3]);
+        let d = cache.distances(&[]);
+        for i in 0..z.nrows() {
+            for j in (i + 1)..z.nrows() {
+                assert_eq!(d.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_feature_panics() {
+        let mut cache = MaskedDistanceCache::new(z());
+        let _ = cache.distances(&[99]);
+    }
+}

@@ -1,6 +1,8 @@
 //! Representative selection: the codelet closest to its cluster centroid
 //! (§3.4).
 
+use fgbs_matrix::{kernel, Matrix};
+
 use crate::partition::Partition;
 
 /// Centroid of the rows of `data` indexed by `members`.
@@ -8,12 +10,12 @@ use crate::partition::Partition;
 /// # Panics
 ///
 /// Panics if `members` is empty.
-pub fn centroid(data: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
+pub fn centroid(data: &Matrix, members: &[usize]) -> Vec<f64> {
     assert!(!members.is_empty(), "centroid of an empty cluster");
-    let m = data[members[0]].len();
+    let m = data.ncols();
     let mut c = vec![0.0; m];
     for &i in members {
-        for (j, &v) in data[i].iter().enumerate() {
+        for (j, &v) in data.row(i).iter().enumerate() {
             c[j] += v;
         }
     }
@@ -29,7 +31,7 @@ pub fn centroid(data: &[Vec<f64>], members: &[usize]) -> Vec<f64> {
 /// Returns `None` when every member is ineligible — the caller then
 /// dissolves the cluster, as the paper's selection process prescribes.
 pub fn medoid(
-    data: &[Vec<f64>],
+    data: &Matrix,
     partition: &Partition,
     c: usize,
     ineligible: &[usize],
@@ -47,11 +49,7 @@ pub fn medoid(
     let mut best = eligible[0];
     let mut best_d = f64::INFINITY;
     for &i in &eligible {
-        let d: f64 = data[i]
-            .iter()
-            .zip(&cen)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let d = kernel::sq_dist(data.row(i), &cen);
         if d < best_d {
             best_d = d;
             best = i;
@@ -64,13 +62,13 @@ pub fn medoid(
 mod tests {
     use super::*;
 
-    fn data() -> Vec<Vec<f64>> {
-        vec![
+    fn data() -> Matrix {
+        Matrix::from_rows(&[
             vec![0.0, 0.0],
             vec![1.0, 0.0],
             vec![0.5, 2.0], // off-centre member
             vec![9.0, 9.0],
-        ]
+        ])
     }
 
     #[test]

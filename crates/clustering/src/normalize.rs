@@ -1,24 +1,25 @@
 //! Feature normalisation.
 
+use fgbs_matrix::Matrix;
+
 /// Z-normalise columns: each feature is centred on zero and scaled to unit
 /// variance, so that all features weigh equally in Euclidean distances
 /// (§3.3). Constant columns (zero variance) are mapped to all-zeros rather
 /// than dividing by zero.
 ///
-/// # Panics
-///
-/// Panics if rows have inconsistent lengths.
-pub fn normalize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+/// Normalisation is column-independent, so it commutes with column
+/// projection bitwise: `normalize(m.project_cols(ids))` equals
+/// `normalize(m).project_cols(ids)` — the invariant the GA's incremental
+/// masked-distance path relies on to z-normalise the full 76-feature
+/// matrix once instead of per mask.
+pub fn normalize(data: &Matrix) -> Matrix {
     if data.is_empty() {
-        return Vec::new();
+        return Matrix::new();
     }
-    let n = data.len();
-    let m = data[0].len();
-    for (i, r) in data.iter().enumerate() {
-        assert_eq!(r.len(), m, "row {i} has length {} != {m}", r.len());
-    }
+    let n = data.nrows();
+    let m = data.ncols();
     let mut means = vec![0.0; m];
-    for r in data {
+    for r in data.rows() {
         for (j, &v) in r.iter().enumerate() {
             means[j] += v;
         }
@@ -27,7 +28,7 @@ pub fn normalize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
         *mj /= n as f64;
     }
     let mut vars = vec![0.0; m];
-    for r in data {
+    for r in data.rows() {
         for (j, &v) in r.iter().enumerate() {
             let d = v - means[j];
             vars[j] += d * d;
@@ -39,33 +40,36 @@ pub fn normalize(data: &[Vec<f64>]) -> Vec<Vec<f64>> {
     let denom = if n > 1 { (n - 1) as f64 } else { 1.0 };
     let sds: Vec<f64> = vars.iter().map(|v| (v / denom).sqrt()).collect();
 
-    data.iter()
-        .map(|r| {
-            r.iter()
-                .enumerate()
-                .map(|(j, &v)| {
-                    if sds[j] > 0.0 {
-                        (v - means[j]) / sds[j]
-                    } else {
-                        0.0
-                    }
-                })
-                .collect()
-        })
-        .collect()
+    let mut out = Matrix::zeros(n, m);
+    for i in 0..n {
+        let src = data.row(i);
+        let dst = out.row_mut(i);
+        for j in 0..m {
+            dst[j] = if sds[j] > 0.0 {
+                (src[j] - means[j]) / sds[j]
+            } else {
+                0.0
+            };
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn m(rows: &[Vec<f64>]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
     #[test]
     fn zero_mean_unit_variance() {
-        let data = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let data = m(&[vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]]);
         let z = normalize(&data);
         for j in 0..2 {
-            let mean: f64 = z.iter().map(|r| r[j]).sum::<f64>() / 3.0;
-            let var: f64 = z.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / 2.0;
+            let mean: f64 = z.rows().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = z.rows().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / 2.0;
             assert!(mean.abs() < 1e-12);
             assert!((var - 1.0).abs() < 1e-12);
         }
@@ -73,35 +77,42 @@ mod tests {
 
     #[test]
     fn constant_column_becomes_zero() {
-        let data = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let data = m(&[vec![5.0, 1.0], vec![5.0, 2.0]]);
         let z = normalize(&data);
-        assert_eq!(z[0][0], 0.0);
-        assert_eq!(z[1][0], 0.0);
-        assert!(z[0][1] != 0.0);
+        assert_eq!(z.get(0, 0), 0.0);
+        assert_eq!(z.get(1, 0), 0.0);
+        assert!(z.get(0, 1) != 0.0);
     }
 
     #[test]
     fn empty_input() {
-        assert!(normalize(&[]).is_empty());
+        assert!(normalize(&Matrix::new()).is_empty());
     }
 
     #[test]
     fn single_row_is_all_zeros() {
-        let z = normalize(&[vec![3.0, -4.0]]);
-        assert_eq!(z, vec![vec![0.0, 0.0]]);
-    }
-
-    #[test]
-    #[should_panic(expected = "row 1 has length")]
-    fn ragged_input_panics() {
-        let _ = normalize(&[vec![1.0], vec![1.0, 2.0]]);
+        let z = normalize(&m(&[vec![3.0, -4.0]]));
+        assert_eq!(z.to_rows(), vec![vec![0.0, 0.0]]);
     }
 
     #[test]
     fn scale_invariance_of_relative_order() {
         // Scaling a feature must not change normalised values.
-        let a = vec![vec![1.0], vec![2.0], vec![4.0]];
-        let b = vec![vec![1000.0], vec![2000.0], vec![4000.0]];
+        let a = m(&[vec![1.0], vec![2.0], vec![4.0]]);
+        let b = m(&[vec![1000.0], vec![2000.0], vec![4000.0]]);
         assert_eq!(normalize(&a), normalize(&b));
+    }
+
+    #[test]
+    fn commutes_with_column_projection() {
+        let data = m(&[
+            vec![1.0, -7.0, 3.5, 0.0],
+            vec![2.0, 4.0, -1.5, 9.0],
+            vec![0.5, 2.0, 2.5, -3.0],
+        ]);
+        let ids = [3usize, 1];
+        let a = normalize(&data.project_cols(&ids));
+        let b = normalize(&data).project_cols(&ids);
+        assert_eq!(a, b, "z-normalisation must commute with projection");
     }
 }

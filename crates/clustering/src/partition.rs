@@ -1,5 +1,6 @@
 //! Partitions: the output of cutting a dendrogram.
 
+use fgbs_matrix::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// A partition of `n` observations into `k` clusters labelled `0..k`.
@@ -82,24 +83,27 @@ impl Partition {
     /// # Panics
     ///
     /// Panics if `data` has a different number of rows than the partition.
-    pub fn wcss(&self, data: &[Vec<f64>]) -> f64 {
-        assert_eq!(data.len(), self.assign.len(), "data/partition mismatch");
+    pub fn wcss(&self, data: &Matrix) -> f64 {
+        assert_eq!(data.nrows(), self.assign.len(), "data/partition mismatch");
         if data.is_empty() {
             return 0.0;
         }
-        let m = data[0].len();
-        let mut sums = vec![vec![0.0; m]; self.k];
+        let m = data.ncols();
+        // Per-cluster column sums, flat: one contiguous k × m block.
+        let mut sums = Matrix::zeros(self.k, m);
         let mut counts = vec![0usize; self.k];
-        for (r, &a) in data.iter().zip(&self.assign) {
+        for (r, &a) in data.rows().zip(&self.assign) {
             counts[a] += 1;
+            let row = sums.row_mut(a);
             for (j, &v) in r.iter().enumerate() {
-                sums[a][j] += v;
+                row[j] += v;
             }
         }
         let mut w = 0.0;
-        for (r, &a) in data.iter().zip(&self.assign) {
+        for (r, &a) in data.rows().zip(&self.assign) {
+            let row = sums.row(a);
             for (j, &v) in r.iter().enumerate() {
-                let c = sums[a][j] / counts[a] as f64;
+                let c = row[j] / counts[a] as f64;
                 w += (v - c) * (v - c);
             }
         }
@@ -129,14 +133,14 @@ mod tests {
 
     #[test]
     fn wcss_zero_for_singletons() {
-        let data = vec![vec![1.0, 2.0], vec![5.0, 6.0]];
+        let data = Matrix::from_rows(&[vec![1.0, 2.0], vec![5.0, 6.0]]);
         let p = Partition::from_labels(&[0, 1]);
         assert_eq!(p.wcss(&data), 0.0);
     }
 
     #[test]
     fn wcss_decreases_with_finer_partition() {
-        let data = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![10.0], vec![11.0]]);
         let coarse = Partition::from_labels(&[0, 0, 0, 0]);
         let fine = Partition::from_labels(&[0, 0, 1, 1]);
         assert!(fine.wcss(&data) < coarse.wcss(&data));
@@ -148,6 +152,6 @@ mod tests {
     #[should_panic(expected = "data/partition mismatch")]
     fn wcss_requires_matching_rows() {
         let p = Partition::from_labels(&[0, 0]);
-        let _ = p.wcss(&[vec![0.0]]);
+        let _ = p.wcss(&Matrix::from_rows(&[vec![0.0]]));
     }
 }

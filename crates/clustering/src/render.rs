@@ -8,7 +8,8 @@ use crate::dendrogram::Dendrogram;
 ///
 /// ```
 /// use fgbs_clustering::{linkage, DistanceMatrix, Linkage, render_dendrogram};
-/// let data = vec![vec![0.0], vec![0.1], vec![5.0]];
+/// use fgbs_matrix::Matrix;
+/// let data = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![5.0]]);
 /// let d = linkage(&DistanceMatrix::euclidean(&data), Linkage::Ward);
 /// let art = render_dendrogram(&d, &["a".into(), "b".into(), "c".into()], 12);
 /// assert!(art.contains("a"));
@@ -98,7 +99,8 @@ mod tests {
     use crate::hierarchy::{linkage, Linkage};
 
     fn dendro(data: &[Vec<f64>]) -> Dendrogram {
-        linkage(&DistanceMatrix::euclidean(data), Linkage::Ward)
+        let data = fgbs_matrix::Matrix::from_rows(data);
+        linkage(&DistanceMatrix::euclidean(&data), Linkage::Ward)
     }
 
     #[test]

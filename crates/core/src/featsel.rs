@@ -6,15 +6,17 @@
 //! count — rewarding masks that predict well with few representatives.
 
 use fgbs_analysis::{FeatureMask, N_FEATURES};
+use fgbs_clustering::{normalize, MaskedDistanceCache};
 use fgbs_extract::AppRun;
 use fgbs_genetic::{minimize_parallel, BitGenome, FitnessCache, GaConfig};
 use fgbs_machine::Arch;
+use parking_lot::Mutex;
 
 use crate::config::PipelineConfig;
 use crate::micras::MicroCache;
 use crate::predict::predict_with_runs;
 use crate::profile::{profile_target, ProfiledSuite};
-use crate::reduce::reduce_cached;
+use crate::reduce::{reduce_from_distances, wellness};
 
 /// Result of the GA search.
 #[derive(Debug, Clone)]
@@ -45,31 +47,21 @@ pub struct FeatureSelection {
     pub warm_entries: usize,
 }
 
-/// Average prediction error (percent) of `suite` on `target` under `mask`,
-/// together with the elbow K used.
-fn mask_error(
-    suite: &ProfiledSuite,
-    mask: &FeatureMask,
-    target: &Arch,
-    runs: &[AppRun],
-    cache: &MicroCache,
-    cfg: &PipelineConfig,
-) -> (f64, usize) {
-    let mcfg = cfg.clone().with_features(mask.clone());
-    let reduced = reduce_cached(suite, &mcfg, cache);
-    let out = predict_with_runs(suite, &reduced, target, runs, cache, &mcfg);
-    let err = out.average_error_pct();
-    (err, reduced.n_representatives())
-}
-
 /// Run the GA over feature masks, training on `targets` (the paper uses
 /// Atom and Sandy Bridge, leaving Core 2 and the NAS suite out for
 /// validation).
 ///
-/// Each genome's fitness — a full cluster-and-predict pipeline per
-/// training target — evaluates on the shared work pool (`cfg.threads`
-/// workers), memoised across generations by a [`FitnessCache`]. Results
-/// are identical for every thread count.
+/// Each genome's fitness — cluster once, predict per training target —
+/// evaluates on the shared work pool (`cfg.threads` workers), memoised
+/// across generations by a [`FitnessCache`]. The mask-independent parts
+/// of the pipeline are hoisted out of the loop: wellness bits are
+/// measured once, and the full 76-feature matrix is z-normalised once
+/// (normalisation is column-independent, so projecting the normalised
+/// columns is bitwise-identical to normalising each projection). Masked
+/// distances come from a shared [`MaskedDistanceCache`], patched
+/// incrementally from the previously evaluated genome's quantised
+/// accumulators; the quantised integers make the result independent of
+/// evaluation order, so results are identical for every thread count.
 pub fn select_features_ga(
     suite: &ProfiledSuite,
     targets: &[Arch],
@@ -95,22 +87,42 @@ pub fn select_features_ga(
     // The store is detached too — per-genome reductions are throwaway
     // search state; the warm start below persists their fitness instead.
     let inner_cfg = cfg.clone().with_threads(1).without_store();
+
+    // Mask-independent precomputation, hoisted out of the fitness loop.
+    let eligible = {
+        let _wellness_span = fgbs_trace::span("featsel.wellness");
+        wellness(suite, &inner_cfg, &cache)
+    };
+    let z = normalize(&suite.features.matrix());
+    let masked = Mutex::new(MaskedDistanceCache::new(z.clone()));
+
+    let eval_mask = |mask: &FeatureMask| -> (f64, usize) {
+        let ids = mask.ids();
+        let dist = masked.lock().distances(&ids);
+        let data = z.project_cols(&ids);
+        let reduced = reduce_from_distances(suite, &inner_cfg, data, &dist, &eligible);
+        let k_used = reduced.n_representatives();
+        let mut worst = 0.0f64;
+        for (t, r) in targets.iter().zip(&runs) {
+            let err = predict_with_runs(suite, &reduced, t, r, &cache, &inner_cfg)
+                .average_error_pct();
+            if !err.is_finite() {
+                return (f64::NAN, k_used);
+            }
+            worst = worst.max(err);
+        }
+        (worst, k_used)
+    };
     let fitness = |g: &BitGenome| -> f64 {
         if g.count_ones() == 0 {
             return f64::MAX / 2.0; // empty masks cannot cluster
         }
         let mask = FeatureMask::from_bits(g.bits().to_vec());
-        let mut worst = 0.0f64;
-        let mut k_used = 1usize;
-        for (t, r) in targets.iter().zip(&runs) {
-            let (err, k) = mask_error(suite, &mask, t, r, &cache, &inner_cfg);
-            if !err.is_finite() {
-                return f64::MAX / 2.0;
-            }
-            worst = worst.max(err);
-            k_used = k;
+        let (worst, k_used) = eval_mask(&mask);
+        if !worst.is_finite() {
+            return f64::MAX / 2.0;
         }
-        worst * k_used as f64
+        worst * k_used.max(1) as f64
     };
 
     // Warm-start the fitness cache from a persisted snapshot: genomes a
@@ -155,8 +167,13 @@ pub fn select_features_ga(
     };
 
     let mask = FeatureMask::from_bits(result.best.bits().to_vec());
-    // Recompute K for the winner on the first target.
-    let (_, k) = mask_error(suite, &mask, &targets[0], &runs[0], &cache, &inner_cfg);
+    // Recompute K for the winner through the same evaluator the GA used.
+    let (_, k) = eval_mask(&mask);
+    // Work-ledger stats (not counters: the patched/scratch split depends
+    // on the order genomes reached the shared cache).
+    let (patched, scratch) = masked.lock().work_counts();
+    fgbs_trace::stat("featsel.masked_patched_work", patched);
+    fgbs_trace::stat("featsel.masked_scratch_work", scratch);
     FeatureSelection {
         feature_ids: mask.ids(),
         mask,

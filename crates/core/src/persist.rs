@@ -387,8 +387,10 @@ pub fn encode_reduced_suite(r: &ReducedSuite) -> Vec<u8> {
         w.put_opt_usize(*a);
     }
     w.put_usize_slice(&r.ill_behaved);
-    w.put_seq(r.data.len());
-    for row in &r.data {
+    // Row-per-row f64 slices: the byte layout predates the flat Matrix
+    // storage and is kept stable for old store artifacts.
+    w.put_seq(r.data.nrows());
+    for row in r.data.rows() {
         w.put_f64_slice(row);
     }
     w.put_usize(r.dendrogram.len());
@@ -428,10 +430,14 @@ pub fn decode_reduced_suite(bytes: &[u8]) -> Result<ReducedSuite, CodecError> {
     }
     let ill_behaved = r.get_usize_vec()?;
     let n_rows = r.get_seq()?;
-    let mut data = Vec::with_capacity(n_rows);
+    let mut rows = Vec::with_capacity(n_rows);
     for _ in 0..n_rows {
-        data.push(r.get_f64_vec()?);
+        rows.push(r.get_f64_vec()?);
     }
+    if rows.iter().any(|row| row.len() != rows[0].len()) {
+        return Err(CodecError::new("ragged observation matrix".to_string()));
+    }
+    let data = fgbs_matrix::Matrix::from_rows(&rows);
     let leaves = r.get_usize()?;
     let n_merges = r.get_seq()?;
     if leaves > 0 && n_merges != leaves - 1 {

@@ -85,13 +85,13 @@ fn percentile_errors(preds: &[CodeletPrediction], q: f64) -> f64 {
 
 /// The model matrix `M` of §3.5: `N × K`, `M[i][k] = t_ref_i / t_ref_rk`
 /// when codelet `i` belongs to cluster `k`, else 0.
-pub fn model_matrix(suite: &ProfiledSuite, reduced: &ReducedSuite) -> Vec<Vec<f64>> {
+pub fn model_matrix(suite: &ProfiledSuite, reduced: &ReducedSuite) -> fgbs_matrix::Matrix {
     let k = reduced.clusters.len();
-    let mut m = vec![vec![0.0; k]; suite.len()];
-    for (i, row) in m.iter_mut().enumerate() {
+    let mut m = fgbs_matrix::Matrix::zeros(suite.len(), k);
+    for i in 0..suite.len() {
         if let Some(c) = reduced.assignment[i] {
             let rep = reduced.clusters[c].representative;
-            row[c] = suite.codelets[i].tref_cycles / suite.codelets[rep].tref_cycles;
+            m.row_mut(i)[c] = suite.codelets[i].tref_cycles / suite.codelets[rep].tref_cycles;
         }
     }
     m
@@ -265,7 +265,8 @@ mod tests {
         let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
         let m = model_matrix(&suite, &reduced);
         for (i, p) in out.predictions.iter().enumerate() {
-            let via_matrix: f64 = m[i]
+            let via_matrix: f64 = m
+                .row(i)
                 .iter()
                 .zip(&out.rep_seconds)
                 .map(|(a, b)| a * b)
@@ -282,7 +283,7 @@ mod tests {
     fn matrix_rows_have_single_nonzero() {
         let (suite, reduced, _, _) = setup(8, 3);
         let m = model_matrix(&suite, &reduced);
-        for row in &m {
+        for row in m.rows() {
             let nz = row.iter().filter(|v| **v != 0.0).count();
             assert_eq!(nz, 1);
         }

@@ -5,6 +5,7 @@ use fgbs_clustering::{
     Partition,
 };
 use fgbs_extract::behaves_well;
+use fgbs_matrix::{kernel, Matrix};
 
 use crate::config::{KChoice, PipelineConfig};
 use crate::micras::MicroCache;
@@ -33,7 +34,7 @@ pub struct ReducedSuite {
     /// Codelets rejected as ill-behaved on the reference.
     pub ill_behaved: Vec<usize>,
     /// The normalised, masked observation matrix used for clustering.
-    pub data: Vec<Vec<f64>>,
+    pub data: Matrix,
     /// The full merge history.
     pub dendrogram: Dendrogram,
     /// Within-cluster variance for every cut considered.
@@ -79,11 +80,11 @@ pub fn wellness(suite: &ProfiledSuite, cfg: &PipelineConfig, cache: &MicroCache)
 /// ill-behaved are destroyed and their members moved to the cluster of
 /// their closest eligible neighbour.
 pub(crate) fn select_representatives(
-    data: &[Vec<f64>],
+    data: &Matrix,
     partition: &Partition,
     eligible: &[bool],
 ) -> (Vec<Cluster>, Vec<Option<usize>>) {
-    let n = data.len();
+    let n = data.nrows();
     let mut clusters = Vec::new();
     let ineligible: Vec<usize> = (0..n).filter(|&i| !eligible[i]).collect();
 
@@ -115,16 +116,12 @@ pub(crate) fn select_representatives(
     for &o in &orphans {
         // Closest neighbour belonging to a surviving cluster.
         let mut best: Option<(usize, f64)> = None;
-        for j in 0..n {
+        for (j, slot) in assignment.iter().enumerate() {
             if j == o {
                 continue;
             }
-            if let Some(cj) = assignment[j] {
-                let d: f64 = data[o]
-                    .iter()
-                    .zip(&data[j])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+            if let Some(cj) = *slot {
+                let d = kernel::sq_dist(data.row(o), data.row(j));
                 if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((cj, d));
                 }
@@ -194,17 +191,41 @@ pub fn reduce_with_observations(
     suite: &ProfiledSuite,
     cfg: &PipelineConfig,
     cache: &MicroCache,
-    raw: &[Vec<f64>],
+    raw: &Matrix,
 ) -> ReducedSuite {
     assert!(!suite.is_empty(), "cannot reduce an empty suite");
-    assert_eq!(raw.len(), suite.len(), "one observation row per codelet");
+    assert_eq!(raw.nrows(), suite.len(), "one observation row per codelet");
 
     let mut stage_span = fgbs_trace::span("stage.reduce");
     stage_span.arg_u64("codelets", suite.len() as u64);
 
     let data = normalize(raw);
     let dist = DistanceMatrix::euclidean_with(&data, &cfg.pool());
-    let dendro = linkage(&dist, cfg.linkage);
+    let eligible = {
+        let _wellness_span = fgbs_trace::span("reduce.wellness");
+        wellness(suite, cfg, cache)
+    };
+    let reduced = reduce_from_distances(suite, cfg, data, &dist, &eligible);
+
+    stage_span.arg_u64("k_requested", reduced.k_requested as u64);
+    stage_span.arg_u64("clusters", reduced.clusters.len() as u64);
+    reduced
+}
+
+/// Steps C + D downstream of the distance matrix: linkage, elbow cut and
+/// representative selection over precomputed normalised observations and
+/// eligibility. The GA's incremental fitness path enters here — its
+/// distances come patched from a [`fgbs_clustering::MaskedDistanceCache`]
+/// and its wellness bits are mask-independent, so neither is recomputed
+/// per genome.
+pub(crate) fn reduce_from_distances(
+    suite: &ProfiledSuite,
+    cfg: &PipelineConfig,
+    data: Matrix,
+    dist: &DistanceMatrix,
+    eligible: &[bool],
+) -> ReducedSuite {
+    let dendro = linkage(dist, cfg.linkage);
 
     let max_k = match cfg.k_choice {
         KChoice::Fixed(k) => k.min(suite.len()),
@@ -217,18 +238,11 @@ pub fn reduce_with_observations(
     };
     let partition = dendro.cut(k);
 
-    let eligible = {
-        let _wellness_span = fgbs_trace::span("reduce.wellness");
-        wellness(suite, cfg, cache)
-    };
     let ill_behaved: Vec<usize> = (0..suite.len()).filter(|&i| !eligible[i]).collect();
     let (clusters, assignment) = {
         let _select_span = fgbs_trace::span("reduce.select");
-        select_representatives(&data, &partition, &eligible)
+        select_representatives(&data, &partition, eligible)
     };
-
-    stage_span.arg_u64("k_requested", k as u64);
-    stage_span.arg_u64("clusters", clusters.len() as u64);
 
     ReducedSuite {
         clusters,
@@ -294,12 +308,12 @@ mod tests {
     #[test]
     fn selection_dissolves_fully_ineligible_clusters() {
         // Synthetic data: two tight groups; group 2 entirely ineligible.
-        let data = vec![
+        let data = Matrix::from_rows(&[
             vec![0.0, 0.0],
             vec![0.1, 0.0],
             vec![10.0, 10.0],
             vec![10.1, 10.0],
-        ];
+        ]);
         let partition = Partition::from_labels(&[0, 0, 1, 1]);
         let eligible = vec![true, true, false, false];
         let (clusters, assignment) = select_representatives(&data, &partition, &eligible);
@@ -312,7 +326,7 @@ mod tests {
 
     #[test]
     fn selection_skips_ineligible_medoid() {
-        let data = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let data = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2]]);
         let partition = Partition::from_labels(&[0, 0, 0]);
         // The true medoid (index 1, the centre) is ineligible.
         let eligible = vec![true, false, true];
@@ -323,7 +337,7 @@ mod tests {
 
     #[test]
     fn all_ineligible_yields_empty_reduction() {
-        let data = vec![vec![0.0], vec![1.0]];
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
         let partition = Partition::from_labels(&[0, 1]);
         let (clusters, assignment) = select_representatives(&data, &partition, &[false, false]);
         assert!(clusters.is_empty());

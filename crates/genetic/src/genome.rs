@@ -75,6 +75,28 @@ impl BitGenome {
             .collect()
     }
 
+    /// Set-difference against `other`: the bit indices set here but not
+    /// there (`added`) and set there but not here (`removed`), ascending.
+    /// Incremental fitness evaluators patch cached per-mask state from a
+    /// neighbouring genome instead of recomputing it from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the genomes have different lengths.
+    pub fn diff(&self, other: &BitGenome) -> (Vec<usize>, Vec<usize>) {
+        assert_eq!(self.len(), other.len(), "diff length mismatch");
+        let mut added = Vec::new();
+        let mut removed = Vec::new();
+        for (i, (&a, &b)) in self.bits.iter().zip(&other.bits).enumerate() {
+            match (a, b) {
+                (true, false) => added.push(i),
+                (false, true) => removed.push(i),
+                _ => {}
+            }
+        }
+        (added, removed)
+    }
+
     /// Uniform crossover: each bit drawn from either parent with equal
     /// probability.
     ///
@@ -150,6 +172,22 @@ mod tests {
         assert_eq!(g, before);
         g.mutate(1.0, &mut rng);
         assert_eq!(g.count_ones(), 128 - before.count_ones());
+    }
+
+    #[test]
+    fn diff_splits_added_and_removed() {
+        let a = BitGenome::from_bits(vec![true, false, true, false, true]);
+        let b = BitGenome::from_bits(vec![true, true, false, false, false]);
+        let (added, removed) = a.diff(&b);
+        assert_eq!(added, vec![2, 4]);
+        assert_eq!(removed, vec![1]);
+        assert_eq!(a.diff(&a), (vec![], vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "diff length mismatch")]
+    fn diff_length_mismatch_panics() {
+        let _ = BitGenome::zeros(3).diff(&BitGenome::zeros(4));
     }
 
     #[test]

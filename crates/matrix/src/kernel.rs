@@ -1,0 +1,187 @@
+//! Distance kernels: blocked dense kernels and the quantised masked
+//! accumulator behind the GA's incremental fitness.
+//!
+//! # Dense kernels
+//!
+//! [`sq_dist`] accumulates in four independent lanes so the compiler can
+//! keep the loop in SIMD registers without reassociating a single serial
+//! chain. The lane split is *fixed* (lane `l` owns elements `l, l+4, …`,
+//! combined as `(s0+s1) + (s2+s3)`), so results are deterministic for a
+//! given slice length — the thread-count-invariance contract of the
+//! distance stage does not depend on how rows are scheduled.
+//!
+//! # Masked quantised accumulation
+//!
+//! The GA evaluates thousands of feature masks over one fixed
+//! z-normalised matrix. A mask's squared distance for a pair is the sum
+//! of that pair's per-feature contributions `(z_if − z_jf)²` over the
+//! selected features. Floating-point sums are not associative, so a sum
+//! patched incrementally (start from a cached mask, subtract removed
+//! features, add new ones) would drift from a from-scratch sum by
+//! last-ulp amounts that depend on *which* cached mask the update
+//! started from — breaking determinism.
+//!
+//! Instead each contribution is quantised once to an integer number of
+//! `2⁻⁸⁰` quanta ([`quantize_sq`]) and summed in `i128`. Integer
+//! addition is associative and exact, so the accumulator for a mask is
+//! a pure function of the mask *set* — identical whether it was built
+//! from scratch or by any chain of incremental updates. The final
+//! distance is `sqrt(acc · 2⁻⁸⁰)`.
+//!
+//! Range: z-scores are bounded by `√(n−1)`, so one contribution is at
+//! most `4(n−1) < 2¹⁵` for any realistic suite, i.e. `< 2⁹⁵` quanta;
+//! even 2²⁰ features cannot overflow the 127-bit accumulator.
+
+/// Quantisation scale for masked squared-distance contributions: values
+/// are stored as integer multiples of `2⁻⁸⁰`.
+pub const Q_SCALE_BITS: u32 = 80;
+
+/// `2⁸⁰` as an exactly-representable f64.
+const Q_SCALE: f64 = (1u128 << Q_SCALE_BITS) as f64;
+
+/// Squared Euclidean distance between two equal-length rows, blocked
+/// over four accumulator lanes.
+///
+/// # Panics
+///
+/// Debug-asserts equal lengths; release builds truncate to the shorter
+/// row (the `Matrix` layer guarantees rectangular input).
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "kernel rows must have equal length");
+    let mut lanes = [0.0f64; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let at = &a[c * 4..c * 4 + 4];
+        let bt = &b[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            let d = at[l] - bt[l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for l in chunks * 4..a.len() {
+        let d = a[l] - b[l];
+        tail += d * d;
+    }
+    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+}
+
+/// Euclidean distance between two equal-length rows.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Quantise one squared per-feature contribution to `2⁻⁸⁰` quanta.
+///
+/// The multiply by a power of two is exact; the cast truncates toward
+/// zero deterministically. Contributions are non-negative, so the
+/// result is too.
+#[inline]
+pub fn quantize_sq(c: f64) -> i128 {
+    debug_assert!(c >= 0.0, "squared contributions are non-negative");
+    (c * Q_SCALE) as i128
+}
+
+/// Turn an accumulated quantised squared distance back into a distance.
+#[inline]
+pub fn acc_to_dist(acc: i128) -> f64 {
+    debug_assert!(acc >= 0, "masked squared distances are non-negative");
+    ((acc as f64) / Q_SCALE).sqrt()
+}
+
+/// Quantised squared distance between rows `a` and `b` over the feature
+/// ids in `ids` — the from-scratch path of the masked kernel.
+#[inline]
+pub fn masked_sq_acc(a: &[f64], b: &[f64], ids: &[usize]) -> i128 {
+    let mut acc: i128 = 0;
+    for &f in ids {
+        let d = a[f] - b[f];
+        acc += quantize_sq(d * d);
+    }
+    acc
+}
+
+/// Patch a cached accumulator: add the contributions of `added` and
+/// remove those of `removed`. Exact, so the result equals
+/// [`masked_sq_acc`] of the patched mask bit for bit.
+#[inline]
+pub fn masked_sq_delta(base: i128, a: &[f64], b: &[f64], added: &[usize], removed: &[usize]) -> i128 {
+    let mut acc = base;
+    for &f in added {
+        let d = a[f] - b[f];
+        acc += quantize_sq(d * d);
+    }
+    for &f in removed {
+        let d = a[f] - b[f];
+        acc -= quantize_sq(d * d);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sq_dist_matches_naive() {
+        for len in 0..20 {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64) * 0.7 - 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.3).sin()).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let blocked = sq_dist(&a, &b);
+            assert!(
+                (blocked - naive).abs() <= 1e-12 * naive.max(1.0),
+                "len={len}: {blocked} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn dist_is_sqrt_of_sq_dist() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(dist(&a, &b), 5.0);
+        assert_eq!(sq_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn quantisation_is_exact_for_powers_of_two() {
+        assert_eq!(quantize_sq(1.0), 1i128 << Q_SCALE_BITS);
+        assert_eq!(quantize_sq(0.0), 0);
+        assert_eq!(acc_to_dist(1i128 << Q_SCALE_BITS), 1.0);
+        assert_eq!(acc_to_dist(0), 0.0);
+    }
+
+    #[test]
+    fn masked_acc_close_to_float_sum() {
+        let a: Vec<f64> = (0..16).map(|i| (i as f64 * 0.31).cos()).collect();
+        let b: Vec<f64> = (0..16).map(|i| (i as f64 * 0.17).sin()).collect();
+        let ids: Vec<usize> = (0..16).step_by(3).collect();
+        let float: f64 = ids.iter().map(|&f| (a[f] - b[f]) * (a[f] - b[f])).sum();
+        let q = acc_to_dist(masked_sq_acc(&a, &b, &ids));
+        assert!((q - float.sqrt()).abs() < 1e-9, "{q} vs {}", float.sqrt());
+    }
+
+    #[test]
+    fn delta_equals_scratch_bitwise() {
+        let a: Vec<f64> = (0..12).map(|i| (i as f64 * 0.77).sin() * 2.0).collect();
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.41).cos() - 0.3).collect();
+        let base_ids = [0usize, 2, 4, 6, 8];
+        let base = masked_sq_acc(&a, &b, &base_ids);
+        // Patch to {0, 2, 5, 6, 8, 11}.
+        let patched = masked_sq_delta(base, &a, &b, &[5, 11], &[4]);
+        let scratch = masked_sq_acc(&a, &b, &[0, 2, 5, 6, 8, 11]);
+        assert_eq!(patched, scratch);
+        // Patch order and anchor do not matter.
+        let via_other = masked_sq_delta(
+            masked_sq_acc(&a, &b, &[11]),
+            &a,
+            &b,
+            &[0, 2, 5, 6, 8],
+            &[],
+        );
+        assert_eq!(via_other, scratch);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`isa`] | `fgbs-isa` | codelet IR, virtual ISA, compiler lowering |
 //! | [`machine`] | `fgbs-machine` | the simulated machine park (Table 1) |
 //! | [`analysis`] | `fgbs-analysis` | the 76-feature MAQAO/Likwid substitute |
+//! | [`matrix`] | `fgbs-matrix` | flat numeric kernel layer: matrices, condensed triangles, distance kernels |
 //! | [`extract`] | `fgbs-extract` | applications, codelet finder, memory dumps, microbenchmarks |
 //! | [`clustering`] | `fgbs-clustering` | Ward hierarchical clustering + elbow |
 //! | [`genetic`] | `fgbs-genetic` | GA feature selection |
@@ -60,6 +61,7 @@ pub use fgbs_extract as extract;
 pub use fgbs_genetic as genetic;
 pub use fgbs_isa as isa;
 pub use fgbs_machine as machine;
+pub use fgbs_matrix as matrix;
 pub use fgbs_pool as pool;
 pub use fgbs_serve as serve;
 pub use fgbs_store as store;

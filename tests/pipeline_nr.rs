@@ -51,7 +51,7 @@ fn nr_full_pipeline_end_to_end() {
     // The matrix formulation must agree with the direct formula.
     let m = model_matrix(&suite, &reduced);
     for (i, p) in out.predictions.iter().enumerate() {
-        let via: f64 = m[i].iter().zip(&out.rep_seconds).map(|(a, b)| a * b).sum();
+        let via: f64 = m.row(i).iter().zip(&out.rep_seconds).map(|(a, b)| a * b).sum();
         let direct = p.predicted_seconds.expect("all predicted");
         assert!((via - direct).abs() <= 1e-12 * direct.max(1e-12));
     }

@@ -11,6 +11,7 @@ use fgbs::isa::{
     compile, BinOp, BindingBuilder, Codelet, CodeletBuilder, CompileMode, Precision, TargetSpec,
 };
 use fgbs::machine::{Arch, Machine, PARK_SCALE};
+use fgbs::matrix::Matrix;
 use fgbs::pool::WorkPool;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -135,10 +136,11 @@ proptest! {
             3..20,
         )
     ) {
+        let data = Matrix::from_rows(&data);
         let norm = normalize(&data);
         let d = DistanceMatrix::euclidean(&norm);
         let dendro = linkage(&d, Linkage::Ward);
-        let n = data.len();
+        let n = data.nrows();
 
         let curve = within_variance_curve(&norm, &dendro, n);
         // W is monotone non-increasing and hits ~0 at K = n.
@@ -170,10 +172,11 @@ proptest! {
             2..20,
         )
     ) {
+        let data = Matrix::from_rows(&data);
         let d = DistanceMatrix::euclidean(&data);
-        for i in 0..data.len() {
+        for i in 0..data.nrows() {
             prop_assert_eq!(d.get(i, i), 0.0);
-            for j in 0..data.len() {
+            for j in 0..data.nrows() {
                 prop_assert_eq!(d.get(i, j).to_bits(), d.get(j, i).to_bits());
                 prop_assert!(d.get(i, j) >= 0.0);
             }
@@ -190,6 +193,7 @@ proptest! {
         // Determinism regression: a distance matrix built on the pool must
         // be bitwise identical to the serial one, and therefore produce
         // identical cluster partitions at every cut.
+        let data = Matrix::from_rows(&data);
         let norm = normalize(&data);
         let serial = DistanceMatrix::euclidean(&norm);
         for threads in [2usize, 8] {
@@ -197,7 +201,7 @@ proptest! {
             prop_assert_eq!(&serial, &pooled, "threads={}", threads);
             let ds = linkage(&serial, Linkage::Ward);
             let dp = linkage(&pooled, Linkage::Ward);
-            for k in 1..=data.len().min(6) {
+            for k in 1..=data.nrows().min(6) {
                 prop_assert_eq!(ds.cut(k).assignments(), dp.cut(k).assignments());
             }
         }
@@ -225,6 +229,8 @@ proptest! {
             perm.swap(i, j);
         }
         let permuted: Vec<Vec<f64>> = perm.iter().map(|&p| data[p].clone()).collect();
+        let data = Matrix::from_rows(&data);
+        let permuted = Matrix::from_rows(&permuted);
 
         let t0 = linkage(&DistanceMatrix::euclidean(&data), Linkage::Ward);
         let t1 = linkage(&DistanceMatrix::euclidean(&permuted), Linkage::Ward);
@@ -256,7 +262,7 @@ proptest! {
             2..16,
         )
     ) {
-        let d = DistanceMatrix::euclidean(&data);
+        let d = DistanceMatrix::euclidean(&Matrix::from_rows(&data));
         let dendro = linkage(&d, Linkage::Ward);
         let hs: Vec<f64> = dendro.merges().iter().map(|m| m.height).collect();
         for w in hs.windows(2) {
