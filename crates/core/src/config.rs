@@ -56,6 +56,12 @@ pub struct PipelineConfig {
     /// a stored artifact is bitwise-identical to a recomputation. `None`
     /// (the default) keeps every stage purely in-memory.
     pub store: Option<Arc<Store>>,
+    /// Optional wall-clock budget for the whole pipeline run. Checked by
+    /// the fallible `try_*` stage entry points at stage boundaries (and
+    /// per K inside sweeps); once expired they return
+    /// [`crate::PipelineError::DeadlineExceeded`] instead of starting
+    /// more work. The infallible entry points ignore it.
+    pub deadline: Option<fgbs_fault::Deadline>,
 }
 
 impl Default for PipelineConfig {
@@ -77,6 +83,7 @@ impl Default for PipelineConfig {
             noise_seed: 0,
             threads: 1,
             store: None,
+            deadline: None,
         }
     }
 }
@@ -123,6 +130,23 @@ impl PipelineConfig {
     pub fn without_store(mut self) -> Self {
         self.store = None;
         self
+    }
+
+    /// Same configuration with a wall-clock deadline attached (see
+    /// [`PipelineConfig::deadline`]).
+    pub fn with_deadline(mut self, deadline: fgbs_fault::Deadline) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Fail with [`crate::PipelineError::DeadlineExceeded`] when the
+    /// configured deadline (if any) has expired. Stage boundaries call
+    /// this so an over-budget request stops promptly instead of hanging.
+    pub fn check_deadline(&self, stage: &'static str) -> Result<(), crate::PipelineError> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(crate::PipelineError::DeadlineExceeded { stage }),
+            _ => Ok(()),
+        }
     }
 
     /// The shared work pool this configuration prescribes

@@ -43,6 +43,7 @@
 
 mod appagg;
 mod config;
+mod error;
 mod featsel;
 mod micras;
 mod parallel;
@@ -56,6 +57,7 @@ mod sweep;
 
 pub use appagg::{aggregate_apps, geometric_mean_speedup, AppPrediction};
 pub use config::{KChoice, PipelineConfig};
+pub use error::PipelineError;
 pub use featsel::{select_features_ga, FeatureSelection};
 pub use micras::MicroCache;
 pub use parallel::{evaluate_targets, evaluate_targets_with, rank_targets, TargetEvaluation};
@@ -67,11 +69,16 @@ pub use persist::{
     CODEC_VERSION,
 };
 pub use predict::{
-    model_matrix, predict, predict_with_runs, CodeletPrediction, PredictionOutcome,
+    model_matrix, predict, predict_with_runs, try_predict, CodeletPrediction, PredictionOutcome,
 };
-pub use profile::{profile_reference, profile_target, CodeletInfo, ProfiledSuite};
+pub use profile::{
+    profile_reference, profile_target, try_profile_reference, CodeletInfo, ProfiledSuite,
+};
 pub use reduce::{
-    reduce, reduce_cached, reduce_with_observations, wellness, Cluster, ReducedSuite,
+    reduce, reduce_cached, reduce_with_observations, try_reduce_cached, wellness, Cluster,
+    ReducedSuite,
 };
 pub use reduction::{reduction_factor, ReductionBreakdown};
-pub use sweep::{random_clustering_errors, sweep_k, RandomClusteringStats, SweepPoint};
+pub use sweep::{
+    random_clustering_errors, sweep_k, try_sweep_k, RandomClusteringStats, SweepPoint,
+};

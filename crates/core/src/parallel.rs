@@ -77,7 +77,9 @@ pub fn rank_targets(evals: &[TargetEvaluation]) -> Vec<(String, f64, f64)> {
         .iter()
         .map(|e| (e.target.clone(), e.geomean.1, e.geomean.0))
         .collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite speedups"));
+    // NaN-safe descending order: a degenerate (zero-time) codelet can
+    // make a geomean non-finite; it ranks last instead of panicking.
+    v.sort_by(|a, b| b.1.total_cmp(&a.1));
     v
 }
 

@@ -67,7 +67,9 @@ pub fn per_app_subsetting(
                 let out = predict_with_runs(suite, &reduced, target, truns, cache, &kcfg);
                 errors.extend(out.predictions.iter().filter_map(|p| p.error_pct));
             }
-            errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+            // NaN-safe total order: a zero-time codelet yields non-finite
+            // errors, which sort to the ends instead of panicking.
+            errors.sort_by(f64::total_cmp);
             let median = if errors.is_empty() {
                 f64::NAN
             } else {

@@ -72,7 +72,9 @@ fn percentile_errors(preds: &[CodeletPrediction], q: f64) -> f64 {
     if errs.is_empty() {
         return f64::NAN;
     }
-    errs.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    // NaN-safe total order (a zero reference time yields NaN/inf errors;
+    // they must not panic the percentile deep inside a request handler).
+    errs.sort_by(f64::total_cmp);
     let pos = q * (errs.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -203,6 +205,59 @@ pub fn predict(
     out
 }
 
+/// Deadline- and input-validating [`predict`]: checks the request
+/// budget at the stage boundary (around the `stage.predict` failpoint)
+/// and rejects non-finite reference times with a typed error before
+/// they can poison the prediction ratios.
+///
+/// `t_pred = t_ref · t_rep / t_ref_rk` divides by each representative's
+/// reference time: a zero or non-finite `t_ref_rk` (a "zero-time
+/// codelet") would turn every prediction in its cluster into NaN/inf.
+/// The infallible [`predict`] tolerates that (its sorts are NaN-safe);
+/// this variant surfaces it as [`crate::PipelineError::NonFinite`] so a
+/// service can answer 500 with the offending codelet named.
+pub fn try_predict(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+    target: &Arch,
+    cfg: &PipelineConfig,
+) -> Result<PredictionOutcome, crate::PipelineError> {
+    cfg.check_deadline("predict")?;
+    fgbs_fault::maybe_delay("stage.predict");
+    cfg.check_deadline("predict")?;
+    validate_finite(suite, reduced)?;
+    Ok(predict(suite, reduced, target, cfg))
+}
+
+/// Reject reference times that would make the §3.5 model ill-defined.
+fn validate_finite(
+    suite: &ProfiledSuite,
+    reduced: &ReducedSuite,
+) -> Result<(), crate::PipelineError> {
+    for c in &suite.codelets {
+        if !c.tref_cycles.is_finite() {
+            return Err(crate::PipelineError::NonFinite {
+                stage: "predict",
+                detail: format!("codelet `{}` has non-finite t_ref {}", c.name, c.tref_cycles),
+            });
+        }
+    }
+    for cl in &reduced.clusters {
+        let rep = &suite.codelets[cl.representative];
+        if rep.tref_cycles <= 0.0 {
+            return Err(crate::PipelineError::NonFinite {
+                stage: "predict",
+                detail: format!(
+                    "representative `{}` has zero-time reference profile (t_ref = {}); \
+                     its cluster's predictions would be NaN/inf",
+                    rep.name, rep.tref_cycles
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
 /// The uncached Step E.
 fn compute_predict(
     suite: &ProfiledSuite,
@@ -309,6 +364,66 @@ mod tests {
             fine <= coarse + 1e-9,
             "more clusters must not hurt: K=2 -> {coarse}%, K=10 -> {fine}%"
         );
+    }
+
+    #[test]
+    fn zero_time_codelet_does_not_panic_and_is_typed_in_try_predict() {
+        // Regression: a zero reference time yields NaN/inf speedups; the
+        // comparators used to `partial_cmp(..).expect(..)` and panic deep
+        // inside prediction. They must sort NaN-safely now, and the
+        // fallible path must name the offender in a typed error.
+        let (mut suite, reduced, cache, cfg) = setup(6, 3);
+        let rep = reduced.clusters[0].representative;
+        suite.codelets[rep].tref_cycles = 0.0;
+
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let runs = profile_target(&suite, &atom, &cfg);
+        // Infallible path: non-finite predictions, but no panic anywhere
+        // (predict_with_runs, percentile, ranking).
+        let out = predict_with_runs(&suite, &reduced, &atom, &runs, &cache, &cfg);
+        assert!(out
+            .predictions
+            .iter()
+            .filter_map(|p| p.predicted_seconds)
+            .any(|p| !p.is_finite()));
+        let _ = out.median_error_pct(); // NaN-safe sort must not panic
+
+        // Fallible path: typed error naming the zero-time representative.
+        let err = try_predict(&suite, &reduced, &atom, &cfg).unwrap_err();
+        match err {
+            crate::PipelineError::NonFinite { stage, detail } => {
+                assert_eq!(stage, "predict");
+                assert!(detail.contains(&suite.codelets[rep].name), "{detail}");
+            }
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_predict_before_work() {
+        let (suite, reduced, _cache, cfg) = setup(4, 2);
+        let cfg = cfg.with_deadline(fgbs_fault::Deadline::after_ms(0));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let atom = Arch::atom().scaled(fgbs_machine::PARK_SCALE);
+        let err = try_predict(&suite, &reduced, &atom, &cfg).unwrap_err();
+        assert_eq!(err, crate::PipelineError::DeadlineExceeded { stage: "predict" });
+    }
+
+    #[test]
+    fn percentile_tolerates_non_finite_errors() {
+        let mk = |e: f64| CodeletPrediction {
+            codelet: 0,
+            cluster: Some(0),
+            is_representative: false,
+            predicted_seconds: Some(1.0),
+            real_seconds: 1.0,
+            ref_seconds: 1.0,
+            error_pct: Some(e),
+        };
+        let preds = vec![mk(f64::NAN), mk(f64::INFINITY), mk(3.0), mk(1.0)];
+        // No panic; finite values still order ahead of inf/NaN.
+        let p0 = percentile_errors(&preds, 0.0);
+        assert_eq!(p0, 1.0);
     }
 
     #[test]

@@ -86,6 +86,19 @@ pub fn profile_reference(apps: &[Application], cfg: &PipelineConfig) -> Profiled
     suite
 }
 
+/// Deadline-aware [`profile_reference`]: checks the request budget at
+/// the stage boundary (before and after the `stage.profile` failpoint)
+/// and refuses to start over-budget work.
+pub fn try_profile_reference(
+    apps: &[Application],
+    cfg: &PipelineConfig,
+) -> Result<ProfiledSuite, crate::PipelineError> {
+    cfg.check_deadline("profile")?;
+    fgbs_fault::maybe_delay("stage.profile");
+    cfg.check_deadline("profile")?;
+    Ok(profile_reference(apps, cfg))
+}
+
 /// The uncached Steps A + B.
 fn compute_profile(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite {
     let mut stage_span = fgbs_trace::span("stage.profile");

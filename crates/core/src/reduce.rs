@@ -174,6 +174,20 @@ pub fn reduce_cached(
     reduced
 }
 
+/// Deadline-aware [`reduce_cached`]: checks the request budget at the
+/// stage boundary (around the `stage.reduce` failpoint) and refuses to
+/// start over-budget work.
+pub fn try_reduce_cached(
+    suite: &ProfiledSuite,
+    cfg: &PipelineConfig,
+    cache: &MicroCache,
+) -> Result<ReducedSuite, crate::PipelineError> {
+    cfg.check_deadline("reduce")?;
+    fgbs_fault::maybe_delay("stage.reduce");
+    cfg.check_deadline("reduce")?;
+    Ok(reduce_cached(suite, cfg, cache))
+}
+
 /// The uncached Steps C + D over the masked feature matrix.
 fn compute_reduce(suite: &ProfiledSuite, cfg: &PipelineConfig, cache: &MicroCache) -> ReducedSuite {
     let raw = suite.features.project(&cfg.features);

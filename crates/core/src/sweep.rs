@@ -37,11 +37,31 @@ pub fn sweep_k(
     cache: &MicroCache,
     cfg: &PipelineConfig,
 ) -> Vec<SweepPoint> {
+    let mut free = cfg.clone();
+    free.deadline = None;
+    try_sweep_k(suite, target, k_max, cache, &free)
+        .expect("sweep without a deadline is infallible")
+}
+
+/// Deadline-aware [`sweep_k`]: the budget is checked before every K (a
+/// sweep is the longest-running request the serve daemon exposes), so an
+/// expired request stops between cluster counts instead of finishing the
+/// whole curve.
+pub fn try_sweep_k(
+    suite: &ProfiledSuite,
+    target: &Arch,
+    k_max: usize,
+    cache: &MicroCache,
+    cfg: &PipelineConfig,
+) -> Result<Vec<SweepPoint>, crate::PipelineError> {
     let mut stage_span = fgbs_trace::span("stage.sweep");
     stage_span.arg_u64("k_max", k_max as u64);
+    cfg.check_deadline("sweep")?;
+    fgbs_fault::maybe_delay("stage.sweep");
     let runs: Vec<AppRun> = profile_target(suite, target, cfg);
     (1..=k_max.min(suite.len()))
         .map(|k| {
+            cfg.check_deadline("sweep")?;
             let mut k_span = fgbs_trace::span("sweep.k");
             k_span.arg_u64("k", k as u64);
             let kcfg = cfg.clone().with_k(KChoice::Fixed(k));
@@ -49,12 +69,12 @@ pub fn sweep_k(
             let out = predict_with_runs(suite, &reduced, target, &runs, cache, &kcfg);
             let red = reduction_factor(suite, &reduced, &out, target, cache, &kcfg);
             k_span.arg_u64("representatives", reduced.n_representatives() as u64);
-            SweepPoint {
+            Ok(SweepPoint {
                 k,
                 representatives: reduced.n_representatives(),
                 median_error_pct: out.median_error_pct(),
                 reduction_total: red.total,
-            }
+            })
         })
         .collect()
 }
@@ -110,7 +130,9 @@ pub fn random_clustering_errors(
             medians.push(m);
         }
     }
-    medians.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    // total_cmp: NaN medians are filtered above, but a comparator that
+    // cannot panic keeps a hostile input from killing the whole sweep.
+    medians.sort_by(f64::total_cmp);
     let pick = |q: f64| -> f64 {
         if medians.is_empty() {
             f64::NAN

@@ -136,6 +136,9 @@ fn worker_loop(queue: &Queue) {
             }
         };
         let run_started = Instant::now();
+        // Chaos failpoint: a `delay` rule simulates a slow worker (queue
+        // buildup, deadline pressure) without touching the job itself.
+        fgbs_fault::maybe_delay("exec.job");
         job();
         queue.completed.fetch_add(1, Ordering::Relaxed);
         if fgbs_trace::enabled() {

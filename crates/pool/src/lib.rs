@@ -94,6 +94,10 @@ impl WorkPool {
         map_span.arg_u64("items", n as u64);
         fgbs_trace::counter("pool.maps", 1);
         fgbs_trace::counter("pool.items", n as u64);
+        // Chaos failpoint at the fan-out boundary: a `delay` rule here
+        // stalls the whole map (e.g. to force a request deadline to
+        // expire) without perturbing the per-item work or its ordering.
+        fgbs_fault::maybe_delay("pool.map");
 
         let workers = self.threads.min(n.max(1));
         if workers <= 1 || n <= 1 {

@@ -36,13 +36,38 @@ mod metrics;
 mod service;
 
 pub use fgbs_trace::Json;
-pub use http::{parse_query, read_request, Request, Response};
+pub use http::{
+    parse_query, read_request, read_request_limited, Request, RequestError, Response,
+    DEFAULT_MAX_BODY,
+};
 pub use metrics::{Metrics, N_BUCKETS, SERIES};
 pub use service::Service;
 
-/// How long a connection worker waits for request bytes before giving
-/// up on a stalled client.
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// Tunable per-connection behaviour: socket timeouts and request-size
+/// limits. [`Server::start`] uses [`ServeOptions::default`]; tests and
+/// hardened deployments pass their own via [`Server::start_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// How long a connection worker waits for request bytes before
+    /// answering `408` to a stalled client.
+    pub read_timeout: Duration,
+    /// How long a blocked response write may stall before the worker
+    /// abandons the connection (a client that stops reading cannot
+    /// wedge a worker forever).
+    pub write_timeout: Duration,
+    /// Largest accepted request body; larger declared bodies get `413`.
+    pub max_body: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: DEFAULT_MAX_BODY,
+        }
+    }
+}
 
 /// A running server: a bound listener, an accept thread, and a worker
 /// pool draining connections. Dropping the server shuts it down and
@@ -57,8 +82,18 @@ pub struct Server {
 impl Server {
     /// Bind `addr` (e.g. `127.0.0.1:8422`; port 0 picks a free port) and
     /// serve `service` on `threads` connection workers (0 = one per
-    /// core).
+    /// core) with default timeouts and limits.
     pub fn start(addr: &str, threads: usize, service: Arc<Service>) -> io::Result<Server> {
+        Server::start_with(addr, threads, service, ServeOptions::default())
+    }
+
+    /// [`Server::start`] with explicit timeouts and request limits.
+    pub fn start_with(
+        addr: &str,
+        threads: usize,
+        service: Arc<Service>,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -72,8 +107,11 @@ impl Server {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Chaos failpoint: a `delay` rule stalls the accept
+                    // loop, simulating listener backpressure.
+                    fgbs_fault::maybe_delay("serve.accept");
                     let svc = Arc::clone(&service);
-                    exec.submit(move || handle_connection(stream, &svc));
+                    exec.submit(move || handle_connection(stream, &svc, opts));
                 }
                 // `exec` drops here: the queue drains and workers join,
                 // so in-flight responses finish before shutdown returns.
@@ -113,15 +151,47 @@ impl Drop for Server {
     }
 }
 
-/// Serve one connection: parse, handle, respond, close.
-fn handle_connection(mut stream: TcpStream, service: &Service) {
-    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-    let response = match read_request(&mut stream) {
-        Ok(request) => service.handle(&request),
-        Err(err) => Response::error(400, &format!("bad request: {err}")),
-    };
-    let _ = response.write_to(&mut stream);
+/// Serve one connection: parse, handle, respond, close. Failures that
+/// leave no way to answer the client (timeout configuration, a write
+/// that stalled past its deadline, injected socket faults) are counted
+/// and the connection dropped — the worker moves on either way.
+fn handle_connection(mut stream: TcpStream, service: &Service, opts: ServeOptions) {
+    if serve_one(&mut stream, service, &opts).is_err() {
+        fgbs_trace::stat("serve.conn_errors", 1);
+    }
     let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// The fallible body of [`handle_connection`]: configure socket
+/// deadlines, parse, dispatch, respond. Parse failures still produce a
+/// best-effort HTTP error response (400/408/413); only socket-level
+/// failures propagate as `Err`.
+fn serve_one(stream: &mut TcpStream, service: &Service, opts: &ServeOptions) -> io::Result<()> {
+    stream.set_read_timeout(Some(opts.read_timeout))?;
+    stream.set_write_timeout(Some(opts.write_timeout))?;
+    fgbs_fault::maybe_io("serve.read")?;
+    let response = match read_request_limited(stream, opts.max_body) {
+        Ok(request) => guarded_handle(service, &request),
+        Err(err) => {
+            let status = err.status();
+            if status == 408 {
+                fgbs_trace::stat("serve.timeouts", 1);
+            }
+            Response::error(status, &format!("bad request: {err}"))
+        }
+    };
+    fgbs_fault::maybe_io("serve.write")?;
+    response.write_to(stream)
+}
+
+/// Dispatch into the service with a panic firewall: a handler bug takes
+/// down one request (500 with a JSON body), never the worker thread.
+fn guarded_handle(service: &Service, request: &Request) -> Response {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.handle(request)))
+        .unwrap_or_else(|_| {
+            fgbs_trace::stat("serve.panics", 1);
+            Response::error(500, "internal error: handler panicked")
+        })
 }
 
 #[cfg(test)]
@@ -164,6 +234,65 @@ mod tests {
         let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"), "{head}");
         assert!(body.contains("no such endpoint"));
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stalled_clients_time_out_without_wedging_the_worker() {
+        let dir = std::env::temp_dir().join(format!("fgbs-serve-stall-{}", std::process::id()));
+        let service = test_service(&dir);
+        let opts = ServeOptions {
+            read_timeout: Duration::from_millis(100),
+            ..ServeOptions::default()
+        };
+        // One worker: a wedged connection would starve every later
+        // request, so the health check below doubles as the liveness
+        // assertion.
+        let server = Server::start_with("127.0.0.1:0", 1, service, opts).unwrap();
+        let addr = server.addr();
+
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /health HT").unwrap();
+
+        let t0 = std::time::Instant::now();
+        let (head, _) = get(addr, "/health");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "worker stayed wedged for {:?}",
+            t0.elapsed()
+        );
+
+        // The stalled client is told why before the connection closes.
+        let mut raw = String::new();
+        let _ = stalled.read_to_string(&mut raw);
+        assert!(raw.starts_with("HTTP/1.1 408"), "{raw}");
+
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversize_bodies_get_413_over_tcp() {
+        let dir = std::env::temp_dir().join(format!("fgbs-serve-413-{}", std::process::id()));
+        let service = test_service(&dir);
+        let opts = ServeOptions {
+            max_body: 64,
+            ..ServeOptions::default()
+        };
+        let server = Server::start_with("127.0.0.1:0", 1, service, opts).unwrap();
+
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // The declared length alone trips the limit — no body bytes sent.
+        stream
+            .write_all(b"POST /reduce HTTP/1.1\r\nContent-Length: 4096\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 413"), "{raw}");
+        assert!(raw.contains("4096 bytes exceeds the 64-byte limit"), "{raw}");
 
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);

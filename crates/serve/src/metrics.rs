@@ -98,16 +98,19 @@ impl Metrics {
         }
     }
 
-    /// Record one sample; unknown names fall into `other`.
+    /// Record one sample; unknown names fall into `other`. A sample
+    /// matching no series at all (impossible while `SERIES` contains
+    /// `other`) is dropped rather than panicking a connection worker.
     pub fn record(&self, name: &str, micros: u64) {
         let series = self
             .series
             .iter()
             .find(|(n, _)| *n == name)
             .or_else(|| self.series.iter().find(|(n, _)| *n == "other"))
-            .map(|(_, s)| s)
-            .expect("`other` series always exists");
-        series.record(micros);
+            .map(|(_, s)| s);
+        if let Some(series) = series {
+            series.record(micros);
+        }
     }
 
     /// Samples recorded under `name`.

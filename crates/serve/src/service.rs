@@ -24,9 +24,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use fgbs_core::{
-    predict, profile_reference, reduce, sweep_k, KChoice, MicroCache, PipelineConfig,
-    ProfiledSuite,
+    profile_reference, try_predict, try_reduce_cached, try_sweep_k, KChoice, MicroCache,
+    PipelineConfig, PipelineError, ProfiledSuite,
 };
+use fgbs_fault::Deadline;
 use fgbs_machine::{Arch, PARK_SCALE};
 use fgbs_store::{ArtifactKind, SingleFlight, StableHasher, Store};
 use fgbs_suites::{nas_suite, nr_suite, Class};
@@ -98,6 +99,44 @@ fn resolve_k(req: &Request) -> Result<(KChoice, String), Response> {
                 &format!("k must be `elbow` or a positive integer, got `{n}`"),
             )),
         },
+    }
+}
+
+/// Resolve the optional `deadline_ms` parameter into a wall-clock
+/// deadline starting *now*. The deadline does not participate in the
+/// response key — it bounds latency, never the payload — so store hits
+/// still replay instantly for deadline-carrying requests.
+fn resolve_deadline(req: &Request) -> Result<Option<Deadline>, Response> {
+    match req.param("deadline_ms") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<u64>()
+            .map(|ms| Some(Deadline::after_ms(ms)))
+            .map_err(|_| {
+                Response::error(400, &format!("deadline_ms must be an integer, got `{raw}`"))
+            }),
+    }
+}
+
+/// Render a pipeline failure as an HTTP response: an expired deadline is
+/// the service saying "not in time" (`503` with the losing stage in a
+/// structured body), while non-finite inputs are a data bug (`500`).
+fn pipeline_error(err: PipelineError) -> Response {
+    match &err {
+        PipelineError::DeadlineExceeded { stage } => {
+            fgbs_trace::stat("serve.deadline_expired", 1);
+            Response {
+                status: 503,
+                source: None,
+                body: Json::obj(vec![
+                    ("error", Json::str("deadline exceeded")),
+                    ("stage", Json::str(*stage)),
+                ])
+                .render()
+                .into_bytes(),
+            }
+        }
+        PipelineError::NonFinite { .. } => Response::error(500, &err.to_string()),
     }
 }
 
@@ -222,9 +261,27 @@ impl Service {
 
     /// Store-first, single-flighted response production (step 3–4 of the
     /// request lifecycle in the module docs).
-    fn respond_cached(&self, key: &str, compute: impl FnOnce() -> Response) -> Response {
+    ///
+    /// Deadline-carrying requests take a private computation instead of
+    /// joining a flight: coalescing would hand one caller's `503` (or a
+    /// slow leader's late success) to followers with different time
+    /// budgets. They still replay store hits and persist successes, so
+    /// only the unlucky first caller per key pays.
+    fn respond_cached(
+        &self,
+        key: &str,
+        deadline: Option<Deadline>,
+        compute: impl FnOnce() -> Response,
+    ) -> Response {
         if let Ok(Some(bytes)) = self.store.get(ArtifactKind::Response, key) {
             return Response::json_bytes(bytes).with_source("store");
+        }
+        if deadline.is_some() {
+            let r = compute();
+            if r.status == 200 {
+                let _ = self.store.put(ArtifactKind::Response, key, &r.body);
+            }
+            return r.with_source("computed");
         }
         let (resp, led) = self.flight.run(key, || {
             let r = compute();
@@ -272,22 +329,35 @@ impl Service {
             Ok(v) => v,
             Err(r) => return r,
         };
+        let deadline = match resolve_deadline(req) {
+            Ok(d) => d,
+            Err(r) => return r,
+        };
         let key = self.response_key(
             "predict",
             &[spec.kind, spec.class_name, &target.name, &k_label],
         );
-        self.respond_cached(&key, || {
+        self.respond_cached(&key, deadline, || {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled(spec);
-            let cfg = self.cfg.clone().with_k(k);
+            let mut cfg = self.cfg.clone().with_k(k);
+            if let Some(d) = deadline {
+                cfg = cfg.with_deadline(d);
+            }
 
             let t0 = Instant::now();
-            let reduced = reduce(&suite, &cfg);
+            let reduced = match try_reduce_cached(&suite, &cfg, &MicroCache::new()) {
+                Ok(r) => r,
+                Err(e) => return pipeline_error(e),
+            };
             self.metrics
                 .record("stage.reduce", t0.elapsed().as_micros() as u64);
 
             let t0 = Instant::now();
-            let out = predict(&suite, &reduced, &target, &cfg);
+            let out = match try_predict(&suite, &reduced, &target, &cfg) {
+                Ok(o) => o,
+                Err(e) => return pipeline_error(e),
+            };
             self.metrics
                 .record("stage.predict", t0.elapsed().as_micros() as u64);
 
@@ -357,6 +427,10 @@ impl Service {
         if kmax < kmin {
             return Response::error(400, &format!("kmax ({kmax}) must be >= kmin ({kmin})"));
         }
+        let deadline = match resolve_deadline(req) {
+            Ok(d) => d,
+            Err(r) => return r,
+        };
         let key = self.response_key(
             "sweep",
             &[
@@ -367,11 +441,18 @@ impl Service {
                 &kmax.to_string(),
             ],
         );
-        self.respond_cached(&key, || {
+        self.respond_cached(&key, deadline, || {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled(spec);
             let cache = MicroCache::new();
-            let points = sweep_k(&suite, &target, kmax, &cache, &self.cfg);
+            let mut cfg = self.cfg.clone();
+            if let Some(d) = deadline {
+                cfg = cfg.with_deadline(d);
+            }
+            let points = match try_sweep_k(&suite, &target, kmax, &cache, &cfg) {
+                Ok(p) => p,
+                Err(e) => return pipeline_error(e),
+            };
             let points: Vec<Json> = points
                 .iter()
                 .filter(|p| p.k >= kmin)
@@ -404,13 +485,23 @@ impl Service {
             Ok(v) => v,
             Err(r) => return r,
         };
+        let deadline = match resolve_deadline(req) {
+            Ok(d) => d,
+            Err(r) => return r,
+        };
         let key = self.response_key("reduce", &[spec.kind, spec.class_name, &k_label]);
-        self.respond_cached(&key, || {
+        self.respond_cached(&key, deadline, || {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled(spec);
-            let cfg = self.cfg.clone().with_k(k);
+            let mut cfg = self.cfg.clone().with_k(k);
+            if let Some(d) = deadline {
+                cfg = cfg.with_deadline(d);
+            }
             let t0 = Instant::now();
-            let reduced = reduce(&suite, &cfg);
+            let reduced = match try_reduce_cached(&suite, &cfg, &MicroCache::new()) {
+                Ok(r) => r,
+                Err(e) => return pipeline_error(e),
+            };
             self.metrics
                 .record("stage.reduce", t0.elapsed().as_micros() as u64);
             let clusters: Vec<Json> = reduced
@@ -523,6 +614,8 @@ impl Service {
                     ("misses", Json::U64(sc.misses)),
                     ("puts", Json::U64(sc.puts)),
                     ("evictions", Json::U64(sc.evictions)),
+                    ("retries", Json::U64(sc.retries)),
+                    ("quarantines", Json::U64(sc.quarantines)),
                     ("artifacts", Json::U64(self.store.list().len() as u64)),
                 ]),
             ),

@@ -214,14 +214,20 @@ impl<'a> ByteReader<'a> {
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CodecError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        let b: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| CodecError::new("internal: take(4) length mismatch"))?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        let b: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| CodecError::new("internal: take(8) length mismatch"))?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Read a `usize` (stored as `u64`).

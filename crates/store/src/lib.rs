@@ -46,7 +46,7 @@ pub use hash::{fnv64, hash_fields, StableHasher};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -135,6 +135,10 @@ pub struct StoreCounters {
     pub puts: u64,
     /// Artifacts removed by `gc` or `remove`.
     pub evictions: u64,
+    /// Transient-I/O operations retried (see [`fgbs_fault::RetryPolicy`]).
+    pub retries: u64,
+    /// Corrupt artifacts moved aside for recomputation (self-healing).
+    pub quarantines: u64,
 }
 
 /// Report of one garbage-collection pass.
@@ -157,10 +161,13 @@ pub struct GcReport {
 pub struct Store {
     root: PathBuf,
     manifest: Mutex<HashMap<(ArtifactKind, String), ArtifactMeta>>,
+    retry: fgbs_fault::RetryPolicy,
     hits: AtomicU64,
     misses: AtomicU64,
     puts: AtomicU64,
     evictions: AtomicU64,
+    retries: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 impl fmt::Debug for Store {
@@ -186,14 +193,22 @@ impl Store {
         let store = Store {
             root,
             manifest: Mutex::new(HashMap::new()),
+            retry: fgbs_fault::RetryPolicy::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             puts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         };
         let path = store.manifest_path();
         if path.exists() {
-            let text = fs::read_to_string(&path)?;
+            let mut raw = store.with_retry("store.manifest.read", || {
+                fgbs_fault::maybe_io("store.manifest.read")?;
+                fs::read(&path)
+            })?;
+            fgbs_fault::corrupt("store.manifest.bytes", &mut raw);
+            let text = String::from_utf8_lossy(&raw);
             let entries = parse_manifest(&text)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             *store.manifest.lock() =
@@ -202,6 +217,51 @@ impl Store {
             store.write_manifest(&store.manifest.lock())?;
         }
         Ok(store)
+    }
+
+    /// [`Store::open`], plus self-healing of a corrupt index: when the
+    /// MANIFEST fails its integrity checks, it is quarantined (moved to
+    /// `quarantine/`) and the index is rebuilt from the object files on
+    /// disk — the durable analogue of Step D's ill-behaved-codelet retry.
+    /// Other I/O errors (permissions, unreadable root, …) still fail.
+    pub fn open_healing(root: impl Into<PathBuf>) -> io::Result<Store> {
+        let root = root.into();
+        match Store::open(&root) {
+            Ok(store) => Ok(store),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let qdir = root.join("quarantine");
+                fs::create_dir_all(&qdir)?;
+                fs::rename(root.join("MANIFEST"), qdir.join("MANIFEST.corrupt"))?;
+                let store = Store::open(&root)?;
+                store.rebuild_manifest()?;
+                store.quarantines.fetch_add(1, Ordering::Relaxed);
+                fgbs_trace::counter("store.quarantines", 1);
+                fgbs_trace::stat("store.quarantine.manifest", 1);
+                Ok(store)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Run `op`, retrying transient failures per the store's
+    /// [`fgbs_fault::RetryPolicy`] with exponential backoff + jitter.
+    fn with_retry<T>(&self, site: &str, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if fgbs_fault::is_transient(&e) && attempt + 1 < self.retry.attempts => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    fgbs_fault::note_retry(site);
+                    let pause = self.retry.backoff(attempt, fnv64(site.as_bytes()));
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// The store's root directory.
@@ -218,11 +278,20 @@ impl Store {
     }
 
     /// Store `payload` under `(kind, key)`, replacing any previous
-    /// version atomically (write `.tmp`, fsync, rename).
+    /// version atomically (write `.tmp`, fsync, rename, fsync the
+    /// directory so the rename itself is durable).
+    ///
+    /// The write is verified by reading the `.tmp` frame back before
+    /// publishing; a short or mangled write is retried like any other
+    /// transient I/O failure instead of publishing a corrupt artifact.
     pub fn put(&self, kind: ArtifactKind, key: &str, payload: &[u8]) -> io::Result<()> {
         let publish_started = std::time::Instant::now();
         let path = self.object_path(kind, key);
-        fs::create_dir_all(path.parent().expect("object path has a parent"))?;
+        let parent = path
+            .parent()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "object path has no parent"))?
+            .to_path_buf();
+        fs::create_dir_all(&parent)?;
 
         let mut w = ByteWriter::new();
         w.put_u32(u32::from_le_bytes(*MAGIC));
@@ -234,12 +303,27 @@ impl Store {
         let framed = w.into_bytes();
 
         let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&framed)?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &path)?;
+        self.with_retry("store.write", || {
+            fgbs_fault::maybe_io("store.write")?;
+            let keep = fgbs_fault::short_len("store.write.short", framed.len());
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(&framed[..keep])?;
+                f.sync_all()?;
+            }
+            // Read-back verification: never publish a frame that does not
+            // round-trip. Failures are reported as transient so the retry
+            // loop rewrites rather than surfacing a corrupt artifact.
+            let written = fs::read(&tmp)?;
+            if unframe(&written, kind, key).is_err() {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("{kind}/{key}: write verification failed (short or mangled write)"),
+                ));
+            }
+            fs::rename(&tmp, &path)?;
+            sync_dir(&parent)
+        })?;
 
         let meta = ArtifactMeta {
             kind,
@@ -259,17 +343,21 @@ impl Store {
 
     /// Fetch the payload stored under `(kind, key)`.
     ///
-    /// `Ok(None)` means "not stored" (a miss the caller should compute);
-    /// `Err(InvalidData)` means the artifact exists but fails its
-    /// integrity checks — wrong magic, version, identity, or checksum.
+    /// `Ok(None)` means "not stored": either a plain miss, or a stored
+    /// artifact that failed its integrity checks — wrong magic, version,
+    /// identity, or checksum — and was *quarantined* (moved to
+    /// `quarantine/`, dropped from the index) so the caller recomputes
+    /// and republishes it. Transient read errors are retried with
+    /// backoff before surfacing.
     pub fn get(&self, kind: ArtifactKind, key: &str) -> io::Result<Option<Vec<u8>>> {
         let lookup_started = std::time::Instant::now();
         let path = self.object_path(kind, key);
-        let mut framed = Vec::new();
-        match fs::File::open(&path) {
-            Ok(mut f) => {
-                f.read_to_end(&mut framed)?;
-            }
+        let read = self.with_retry("store.read", || {
+            fgbs_fault::maybe_io("store.read")?;
+            fs::read(&path)
+        });
+        let mut framed = match read {
+            Ok(bytes) => bytes,
             Err(e) if e.kind() == io::ErrorKind::NotFound => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 fgbs_trace::counter("store.misses", 1);
@@ -277,24 +365,48 @@ impl Store {
                 return Ok(None);
             }
             Err(e) => return Err(e),
-        }
+        };
+        fgbs_fault::corrupt("store.read.bytes", &mut framed);
         let result = match unframe(&framed, kind, key) {
             Ok(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 fgbs_trace::counter("store.hits", 1);
                 Ok(Some(payload))
             }
-            Err(msg) => {
+            Err(_) => {
+                // Self-healing: a corrupt artifact is moved aside and
+                // reported as a miss so upstream stages recompute it and
+                // atomically republish under the same key.
+                self.quarantine_object(kind, key, &path)?;
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 fgbs_trace::counter("store.misses", 1);
-                Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{kind}/{key}: {msg}"),
-                ))
+                fgbs_trace::stat("store.corrupt_reads", 1);
+                Ok(None)
             }
         };
         fgbs_trace::stat("store.get_us", lookup_started.elapsed().as_micros() as u64);
         result
+    }
+
+    /// Move a corrupt object out of `objects/` into `quarantine/` and
+    /// drop it from the index, so subsequent lookups miss cleanly.
+    fn quarantine_object(&self, kind: ArtifactKind, key: &str, path: &Path) -> io::Result<()> {
+        let qdir = self.root.join("quarantine");
+        fs::create_dir_all(&qdir)?;
+        let qpath = qdir.join(format!("{}-{key}.bin", kind.as_str()));
+        match fs::rename(path, &qpath) {
+            Ok(()) => {}
+            // A concurrent get may have quarantined it first.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut m = self.manifest.lock();
+        if m.remove(&(kind, key.to_string())).is_some() {
+            self.write_manifest(&m)?;
+        }
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        fgbs_trace::counter("store.quarantines", 1);
+        Ok(())
     }
 
     /// True when `(kind, key)` is stored (no counter side effects).
@@ -442,6 +554,8 @@ impl Store {
             misses: self.misses.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 
@@ -464,13 +578,25 @@ impl Store {
 
         let path = self.manifest_path();
         let tmp = path.with_extension("tmp");
-        {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(body.as_bytes())?;
-            f.sync_all()?;
-        }
-        fs::rename(&tmp, &path)
+        self.with_retry("store.manifest.write", || {
+            fgbs_fault::maybe_io("store.manifest.write")?;
+            {
+                let mut f = fs::File::create(&tmp)?;
+                f.write_all(body.as_bytes())?;
+                f.sync_all()?;
+            }
+            fs::rename(&tmp, &path)?;
+            sync_dir(&self.root)
+        })
     }
+}
+
+/// Fsync a directory so a just-renamed entry inside it survives a crash.
+/// The file's own `sync_all` makes the *content* durable; only a sync of
+/// the parent directory makes the *name* durable.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    fgbs_fault::maybe_io("store.dir_sync")?;
+    fs::File::open(dir)?.sync_all()
 }
 
 /// Validate an object file frame and extract its payload.
@@ -557,6 +683,15 @@ fn unix_now() -> u64 {
 mod tests {
     use super::*;
 
+    /// The failpoint registry is process-global; tests that install a
+    /// plan serialize on this lock so parallel store tests (which expect
+    /// no faults) never observe one.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fault_guard() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn tmp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "fgbs-store-test-{tag}-{}-{:?}",
@@ -569,6 +704,7 @@ mod tests {
 
     #[test]
     fn put_get_round_trip_and_counters() {
+        let _g = fault_guard();
         let root = tmp_root("roundtrip");
         let s = Store::open(&root).unwrap();
         assert_eq!(s.get(ArtifactKind::Profile, "k1").unwrap(), None);
@@ -586,6 +722,7 @@ mod tests {
 
     #[test]
     fn persists_across_reopen() {
+        let _g = fault_guard();
         let root = tmp_root("reopen");
         {
             let s = Store::open(&root).unwrap();
@@ -599,7 +736,8 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_object_is_detected_not_decoded() {
+    fn corrupted_object_is_detected_and_quarantined_not_decoded() {
+        let _g = fault_guard();
         let root = tmp_root("corrupt-obj");
         let s = Store::open(&root).unwrap();
         s.put(ArtifactKind::Reduce, "r", b"payload-bytes").unwrap();
@@ -609,14 +747,26 @@ mod tests {
         let mid = bytes.len() - 3;
         bytes[mid] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
-        let err = s.get(ArtifactKind::Reduce, "r").unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
-        assert!(!s.verify().is_empty());
+        assert!(!s.verify().is_empty(), "verify sees the corruption");
+        // Self-healing: the corrupt frame is never decoded — it is moved
+        // to quarantine/ and reported as a miss so the caller recomputes.
+        assert_eq!(s.get(ArtifactKind::Reduce, "r").unwrap(), None);
+        assert_eq!(s.counters().quarantines, 1);
+        assert!(root.join("quarantine/reduce-r.bin").exists());
+        assert!(!path.exists());
+        assert!(s.verify().is_empty(), "index no longer names the victim");
+        // Republishing under the same key completes the heal.
+        s.put(ArtifactKind::Reduce, "r", b"payload-bytes").unwrap();
+        assert_eq!(
+            s.get(ArtifactKind::Reduce, "r").unwrap(),
+            Some(b"payload-bytes".to_vec())
+        );
         fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
     fn corrupted_manifest_fails_open_and_rebuilds() {
+        let _g = fault_guard();
         let root = tmp_root("corrupt-manifest");
         {
             let s = Store::open(&root).unwrap();
@@ -639,6 +789,7 @@ mod tests {
 
     #[test]
     fn interrupted_write_leaves_old_artifact_intact() {
+        let _g = fault_guard();
         let root = tmp_root("crash");
         let s = Store::open(&root).unwrap();
         s.put(ArtifactKind::Profile, "suite", b"version-1").unwrap();
@@ -664,6 +815,7 @@ mod tests {
 
     #[test]
     fn replacement_is_atomic_and_versioned_by_key() {
+        let _g = fault_guard();
         let root = tmp_root("replace");
         let s = Store::open(&root).unwrap();
         s.put(ArtifactKind::Response, "q", b"old").unwrap();
@@ -675,6 +827,7 @@ mod tests {
 
     #[test]
     fn gc_keeps_newest_per_kind() {
+        let _g = fault_guard();
         let root = tmp_root("gc");
         let s = Store::open(&root).unwrap();
         for i in 0..5 {
@@ -702,22 +855,110 @@ mod tests {
 
     #[test]
     fn wrong_identity_is_rejected() {
+        let _g = fault_guard();
         let root = tmp_root("identity");
         let s = Store::open(&root).unwrap();
         s.put(ArtifactKind::Profile, "a", b"data").unwrap();
-        // Copy the object under a different key: identity check must trip.
+        // Copy the object under a different key: identity check must trip
+        // and the impostor is quarantined, never decoded.
         fs::copy(
             root.join("objects/profile/a.bin"),
             root.join("objects/profile/b.bin"),
         )
         .unwrap();
-        let err = s.get(ArtifactKind::Profile, "b").unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(s.get(ArtifactKind::Profile, "b").unwrap(), None);
+        assert_eq!(s.counters().quarantines, 1);
+        assert!(!root.join("objects/profile/b.bin").exists());
+        // The original is untouched.
+        assert_eq!(s.get(ArtifactKind::Profile, "a").unwrap(), Some(b"data".to_vec()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn healing_open_quarantines_a_corrupt_manifest() {
+        let _g = fault_guard();
+        let root = tmp_root("heal-manifest");
+        {
+            let s = Store::open(&root).unwrap();
+            s.put(ArtifactKind::Fitness, "f", b"snapshot").unwrap();
+        }
+        let mpath = root.join("MANIFEST");
+        let text = fs::read_to_string(&mpath).unwrap().replace("fitness", "fitnesz");
+        fs::write(&mpath, &text).unwrap();
+        // Strict open still refuses (index corruption must not
+        // masquerade as an empty store) …
+        assert_eq!(Store::open(&root).unwrap_err().kind(), io::ErrorKind::InvalidData);
+        // … while the healing open moves it aside and rebuilds.
+        let s = Store::open_healing(&root).unwrap();
+        assert_eq!(s.counters().quarantines, 1);
+        assert!(root.join("quarantine/MANIFEST.corrupt").exists());
+        assert_eq!(s.get(ArtifactKind::Fitness, "f").unwrap(), Some(b"snapshot".to_vec()));
+        assert!(s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn transient_read_errors_are_retried() {
+        let _g = fault_guard();
+        let root = tmp_root("retry-read");
+        let s = Store::open(&root).unwrap();
+        s.put(ArtifactKind::Profile, "k", b"payload").unwrap();
+        // Fail the first two read attempts; the bounded retry loop
+        // (4 attempts by default) recovers without surfacing an error.
+        fgbs_fault::install(fgbs_fault::FaultPlan::new(11).with_rule(
+            "store.read",
+            fgbs_fault::FaultAction::Err,
+            1.0,
+            2,
+        ));
+        assert_eq!(s.get(ArtifactKind::Profile, "k").unwrap(), Some(b"payload".to_vec()));
+        assert_eq!(s.counters().retries, 2);
+        fgbs_fault::clear();
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn short_writes_are_caught_by_readback_and_retried() {
+        let _g = fault_guard();
+        let root = tmp_root("short-write");
+        let s = Store::open(&root).unwrap();
+        // One short write: the read-back verification rejects the
+        // truncated frame and the retry republishes it whole.
+        fgbs_fault::install(fgbs_fault::FaultPlan::new(5).with_rule(
+            "store.write.short",
+            fgbs_fault::FaultAction::Short(6),
+            1.0,
+            1,
+        ));
+        s.put(ArtifactKind::Reduce, "r", b"full-payload").unwrap();
+        fgbs_fault::clear();
+        assert_eq!(s.get(ArtifactKind::Reduce, "r").unwrap(), Some(b"full-payload".to_vec()));
+        assert!(s.counters().retries >= 1);
+        assert!(s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn dir_sync_failures_propagate_from_put() {
+        let _g = fault_guard();
+        let root = tmp_root("dirsync");
+        let s = Store::open(&root).unwrap();
+        // Exhaust the retry budget on the directory sync: the put must
+        // surface the failure, not silently claim durability.
+        fgbs_fault::install(fgbs_fault::FaultPlan::new(2).with_rule(
+            "store.dir_sync",
+            fgbs_fault::FaultAction::Err,
+            1.0,
+            u64::MAX,
+        ));
+        assert!(s.put(ArtifactKind::Profile, "d", b"x").is_err());
+        fgbs_fault::clear();
         fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
     fn concurrent_puts_and_gets_are_safe() {
+        let _g = fault_guard();
         let root = tmp_root("concurrent");
         let s = Store::open(&root).unwrap();
         std::thread::scope(|scope| {

@@ -136,6 +136,8 @@ pub const DECLARED_COUNTERS: &[&str] = &[
     "cluster.merges",
     "cluster.pairs",
     "exec.jobs",
+    "fault.injected",
+    "fault.retries",
     "ga.cache_hits",
     "ga.cache_misses",
     "ga.evaluations",
@@ -147,6 +149,7 @@ pub const DECLARED_COUNTERS: &[&str] = &[
     "store.hits",
     "store.misses",
     "store.puts",
+    "store.quarantines",
 ];
 
 /// A span or counter argument value.

@@ -58,6 +58,8 @@ struct Cli {
     seed: u64,
     trace: Option<String>,
     trace_file: String,
+    fault_spec: Option<String>,
+    fault_seed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +87,8 @@ const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve
 [--suite nr|nas] [--class test|a|b] [--k N|elbow] [--threads N] \
 [--target atom|core2|sb] [--codelet NAME] [--paper-features] \
 [--results-dir DIR] [--store] [--addr HOST:PORT] [--keep N] \
-[--generations N] [--population N] [--seed N] [--trace FILE]";
+[--generations N] [--population N] [--seed N] [--trace FILE] \
+[--fault-spec SPEC] [--fault-seed N]";
 
 const HELP: &str = "fgbs — fine-grained benchmark subsetting for system selection
 
@@ -118,7 +121,12 @@ options:
   --generations N      features: GA generations (default 12)
   --population N       features: GA population (default 40)
   --seed N             features: GA seed (default 7)
-  --trace FILE         record a Chrome trace (chrome://tracing) of the run";
+  --trace FILE         record a Chrome trace (chrome://tracing) of the run
+  --fault-spec SPEC    arm deterministic failpoints for chaos testing, e.g.
+                       'store.read=err:0.2#3,stage.reduce=delay:50'
+                       (actions: err|delay[:ms]|short[:keep]|corrupt)
+  --fault-seed N       seed for failpoint decisions: same spec + seed + run
+                       order reproduces the exact same injected faults";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -139,6 +147,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         seed: 7,
         trace: None,
         trace_file: String::new(),
+        fault_spec: None,
+        fault_seed: 0,
     };
     let mut it = args.iter();
     match it.next().map(String::as_str) {
@@ -243,6 +253,17 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--generations" => cli.generations = parse_num(&mut it, "--generations")?,
             "--population" => cli.population = parse_num(&mut it, "--population")?,
             "--seed" => cli.seed = parse_num(&mut it, "--seed")?,
+            "--fault-spec" => {
+                cli.fault_spec = Some(
+                    it.next()
+                        .ok_or_else(|| {
+                            "--fault-spec expects site=action[:prob[:param]][#maxfires],…"
+                                .to_string()
+                        })?
+                        .clone(),
+                )
+            }
+            "--fault-seed" => cli.fault_seed = parse_num(&mut it, "--fault-seed")?,
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
     }
@@ -273,9 +294,11 @@ fn target_by_name(name: &str) -> Result<Arch, String> {
 }
 
 /// The artifact store under the results dir (`<results-dir>/store`).
+/// Opened in self-healing mode: a corrupt MANIFEST is quarantined and
+/// rebuilt from the surviving objects instead of refusing to start.
 fn open_store(cli: &Cli) -> Result<Arc<Store>, String> {
     let root = PathBuf::from(&cli.results_dir).join("store");
-    Store::open(&root)
+    Store::open_healing(&root)
         .map(Arc::new)
         .map_err(|e| format!("cannot open store at {}: {e}", root.display()))
 }
@@ -616,6 +639,20 @@ fn main() {
     if cli.trace.is_some() || cli.command == Command::Features {
         fgbs::trace::set_enabled(true);
     }
+    // Arm the failpoint registry before any pipeline or store work runs;
+    // with no --fault-spec the probes stay a single relaxed atomic load.
+    if let Some(spec) = &cli.fault_spec {
+        match fgbs::fault::FaultPlan::parse(spec, cli.fault_seed) {
+            Ok(plan) => {
+                fgbs::fault::install(plan);
+                eprintln!("faults armed: {spec} (seed {})", cli.fault_seed);
+            }
+            Err(e) => {
+                eprintln!("bad --fault-spec: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     let outcome = match cli.command {
         Command::Info => {
             cmd_info();
@@ -642,6 +679,13 @@ fn main() {
         Some(path) => write_trace(path),
         None => Ok(()),
     });
+    if fgbs::fault::armed() {
+        eprintln!(
+            "faults: {} injected, {} retried",
+            fgbs::fault::injected(),
+            fgbs::fault::retries()
+        );
+    }
     if let Err(e) = outcome {
         eprintln!("{e}");
         // Usage errors (bad --target and friends) exit 2, runtime
@@ -716,6 +760,13 @@ mod tests {
         let c = parse(&argv("reduce --trace out.json")).unwrap();
         assert_eq!(c.trace.as_deref(), Some("out.json"));
 
+        let c = parse(&argv("reduce --fault-spec store.read=err:0.5#2 --fault-seed 42")).unwrap();
+        assert_eq!(c.fault_spec.as_deref(), Some("store.read=err:0.5#2"));
+        assert_eq!(c.fault_seed, 42);
+        let c = parse(&argv("reduce")).unwrap();
+        assert_eq!(c.fault_spec, None);
+        assert_eq!(c.fault_seed, 0, "deterministic default seed");
+
         let c = parse(&argv("trace summary results/run.json")).unwrap();
         assert_eq!(c.command, Command::TraceSummary);
         assert_eq!(c.trace_file, "results/run.json");
@@ -744,6 +795,8 @@ mod tests {
         assert!(parse(&argv("trace")).is_err(), "trace needs a subcommand");
         assert!(parse(&argv("trace summary")).is_err(), "summary needs a file");
         assert!(parse(&argv("trace dump x.json")).is_err());
+        assert!(parse(&argv("reduce --fault-spec")).is_err());
+        assert!(parse(&argv("reduce --fault-seed nope")).is_err());
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! | [`store`] | `fgbs-store` | content-addressed, versioned on-disk artifact store |
 //! | [`serve`] | `fgbs-serve` | concurrent HTTP system-selection service |
 //! | [`trace`] | `fgbs-trace` | cross-crate spans, counters, Chrome-trace export |
+//! | [`fault`] | `fgbs-fault` | deterministic failpoints, retry/backoff, deadlines |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use fgbs_analysis as analysis;
 pub use fgbs_clustering as clustering;
 pub use fgbs_core as core;
 pub use fgbs_extract as extract;
+pub use fgbs_fault as fault;
 pub use fgbs_genetic as genetic;
 pub use fgbs_isa as isa;
 pub use fgbs_machine as machine;
