@@ -1,0 +1,363 @@
+//! The noise-aware record comparison engine behind `fgbs bench cmp`.
+//!
+//! Two records are aligned by benchmark id; each pair gets a
+//! ratio-of-medians verdict against a per-benchmark threshold derived
+//! from the *recorded* noise floors (the scaled-MAD `noise_pct` of both
+//! runs' samples):
+//!
+//! ```text
+//! threshold% = max(min_change%, noise_mult × max(noise_old, noise_new))
+//! ```
+//!
+//! Machine-speed drift is cancelled to first order by normalizing every
+//! ratio with the calibration benchmark's ratio (a fixed splitmix spin
+//! both records carry) — so a committed baseline from one host still
+//! gates a CI runner of a different speed. Cross-machine comparisons
+//! are flagged in the report either way.
+//!
+//! Benchmarks present on only one side are *reported*, never silently
+//! skipped; `strict` turns them into a failure.
+
+use super::record::Record;
+
+/// Tunables for [`compare`].
+#[derive(Debug, Clone)]
+pub struct CmpOptions {
+    /// Smallest change (percent) ever considered a regression, however
+    /// quiet the samples were.
+    pub min_change_pct: f64,
+    /// Multiplier on the recorded noise floor.
+    pub noise_mult: f64,
+    /// Fail on missing/added benchmarks too, not just regressions.
+    pub strict: bool,
+}
+
+impl Default for CmpOptions {
+    fn default() -> CmpOptions {
+        CmpOptions {
+            min_change_pct: 10.0,
+            noise_mult: 4.0,
+            strict: false,
+        }
+    }
+}
+
+/// Per-benchmark comparison verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the noise-aware threshold.
+    Unchanged,
+    /// Faster beyond the threshold.
+    Faster,
+    /// Slower beyond the threshold.
+    Regressed,
+}
+
+/// The per-benchmark threshold, percent.
+pub fn threshold_pct(noise_old_pct: f64, noise_new_pct: f64, opts: &CmpOptions) -> f64 {
+    (opts.noise_mult * noise_old_pct.max(noise_new_pct)).max(opts.min_change_pct)
+}
+
+/// The pure decision function: classify a (normalized) new/old median
+/// ratio against a threshold. Monotone in the ratio for any fixed
+/// threshold — a larger ratio can never downgrade `Regressed`.
+pub fn decide(norm_ratio: f64, threshold_pct: f64) -> Verdict {
+    if !norm_ratio.is_finite() {
+        return Verdict::Regressed;
+    }
+    let bound = 1.0 + threshold_pct.max(0.0) / 100.0;
+    if norm_ratio > bound {
+        Verdict::Regressed
+    } else if norm_ratio < 1.0 / bound {
+        Verdict::Faster
+    } else {
+        Verdict::Unchanged
+    }
+}
+
+/// One aligned benchmark pair.
+#[derive(Debug, Clone)]
+pub struct CmpRow {
+    /// Benchmark id.
+    pub id: String,
+    /// Old median, per-op ns.
+    pub old_ns: f64,
+    /// New median, per-op ns.
+    pub new_ns: f64,
+    /// Raw `new / old` ratio of medians.
+    pub ratio: f64,
+    /// Ratio after calibration normalization (== `ratio` when no
+    /// calibration benchmark is shared).
+    pub norm_ratio: f64,
+    /// The threshold this row was judged against, percent.
+    pub threshold_pct: f64,
+    /// The verdict on `norm_ratio`.
+    pub verdict: Verdict,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct CmpReport {
+    /// Aligned pairs, in old-record order.
+    pub rows: Vec<CmpRow>,
+    /// Ids present only in the old record.
+    pub missing: Vec<String>,
+    /// Ids present only in the new record.
+    pub added: Vec<String>,
+    /// The shared calibration benchmark's new/old ratio, when present.
+    pub calibration_ratio: Option<f64>,
+    /// The records' environment fingerprints differ.
+    pub cross_machine: bool,
+}
+
+impl CmpReport {
+    /// Rows judged `Regressed`.
+    pub fn regressions(&self) -> Vec<&CmpRow> {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Regressed).collect()
+    }
+
+    /// No regressions (and, under `strict`, nothing unmatched).
+    pub fn failure(&self, opts: &CmpOptions) -> Option<String> {
+        let regressed = self.regressions();
+        if !regressed.is_empty() {
+            let ids: Vec<&str> = regressed.iter().map(|r| r.id.as_str()).collect();
+            return Some(format!(
+                "{} benchmark(s) regressed beyond the noise floor: {}",
+                ids.len(),
+                ids.join(", ")
+            ));
+        }
+        if opts.strict && (!self.missing.is_empty() || !self.added.is_empty()) {
+            return Some(format!(
+                "record contents diverged (strict): {} missing, {} added",
+                self.missing.len(),
+                self.added.len()
+            ));
+        }
+        None
+    }
+
+    /// Render the human-readable comparison table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        if self.cross_machine {
+            let _ = writeln!(
+                s,
+                "note: records come from different machines; ratios are normalized \
+                 by the calibration benchmark ({})",
+                match self.calibration_ratio {
+                    Some(c) => format!("machine-speed ratio {c:.3}"),
+                    None => "MISSING — raw ratios only".to_string(),
+                }
+            );
+        } else if let Some(c) = self.calibration_ratio {
+            let _ = writeln!(s, "calibration ratio {c:.3} (same machine)");
+        }
+        let id_w = self
+            .rows
+            .iter()
+            .map(|r| r.id.len())
+            .max()
+            .unwrap_or(9)
+            .max(9);
+        let _ = writeln!(
+            s,
+            "{:<id_w$}  {:>12} {:>12} {:>7} {:>7} {:>7}  verdict",
+            "benchmark", "old", "new", "ratio", "adj", "thresh"
+        );
+        for r in &self.rows {
+            let verdict = match r.verdict {
+                Verdict::Unchanged => "ok",
+                Verdict::Faster => "faster",
+                Verdict::Regressed => "REGRESSED",
+            };
+            let _ = writeln!(
+                s,
+                "{:<id_w$}  {:>12} {:>12} {:>7.3} {:>7.3} {:>6.1}%  {verdict}",
+                r.id,
+                super::fmt_ns(r.old_ns),
+                super::fmt_ns(r.new_ns),
+                r.ratio,
+                r.norm_ratio,
+                r.threshold_pct,
+            );
+        }
+        for id in &self.missing {
+            let _ = writeln!(s, "missing from new record: {id}");
+        }
+        for id in &self.added {
+            let _ = writeln!(s, "only in new record:      {id}");
+        }
+        let n_reg = self.regressions().len();
+        let n_fast = self.rows.iter().filter(|r| r.verdict == Verdict::Faster).count();
+        let _ = writeln!(
+            s,
+            "{} compared: {} regressed, {} faster, {} unchanged",
+            self.rows.len(),
+            n_reg,
+            n_fast,
+            self.rows.len() - n_reg - n_fast
+        );
+        s
+    }
+}
+
+/// Compare two parsed records.
+pub fn compare(old: &Record, new: &Record, opts: &CmpOptions) -> CmpReport {
+    let calibration_ratio = old
+        .benchmarks
+        .iter()
+        .find(|b| b.id.starts_with("calibration/") && b.median_ns > 0.0)
+        .and_then(|o| new.find(&o.id).map(|n| n.median_ns / o.median_ns))
+        .filter(|c| c.is_finite() && *c > 0.0);
+
+    let mut rows = Vec::new();
+    let mut missing = Vec::new();
+    for o in &old.benchmarks {
+        let n = match new.find(&o.id) {
+            Some(n) => n,
+            None => {
+                missing.push(o.id.clone());
+                continue;
+            }
+        };
+        let ratio = if o.median_ns > 0.0 {
+            n.median_ns / o.median_ns
+        } else if n.median_ns == 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        };
+        let norm_ratio = match calibration_ratio {
+            Some(c) => ratio / c,
+            None => ratio,
+        };
+        let threshold = threshold_pct(o.noise_pct, n.noise_pct, opts);
+        rows.push(CmpRow {
+            id: o.id.clone(),
+            old_ns: o.median_ns,
+            new_ns: n.median_ns,
+            ratio,
+            norm_ratio,
+            threshold_pct: threshold,
+            verdict: decide(norm_ratio, threshold),
+        });
+    }
+    let added = new
+        .benchmarks
+        .iter()
+        .filter(|n| old.find(&n.id).is_none())
+        .map(|n| n.id.clone())
+        .collect();
+    CmpReport {
+        rows,
+        missing,
+        added,
+        calibration_ratio,
+        cross_machine: !old.env.same_machine(&new.env),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barometer::record::{BenchResult, EnvFingerprint, Record, RECORD_SCHEMA};
+
+    fn record(pairs: &[(&str, f64)]) -> Record {
+        Record {
+            schema: RECORD_SCHEMA,
+            created_unix: 1,
+            mode: "quick".into(),
+            threads: 1,
+            env: EnvFingerprint {
+                host: "h".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cpu: "c".into(),
+                ncpu: 4,
+                version: "0.1.0".into(),
+            },
+            benchmarks: pairs
+                .iter()
+                .map(|(id, ns)| {
+                    BenchResult::from_samples(
+                        *id,
+                        1,
+                        vec![*ns, *ns * 1.01, *ns * 0.99],
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn same_record_is_clean() {
+        let a = record(&[("calibration/spin/n1/t1", 100.0), ("x/y/n1/t1", 500.0)]);
+        let report = compare(&a, &a, &CmpOptions::default());
+        assert!(report.failure(&CmpOptions::default()).is_none());
+        assert!(report.rows.iter().all(|r| r.verdict == Verdict::Unchanged));
+        assert_eq!(report.calibration_ratio, Some(1.0));
+        assert!(!report.cross_machine);
+    }
+
+    #[test]
+    fn detects_a_25_percent_slowdown() {
+        let old = record(&[("calibration/spin/n1/t1", 100.0), ("x/y/n1/t1", 400.0)]);
+        let new = record(&[("calibration/spin/n1/t1", 100.0), ("x/y/n1/t1", 520.0)]);
+        let report = compare(&old, &new, &CmpOptions::default());
+        let row = report.rows.iter().find(|r| r.id == "x/y/n1/t1").unwrap();
+        assert_eq!(row.verdict, Verdict::Regressed);
+        assert!(report.failure(&CmpOptions::default()).is_some());
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn calibration_cancels_machine_speed() {
+        // Every benchmark — including the spin — got 2x slower: a
+        // slower machine, not a regression.
+        let old = record(&[("calibration/spin/n1/t1", 100.0), ("x/y/n1/t1", 400.0)]);
+        let new = record(&[("calibration/spin/n1/t1", 200.0), ("x/y/n1/t1", 800.0)]);
+        let report = compare(&old, &new, &CmpOptions::default());
+        assert_eq!(report.calibration_ratio, Some(2.0));
+        assert!(report.failure(&CmpOptions::default()).is_none());
+        // A genuine 1.5x regression on top of the 2x machine drift
+        // still surfaces after normalization.
+        let new2 = record(&[("calibration/spin/n1/t1", 200.0), ("x/y/n1/t1", 1200.0)]);
+        let report2 = compare(&old, &new2, &CmpOptions::default());
+        assert_eq!(report2.rows[1].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn missing_and_added_are_reported_and_strict_fails() {
+        let old = record(&[("a/a/n1/t1", 10.0), ("b/b/n1/t1", 10.0)]);
+        let new = record(&[("a/a/n1/t1", 10.0), ("c/c/n1/t1", 10.0)]);
+        let report = compare(&old, &new, &CmpOptions::default());
+        assert_eq!(report.missing, vec!["b/b/n1/t1".to_string()]);
+        assert_eq!(report.added, vec!["c/c/n1/t1".to_string()]);
+        assert!(report.failure(&CmpOptions::default()).is_none());
+        let strict = CmpOptions {
+            strict: true,
+            ..CmpOptions::default()
+        };
+        assert!(report.failure(&strict).is_some());
+        let rendered = report.render();
+        assert!(rendered.contains("missing from new record: b/b/n1/t1"));
+        assert!(rendered.contains("only in new record:      c/c/n1/t1"));
+    }
+
+    #[test]
+    fn decision_function_shape() {
+        assert_eq!(decide(1.0, 10.0), Verdict::Unchanged);
+        assert_eq!(decide(1.09, 10.0), Verdict::Unchanged);
+        assert_eq!(decide(1.11, 10.0), Verdict::Regressed);
+        assert_eq!(decide(0.92, 10.0), Verdict::Unchanged);
+        assert_eq!(decide(0.90, 10.0), Verdict::Faster);
+        assert_eq!(decide(f64::NAN, 10.0), Verdict::Regressed);
+        assert_eq!(decide(f64::INFINITY, 10.0), Verdict::Regressed);
+        // The floor and the noise multiplier are both honoured.
+        let opts = CmpOptions::default();
+        assert_eq!(threshold_pct(0.0, 0.0, &opts), 10.0);
+        assert_eq!(threshold_pct(1.0, 5.0, &opts), 20.0);
+    }
+}

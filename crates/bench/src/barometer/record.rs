@@ -1,0 +1,448 @@
+//! The schema-versioned measurement record.
+//!
+//! `fgbs bench` emits exactly one record per run: a timestamped JSON
+//! document carrying the environment fingerprint and, per benchmark,
+//! the raw per-op samples plus derived medians. The codec is strict
+//! both ways — the writer renders deterministically (insertion order,
+//! shortest-round-trip floats, via `fgbs_trace::Json`) and the parser
+//! rejects unknown keys, missing keys, and any schema version other
+//! than [`RECORD_SCHEMA`]. Changing the record shape therefore *forces*
+//! a version bump and a parser change; a golden-file test pins the
+//! rendered bytes.
+
+use fgbs_trace::Json;
+
+/// Record format version. Bump whenever a field is added, removed, or
+/// reinterpreted; the parser refuses every other version.
+pub const RECORD_SCHEMA: u64 = 1;
+
+/// Where a run happened — used by `cmp` to flag cross-machine
+/// comparisons (which the calibration benchmark then normalizes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvFingerprint {
+    /// Hostname (best effort; "unknown" when unreadable).
+    pub host: String,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// First `model name` from `/proc/cpuinfo` (best effort).
+    pub cpu: String,
+    /// Available hardware parallelism.
+    pub ncpu: u64,
+    /// The fgbs crate version that produced the record.
+    pub version: String,
+}
+
+impl EnvFingerprint {
+    /// Fingerprint the current process environment.
+    pub fn capture() -> EnvFingerprint {
+        let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .ok()
+            .map(|s| s.trim().to_string())
+            .or_else(|| std::env::var("HOSTNAME").ok())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let cpu = std::fs::read_to_string("/proc/cpuinfo")
+            .ok()
+            .and_then(|s| {
+                s.lines()
+                    .find(|l| l.starts_with("model name"))
+                    .and_then(|l| l.split(':').nth(1))
+                    .map(|v| v.trim().to_string())
+            })
+            .unwrap_or_else(|| "unknown".to_string());
+        EnvFingerprint {
+            host,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpu,
+            ncpu: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+        }
+    }
+
+    /// Whether two records plausibly come from the same machine.
+    pub fn same_machine(&self, other: &EnvFingerprint) -> bool {
+        self.host == other.host && self.cpu == other.cpu && self.arch == other.arch
+    }
+}
+
+/// One benchmark's measurements: raw per-op samples plus the derived
+/// statistics `cmp` consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Registry id the samples belong to.
+    pub id: String,
+    /// Recorded sample count (`samples_ns.len()`).
+    pub iters: u64,
+    /// Operations per sample; samples are already per-op.
+    pub batch: u64,
+    /// Per-op wall nanoseconds, one per sample, in measurement order.
+    pub samples_ns: Vec<f64>,
+    /// Median of `samples_ns`.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Relative noise floor, percent: `100 · 1.4826 · MAD / median`
+    /// (the scaled median absolute deviation — robust to the occasional
+    /// scheduler hiccup that a stddev would overweight).
+    pub noise_pct: f64,
+}
+
+impl BenchResult {
+    /// Build a result from raw per-op samples, deriving the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or non-finite samples — the runner never
+    /// produces either.
+    pub fn from_samples(id: impl Into<String>, batch: u64, samples_ns: Vec<f64>) -> BenchResult {
+        assert!(!samples_ns.is_empty(), "a benchmark needs >= 1 sample");
+        assert!(
+            samples_ns.iter().all(|s| s.is_finite() && *s >= 0.0),
+            "samples must be finite and non-negative"
+        );
+        let mut sorted = samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let median_ns = median_of_sorted(&sorted);
+        let min_ns = sorted[0];
+        let p95_ns = sorted[((sorted.len() as f64 * 0.95).ceil() as usize).max(1) - 1];
+        let mut dev: Vec<f64> = sorted.iter().map(|s| (s - median_ns).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).expect("finite deviations"));
+        let mad = median_of_sorted(&dev);
+        let noise_pct = if median_ns > 0.0 {
+            100.0 * 1.4826 * mad / median_ns
+        } else {
+            0.0
+        };
+        BenchResult {
+            id: id.into(),
+            iters: samples_ns.len() as u64,
+            batch,
+            samples_ns,
+            median_ns,
+            min_ns,
+            p95_ns,
+            noise_pct,
+        }
+    }
+}
+
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// One timestamped `fgbs bench` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Always [`RECORD_SCHEMA`] for records this build writes.
+    pub schema: u64,
+    /// Unix seconds the run finished.
+    pub created_unix: u64,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Effective worker-thread count substituted for `threads: 0`
+    /// registry entries.
+    pub threads: u64,
+    /// Where the run happened.
+    pub env: EnvFingerprint,
+    /// One entry per executed benchmark, in registry order.
+    pub benchmarks: Vec<BenchResult>,
+}
+
+impl Record {
+    /// Result lookup by benchmark id.
+    pub fn find(&self, id: &str) -> Option<&BenchResult> {
+        self.benchmarks.iter().find(|b| b.id == id)
+    }
+
+    /// Render the canonical JSON document (no trailing newline).
+    pub fn render(&self) -> String {
+        let env = Json::obj(vec![
+            ("host", Json::str(&self.env.host)),
+            ("os", Json::str(&self.env.os)),
+            ("arch", Json::str(&self.env.arch)),
+            ("cpu", Json::str(&self.env.cpu)),
+            ("ncpu", Json::U64(self.env.ncpu)),
+            ("version", Json::str(&self.env.version)),
+        ]);
+        let benchmarks = Json::Arr(
+            self.benchmarks
+                .iter()
+                .map(|b| {
+                    Json::obj(vec![
+                        ("id", Json::str(&b.id)),
+                        ("iters", Json::U64(b.iters)),
+                        ("batch", Json::U64(b.batch)),
+                        (
+                            "samples_ns",
+                            Json::Arr(b.samples_ns.iter().map(|s| Json::Num(*s)).collect()),
+                        ),
+                        ("median_ns", Json::Num(b.median_ns)),
+                        ("min_ns", Json::Num(b.min_ns)),
+                        ("p95_ns", Json::Num(b.p95_ns)),
+                        ("noise_pct", Json::Num(b.noise_pct)),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema", Json::U64(self.schema)),
+            ("created_unix", Json::U64(self.created_unix)),
+            ("mode", Json::str(&self.mode)),
+            ("threads", Json::U64(self.threads)),
+            ("env", env),
+            ("benchmarks", benchmarks),
+        ])
+        .render()
+    }
+
+    /// Parse a record document. Strict: the schema version must be
+    /// exactly [`RECORD_SCHEMA`] and every object must carry exactly
+    /// the known keys — nothing extra, nothing missing.
+    pub fn parse(src: &str) -> Result<Record, String> {
+        let doc = Json::parse(src).map_err(|e| format!("record is not valid JSON: {e}"))?;
+        expect_keys(
+            &doc,
+            &["schema", "created_unix", "mode", "threads", "env", "benchmarks"],
+            "record",
+        )?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("record needs a numeric `schema`")?;
+        if schema != RECORD_SCHEMA {
+            return Err(format!(
+                "unsupported record schema {schema}: this build reads only schema \
+                 {RECORD_SCHEMA} — a format change requires bumping RECORD_SCHEMA \
+                 and updating the parser"
+            ));
+        }
+        let env_doc = doc.get("env").ok_or("record needs an `env` object")?;
+        expect_keys(
+            env_doc,
+            &["host", "os", "arch", "cpu", "ncpu", "version"],
+            "env",
+        )?;
+        let env_str = |key: &str| -> Result<String, String> {
+            env_doc
+                .get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("env needs a string `{key}`"))
+        };
+        let env = EnvFingerprint {
+            host: env_str("host")?,
+            os: env_str("os")?,
+            arch: env_str("arch")?,
+            cpu: env_str("cpu")?,
+            ncpu: env_doc
+                .get("ncpu")
+                .and_then(Json::as_u64)
+                .ok_or("env needs a numeric `ncpu`")?,
+            version: env_str("version")?,
+        };
+        let entries = doc
+            .get("benchmarks")
+            .and_then(Json::as_arr)
+            .ok_or("record needs a `benchmarks` array")?;
+        let mut benchmarks = Vec::with_capacity(entries.len());
+        for e in entries {
+            benchmarks.push(parse_result(e)?);
+        }
+        Ok(Record {
+            schema,
+            created_unix: doc
+                .get("created_unix")
+                .and_then(Json::as_u64)
+                .ok_or("record needs a numeric `created_unix`")?,
+            mode: doc
+                .get("mode")
+                .and_then(Json::as_str)
+                .ok_or("record needs a string `mode`")?
+                .to_string(),
+            threads: doc
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("record needs a numeric `threads`")?,
+            env,
+            benchmarks,
+        })
+    }
+}
+
+fn parse_result(e: &Json) -> Result<BenchResult, String> {
+    expect_keys(
+        e,
+        &[
+            "id",
+            "iters",
+            "batch",
+            "samples_ns",
+            "median_ns",
+            "min_ns",
+            "p95_ns",
+            "noise_pct",
+        ],
+        "benchmark",
+    )?;
+    let id = e
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("benchmark needs a string `id`")?
+        .to_string();
+    let num = |key: &str| -> Result<f64, String> {
+        e.get(key)
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| format!("`{id}` needs a finite numeric `{key}`"))
+    };
+    let samples_ns: Vec<f64> = e
+        .get("samples_ns")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("`{id}` needs a `samples_ns` array"))?
+        .iter()
+        .map(|s| {
+            s.as_f64()
+                .filter(|v| v.is_finite() && *v >= 0.0)
+                .ok_or_else(|| format!("`{id}` has a non-finite sample"))
+        })
+        .collect::<Result<_, _>>()?;
+    let iters = e
+        .get("iters")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("`{id}` needs an integer `iters`"))?;
+    if iters != samples_ns.len() as u64 || iters == 0 {
+        return Err(format!(
+            "`{id}`: iters {iters} disagrees with {} recorded samples",
+            samples_ns.len()
+        ));
+    }
+    let median_ns = num("median_ns")?;
+    let min_ns = num("min_ns")?;
+    let p95_ns = num("p95_ns")?;
+    let noise_pct = num("noise_pct")?;
+    Ok(BenchResult {
+        id,
+        iters,
+        batch: e
+            .get("batch")
+            .and_then(Json::as_u64)
+            .filter(|b| *b >= 1)
+            .ok_or("benchmark needs a positive integer `batch`")?,
+        samples_ns,
+        median_ns,
+        min_ns,
+        p95_ns,
+        noise_pct,
+    })
+}
+
+fn expect_keys(obj: &Json, allowed: &[&str], what: &str) -> Result<(), String> {
+    let members = match obj {
+        Json::Obj(members) => members,
+        _ => return Err(format!("{what} must be a JSON object")),
+    };
+    for (k, _) in members {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "{what} has unknown key `{k}` — a schema change requires bumping \
+                 RECORD_SCHEMA (currently {RECORD_SCHEMA})"
+            ));
+        }
+    }
+    for key in allowed {
+        if obj.get(key).is_none() {
+            return Err(format!("{what} is missing key `{key}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> Record {
+        Record {
+            schema: RECORD_SCHEMA,
+            created_unix: 1_754_600_000,
+            mode: "quick".into(),
+            threads: 1,
+            env: EnvFingerprint {
+                host: "ci".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cpu: "Test CPU".into(),
+                ncpu: 8,
+                version: "0.1.0".into(),
+            },
+            benchmarks: vec![
+                BenchResult::from_samples("calibration/spin/n262144/t1", 8, vec![100.0, 101.5, 99.25]),
+                BenchResult::from_samples("trace/span/n1/t1", 50000, vec![21.125, 20.5]),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_losslessly() {
+        let r = sample_record();
+        let rendered = r.render();
+        let parsed = Record::parse(&rendered).expect("own render parses");
+        assert_eq!(parsed, r);
+        assert_eq!(parsed.render(), rendered, "render-stable");
+    }
+
+    #[test]
+    fn stats_are_robust() {
+        let b = BenchResult::from_samples("x", 1, vec![10.0, 11.0, 9.0, 10.5, 1000.0]);
+        assert_eq!(b.median_ns, 10.5);
+        assert_eq!(b.min_ns, 9.0);
+        assert_eq!(b.p95_ns, 1000.0);
+        // The outlier barely moves the MAD-based noise floor.
+        assert!(b.noise_pct < 15.0, "noise {}", b.noise_pct);
+
+        let even = BenchResult::from_samples("y", 1, vec![1.0, 3.0]);
+        assert_eq!(even.median_ns, 2.0);
+    }
+
+    #[test]
+    fn rejects_other_schemas_and_unknown_keys() {
+        let r = sample_record();
+        let v2 = r.render().replacen("\"schema\":1", "\"schema\":2", 1);
+        let err = Record::parse(&v2).unwrap_err();
+        assert!(err.contains("schema 2"), "{err}");
+
+        let extra = r
+            .render()
+            .replacen("\"mode\":\"quick\"", "\"mode\":\"quick\",\"extra\":1", 1);
+        let err = Record::parse(&extra).unwrap_err();
+        assert!(err.contains("unknown key `extra`"), "{err}");
+
+        let missing = r.render().replacen("\"mode\":\"quick\",", "", 1);
+        assert!(Record::parse(&missing).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_iters() {
+        let r = sample_record();
+        let bad = r.render().replacen("\"iters\":3", "\"iters\":4", 1);
+        assert!(Record::parse(&bad).unwrap_err().contains("disagrees"));
+    }
+
+    #[test]
+    fn env_capture_is_populated() {
+        let env = EnvFingerprint::capture();
+        assert!(!env.host.is_empty());
+        assert!(env.ncpu >= 1);
+        assert!(env.same_machine(&env.clone()));
+    }
+}

@@ -1,0 +1,294 @@
+//! The measured workloads behind each registry [`Stage`].
+//!
+//! Every stage builds its inputs *outside* the timed region, runs one
+//! untimed warm-up operation, then records `samples` wall-clock samples
+//! of `batch` operations each on the calibrated trace clock
+//! (`fgbs_trace::now_ns` — the same time source the spans use). Sample
+//! values are per-op nanoseconds.
+//!
+//! Stages that need the trace collector enabled (`trace_span`,
+//! `pipeline_reduce_traced`) enable it for their duration and restore
+//! the previous state — when a `--trace` run already has the collector
+//! on, they leave it on and keep their (deterministic) spans in the
+//! trace, so the bench runner honours the thread-invariant digest
+//! contract.
+
+use std::hint::black_box;
+
+use fgbs_clustering::{linkage, medoid, normalize, DistanceMatrix, Linkage, MaskedDistanceCache};
+use fgbs_clustering::naive_linkage;
+use fgbs_core::{profile_reference, reduce_cached, select_features_ga, KChoice, MicroCache, PipelineConfig};
+use fgbs_genetic::GaConfig;
+use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_matrix::Matrix;
+use fgbs_store::{ArtifactKind, Store};
+use fgbs_suites::{nr_suite, Class};
+
+use super::registry::{BenchDef, Stage};
+
+/// One splitmix64 step — the calibration spin and the synthetic data
+/// generator share it.
+#[inline]
+fn splitmix(seed: u64) -> u64 {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// Deterministic synthetic observation matrix: `n` codelets in 7 loose
+/// blobs over `cols` features, rows in generic position (no exactly
+/// tied distances). The same shape `bench_json` used, so the recorded
+/// trajectory stays comparable with the old `BENCH_clustering.json`.
+fn observations(n: usize, cols: usize) -> Matrix {
+    let unit = |seed: u64| (splitmix(seed) >> 11) as f64 / (1u64 << 53) as f64;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..cols)
+                .map(|j| (i % 7) as f64 * 10.0 + unit((i * cols + j) as u64))
+                .collect()
+        })
+        .collect();
+    normalize(&Matrix::from_rows(&rows))
+}
+
+/// Time one batch of `op` calls; returns per-op nanoseconds.
+fn time_batch(batch: u64, op: &mut impl FnMut(u64)) -> f64 {
+    let t0 = fgbs_trace::now_ns();
+    for i in 0..batch {
+        op(i);
+    }
+    let dt = fgbs_trace::now_ns().saturating_sub(t0);
+    dt as f64 / batch as f64
+}
+
+/// One warm-up op, then `samples` timed batches.
+fn run_samples(batch: u64, samples: usize, mut op: impl FnMut(u64)) -> Vec<f64> {
+    op(0);
+    (0..samples).map(|_| time_batch(batch, &mut op)).collect()
+}
+
+/// Enable the trace collector for a closure, restoring the previous
+/// state afterwards. When the collector was off, the spans recorded
+/// inside are drained away so a plain `fgbs bench` leaves no residue.
+fn with_trace_enabled<T>(f: impl FnOnce() -> T) -> T {
+    let was_on = fgbs_trace::enabled();
+    if !was_on {
+        fgbs_trace::set_enabled(true);
+    }
+    let out = f();
+    if !was_on {
+        fgbs_trace::set_enabled(false);
+        let _ = fgbs_trace::drain();
+    }
+    out
+}
+
+/// Execute `def`'s workload and return `samples` per-op nanosecond
+/// samples. `effective_threads` substitutes for `threads: 0` entries.
+pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Result<Vec<f64>, String> {
+    let threads = if def.threads == 0 {
+        effective_threads
+    } else {
+        def.threads
+    };
+    let batch = def.batch;
+    let out = match def.stage {
+        Stage::Calibrate => {
+            let n = def.size as u64;
+            run_samples(batch, samples, |i| {
+                let mut acc = 0x243F_6A88_85A3_08D3u64 ^ i;
+                for k in 0..n {
+                    acc = acc.wrapping_add(splitmix(acc ^ k));
+                }
+                black_box(acc);
+            })
+        }
+        Stage::Distance => {
+            let data = observations(def.size, 14);
+            run_samples(batch, samples, |_| {
+                black_box(DistanceMatrix::euclidean(&data));
+            })
+        }
+        Stage::LinkageNnChain => {
+            let d = DistanceMatrix::euclidean(&observations(def.size, 14));
+            run_samples(batch, samples, |_| {
+                black_box(linkage(&d, Linkage::Ward));
+            })
+        }
+        Stage::LinkageNaive => {
+            let d = DistanceMatrix::euclidean(&observations(def.size, 14));
+            run_samples(batch, samples, |_| {
+                black_box(naive_linkage(&d, Linkage::Ward));
+            })
+        }
+        Stage::Medoid => {
+            let data = observations(def.size, 14);
+            let dend = linkage(&DistanceMatrix::euclidean(&data), Linkage::Ward);
+            let k = 8.min(def.size);
+            let part = dend.cut(k);
+            run_samples(batch, samples, |_| {
+                for c in 0..k {
+                    black_box(medoid(&data, &part, c, &[]));
+                }
+            })
+        }
+        Stage::GaMaskedCold => {
+            let z = observations(def.size, 76);
+            let all: Vec<usize> = (0..64).collect();
+            run_samples(batch, samples, |_| {
+                black_box(MaskedDistanceCache::new(z.clone()).distances(&all));
+            })
+        }
+        Stage::GaMaskedPatch => {
+            let z = observations(def.size, 76);
+            let all: Vec<usize> = (0..64).collect();
+            let mut flipped = all.clone();
+            flipped.remove(3);
+            flipped.push(70);
+            let mut cache = MaskedDistanceCache::new(z);
+            let _ = cache.distances(&all);
+            let mut turn = false;
+            run_samples(batch, samples, move |_| {
+                // Alternate two masks two bits apart: every op patches.
+                turn = !turn;
+                black_box(cache.distances(if turn { &flipped } else { &all }));
+            })
+        }
+        Stage::GaSelect => {
+            let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(def.size).collect();
+            let cfg = PipelineConfig::fast().with_threads(threads);
+            let suite = profile_reference(&apps, &cfg);
+            let targets = vec![Arch::atom().scaled(PARK_SCALE)];
+            let ga = GaConfig {
+                population: 12,
+                generations: 4,
+                ..GaConfig::default()
+            };
+            run_samples(batch, samples, |_| {
+                black_box(select_features_ga(&suite, &targets, &ga, &cfg));
+            })
+        }
+        Stage::StorePublish => {
+            let root = bench_dir("publish");
+            let store = Store::open(&root).map_err(|e| format!("bench store: {e}"))?;
+            let payload = vec![0xA5u8; def.size];
+            let mut next_key = 0u64;
+            let out = run_samples(batch, samples, |_| {
+                // A fresh key every op: each publish frames, checksums
+                // and fsyncs a new object — no dedup short-circuit.
+                next_key += 1;
+                store
+                    .put(ArtifactKind::Response, &format!("bench-{next_key}"), &payload)
+                    .expect("bench store put");
+            });
+            let _ = std::fs::remove_dir_all(&root);
+            out
+        }
+        Stage::StoreReplay => {
+            let root = bench_dir("replay");
+            let store = Store::open(&root).map_err(|e| format!("bench store: {e}"))?;
+            let payload = vec![0x5Au8; def.size];
+            let keys: Vec<String> = (0..16).map(|i| format!("bench-{i}")).collect();
+            for k in &keys {
+                store
+                    .put(ArtifactKind::Response, k, &payload)
+                    .map_err(|e| format!("bench store seed: {e}"))?;
+            }
+            let out = run_samples(batch, samples, |i| {
+                let got = store
+                    .get(ArtifactKind::Response, &keys[(i % 16) as usize])
+                    .expect("bench store get");
+                black_box(got);
+            });
+            let _ = std::fs::remove_dir_all(&root);
+            out
+        }
+        Stage::TraceSpan => {
+            // A bounded buffer keeps the span loops from accumulating
+            // memory; eviction cost is part of the honest price. Under
+            // `--trace` the collector is already on — leave its
+            // capacity (and the user's spans) alone.
+            let was_on = fgbs_trace::enabled();
+            if !was_on {
+                fgbs_trace::set_capacity(8192);
+            }
+            let out = with_trace_enabled(|| {
+                run_samples(batch, samples, |i| {
+                    let mut s = fgbs_trace::span("bench.span");
+                    s.arg_u64("i", i);
+                })
+            });
+            if !was_on {
+                fgbs_trace::set_capacity(0);
+            }
+            out
+        }
+        Stage::FaultProbe => run_samples(batch, samples, |_| {
+            black_box(fgbs_fault::maybe_io("bench.probe")).ok();
+        }),
+        Stage::PipelineReduce => {
+            let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(def.size).collect();
+            let cfg = PipelineConfig::fast()
+                .with_k(KChoice::Fixed(4))
+                .with_threads(threads);
+            run_samples(batch, samples, |_| {
+                let suite = profile_reference(&apps, &cfg);
+                black_box(reduce_cached(&suite, &cfg, &MicroCache::new()));
+            })
+        }
+        Stage::PipelineReduceTraced => {
+            let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(def.size).collect();
+            let cfg = PipelineConfig::fast()
+                .with_k(KChoice::Fixed(4))
+                .with_threads(threads);
+            with_trace_enabled(|| {
+                run_samples(batch, samples, |_| {
+                    let suite = profile_reference(&apps, &cfg);
+                    black_box(reduce_cached(&suite, &cfg, &MicroCache::new()));
+                })
+            })
+        }
+    };
+    Ok(out)
+}
+
+/// A per-process scratch directory for store benchmarks.
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("fgbs-bench-{}-{tag}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barometer::registry::Registry;
+
+    /// Every stage in the built-in registry must actually run. One
+    /// sample each keeps this a smoke test, not a benchmark.
+    #[test]
+    fn every_builtin_stage_produces_finite_samples() {
+        for def in &Registry::builtin().benchmarks {
+            // The O(n³) scan at n=1024 is too slow for a unit test.
+            if def.id.contains("n1024") || def.stage == Stage::GaSelect {
+                continue;
+            }
+            let mut small = def.clone();
+            small.batch = small.batch.min(64);
+            let samples = measure(&small, 1, 1).expect("workload runs");
+            assert_eq!(samples.len(), 1);
+            assert!(samples[0].is_finite() && samples[0] >= 0.0, "{}", def.id);
+        }
+    }
+
+    #[test]
+    fn observations_are_deterministic() {
+        assert_eq!(
+            observations(16, 14).row(3),
+            observations(16, 14).row(3),
+            "synthetic data must not depend on run order"
+        );
+    }
+}

@@ -16,6 +16,8 @@
 //! * `--paper-features` — cluster on the paper's Table 2 feature list
 //!   instead of the locally GA-trained set.
 
+pub mod barometer;
+
 use fgbs_analysis::{table2_features, FeatureMask};
 use fgbs_core::{
     profile_reference, profile_target, select_features_ga, MicroCache, PipelineConfig,

@@ -1,0 +1,134 @@
+//! Property-based invariants of the barometer record codec and the
+//! `bench cmp` engine: lossless round-trips, monotone thresholds, clean
+//! self-comparison, and no silently dropped benchmarks.
+
+use std::collections::HashSet;
+
+use fgbs_bench::barometer::{
+    compare, decide, threshold_pct, BenchResult, CmpOptions, EnvFingerprint, Record, Verdict,
+    RECORD_SCHEMA,
+};
+use proptest::prelude::*;
+
+const ID_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/_.-";
+
+fn id_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..ID_CHARS.len(), 1..16)
+        .prop_map(|ix| ix.into_iter().map(|i| ID_CHARS[i] as char).collect())
+}
+
+fn fixed_env() -> EnvFingerprint {
+    EnvFingerprint {
+        host: "prop".into(),
+        os: "linux".into(),
+        arch: "x86_64".into(),
+        cpu: "prop cpu".into(),
+        ncpu: 4,
+        version: "0.1.0".into(),
+    }
+}
+
+fn record_strategy() -> impl Strategy<Value = Record> {
+    let entry = (
+        id_strategy(),
+        proptest::collection::vec(0.5f64..5e6, 1..8),
+        1u64..1000,
+    );
+    (proptest::collection::vec(entry, 1..10), any::<bool>(), 1u64..9).prop_map(
+        |(entries, quick, threads)| {
+            // Registry ids are unique by construction; mirror that here.
+            let mut seen = HashSet::new();
+            let benchmarks = entries
+                .into_iter()
+                .filter(|(id, _, _)| seen.insert(id.clone()))
+                .map(|(id, samples, batch)| BenchResult::from_samples(id, batch, samples))
+                .collect();
+            Record {
+                schema: RECORD_SCHEMA,
+                created_unix: 1_754_000_000 + threads,
+                mode: if quick { "quick" } else { "full" }.into(),
+                threads,
+                env: fixed_env(),
+                benchmarks,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_round_trip_is_lossless(rec in record_strategy()) {
+        let rendered = rec.render();
+        let parsed = Record::parse(&rendered).expect("own render must parse");
+        prop_assert_eq!(&parsed, &rec, "parse(render(r)) == r");
+        prop_assert_eq!(parsed.render(), rendered, "render is stable");
+    }
+
+    #[test]
+    fn verdicts_are_monotone_in_the_regression_ratio(
+        a in 0.01f64..4.0,
+        b in 0.01f64..4.0,
+        t in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let rank = |v: Verdict| match v {
+            Verdict::Faster => 0,
+            Verdict::Unchanged => 1,
+            Verdict::Regressed => 2,
+        };
+        // A larger ratio can only move the verdict toward Regressed.
+        prop_assert!(rank(decide(lo, t)) <= rank(decide(hi, t)));
+    }
+
+    #[test]
+    fn threshold_honours_floor_and_noise(
+        n1 in 0.0f64..50.0,
+        n2 in 0.0f64..50.0,
+        floor in 0.0f64..30.0,
+        mult in 0.5f64..8.0,
+    ) {
+        let opts = CmpOptions { min_change_pct: floor, noise_mult: mult, strict: false };
+        let t = threshold_pct(n1, n2, &opts);
+        prop_assert!(t >= floor, "never below the change floor");
+        prop_assert!(t >= mult * n1.max(n2) - 1e-9, "scales with the worse noise");
+        // Noisier samples can only widen the threshold.
+        prop_assert!(threshold_pct(n1 * 2.0, n2, &opts) >= t);
+        prop_assert!(threshold_pct(n1, n2 * 2.0, &opts) >= t);
+    }
+
+    #[test]
+    fn comparing_a_record_with_itself_is_clean(rec in record_strategy()) {
+        let opts = CmpOptions { strict: true, ..CmpOptions::default() };
+        let report = compare(&rec, &rec, &opts);
+        prop_assert!(report.failure(&opts).is_none(), "cmp(a, a) never fails");
+        prop_assert_eq!(report.rows.len(), rec.benchmarks.len());
+        prop_assert!(report.rows.iter().all(|r| r.verdict == Verdict::Unchanged));
+        prop_assert!(report.missing.is_empty());
+        prop_assert!(report.added.is_empty());
+    }
+
+    #[test]
+    fn unmatched_benchmarks_are_reported_not_skipped(
+        old in record_strategy(),
+        new in record_strategy(),
+    ) {
+        let report = compare(&old, &new, &CmpOptions::default());
+        for o in &old.benchmarks {
+            let matched = new.find(&o.id).is_some();
+            prop_assert_eq!(matched, report.rows.iter().any(|r| r.id == o.id));
+            prop_assert_eq!(!matched, report.missing.contains(&o.id));
+        }
+        for n in &new.benchmarks {
+            prop_assert_eq!(old.find(&n.id).is_none(), report.added.contains(&n.id));
+        }
+        // Every old benchmark lands in exactly one bucket.
+        prop_assert_eq!(report.rows.len() + report.missing.len(), old.benchmarks.len());
+        // Divergent contents are a strict failure, never a silent skip.
+        if !report.missing.is_empty() || !report.added.is_empty() {
+            let strict = CmpOptions { strict: true, ..CmpOptions::default() };
+            prop_assert!(compare(&old, &new, &strict).failure(&strict).is_some());
+        }
+    }
+}

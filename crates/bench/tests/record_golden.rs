@@ -1,0 +1,77 @@
+//! Golden-file pin of the schema-1 record format.
+//!
+//! The committed fixture is the byte-exact render of a fixed record. If
+//! this test fails after a code change, the on-disk record format
+//! changed: bump `RECORD_SCHEMA`, update the parser to reject the old
+//! shape, and regenerate the fixture with
+//! `UPDATE_GOLDEN=1 cargo test -p fgbs-bench --test record_golden`.
+
+use std::path::PathBuf;
+
+use fgbs_bench::barometer::{BenchResult, EnvFingerprint, Record, RECORD_SCHEMA};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/record_v1.json")
+}
+
+/// The pinned record: fixed values, every field exercised.
+fn pinned_record() -> Record {
+    Record {
+        schema: RECORD_SCHEMA,
+        created_unix: 1_754_600_000,
+        mode: "quick".into(),
+        threads: 2,
+        env: EnvFingerprint {
+            host: "golden-ci".into(),
+            os: "linux".into(),
+            arch: "x86_64".into(),
+            cpu: "Pinned CPU @ 2.40GHz".into(),
+            ncpu: 8,
+            version: "0.1.0".into(),
+        },
+        benchmarks: vec![
+            BenchResult::from_samples(
+                "calibration/spin/n262144/t1",
+                8,
+                vec![1200.5, 1180.25, 1215.0],
+            ),
+            BenchResult::from_samples("trace/span/n1/t1", 50000, vec![21.125, 20.5, 22.0]),
+        ],
+    }
+}
+
+#[test]
+fn golden_record_fixture_is_byte_exact_and_parses() {
+    let rendered = pinned_record().render();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(fixture_path(), &rendered).expect("write fixture");
+    }
+    let fixture = std::fs::read_to_string(fixture_path()).expect("committed fixture exists");
+    assert_eq!(
+        fixture, rendered,
+        "the record wire format changed: bump RECORD_SCHEMA (currently \
+         {RECORD_SCHEMA}) and regenerate the fixture with UPDATE_GOLDEN=1"
+    );
+
+    // The committed fixture must parse back to the exact same record.
+    let parsed = Record::parse(&fixture).expect("committed fixture parses");
+    assert_eq!(parsed, pinned_record());
+    assert_eq!(parsed.render(), fixture, "round-trip is byte-stable");
+}
+
+#[test]
+fn foreign_schema_versions_are_refused() {
+    let fixture = std::fs::read_to_string(fixture_path()).expect("committed fixture exists");
+    let v2 = fixture.replacen("\"schema\":1", "\"schema\":2", 1);
+    let err = Record::parse(&v2).expect_err("schema 2 must be rejected");
+    assert!(err.contains("RECORD_SCHEMA"), "{err}");
+
+    // Sneaking in a field without a version bump is also refused.
+    let widened = fixture.replacen(
+        "\"mode\":\"quick\"",
+        "\"mode\":\"quick\",\"comment\":\"x\"",
+        1,
+    );
+    let err = Record::parse(&widened).expect_err("unknown keys must be rejected");
+    assert!(err.contains("unknown key"), "{err}");
+}

@@ -133,6 +133,7 @@ pub use json::Json;
 /// Counter names every drain reports, even at zero, so batch traces
 /// always carry the full pool/store/GA vocabulary.
 pub const DECLARED_COUNTERS: &[&str] = &[
+    "bench.cases",
     "cluster.merges",
     "cluster.pairs",
     "exec.jobs",
@@ -500,6 +501,16 @@ pub fn set_enabled(on: bool) {
 #[inline]
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// Monotonic nanoseconds on the calibrated span clock (TSC on x86-64,
+/// `Instant` elsewhere). This is the clock every span timestamp uses;
+/// exposing it lets external measurement harnesses (the benchmark
+/// barometer) share one time source with the traces they emit. The
+/// first call pays the one-time calibration spin.
+#[inline]
+pub fn now_ns() -> u64 {
+    clock::now_ns()
 }
 
 /// Cap each thread's span buffer (oldest spans are evicted and counted

@@ -11,6 +11,8 @@
 //! fgbs store ls                           # list persisted pipeline artifacts
 //! fgbs store gc [--keep N]                # evict all but the newest N per kind
 //! fgbs trace summary FILE                 # aggregate a Chrome-trace file
+//! fgbs bench [--quick] [--filter SUB] [--out FILE]   # run the benchmark barometer
+//! fgbs bench cmp OLD.json NEW.json        # noise-aware record comparison
 //! fgbs help                               # this text
 //!
 //! options:
@@ -60,6 +62,15 @@ struct Cli {
     trace_file: String,
     fault_spec: Option<String>,
     fault_seed: u64,
+    quick: bool,
+    bench_filter: Option<String>,
+    bench_out: Option<String>,
+    bench_registry: Option<String>,
+    cmp_old: String,
+    cmp_new: String,
+    min_change: f64,
+    noise_mult: f64,
+    strict: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +85,8 @@ enum Command {
     StoreLs,
     StoreGc,
     TraceSummary,
+    BenchRun,
+    BenchCmp,
     Help,
 }
 
@@ -83,12 +96,13 @@ enum SuiteKind {
     Nas,
 }
 
-const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|trace|help> \
+const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|trace|bench|help> \
 [--suite nr|nas] [--class test|a|b] [--k N|elbow] [--threads N] \
 [--target atom|core2|sb] [--codelet NAME] [--paper-features] \
 [--results-dir DIR] [--store] [--addr HOST:PORT] [--keep N] \
 [--generations N] [--population N] [--seed N] [--trace FILE] \
-[--fault-spec SPEC] [--fault-seed N]";
+[--fault-spec SPEC] [--fault-seed N] [--quick] [--filter SUB] \
+[--out FILE] [--registry FILE] [--min-change PCT] [--noise-mult X] [--strict]";
 
 const HELP: &str = "fgbs — fine-grained benchmark subsetting for system selection
 
@@ -104,6 +118,11 @@ commands:
   store ls             list persisted pipeline artifacts
   store gc             evict all but the newest --keep artifacts per kind
   trace summary FILE   aggregate a Chrome-trace file into a per-span table
+  bench                run the declarative benchmark registry; prints per-
+                       benchmark medians/noise and evaluates declared perf
+                       gates (--quick for the fast subset, --out to record)
+  bench cmp OLD NEW    compare two bench records with per-benchmark noise
+                       thresholds; exits non-zero on regression
   help                 this text
 
 options:
@@ -126,7 +145,14 @@ options:
                        'store.read=err:0.2#3,stage.reduce=delay:50'
                        (actions: err|delay[:ms]|short[:keep]|corrupt)
   --fault-seed N       seed for failpoint decisions: same spec + seed + run
-                       order reproduces the exact same injected faults";
+                       order reproduces the exact same injected faults
+  --quick              bench: fewer iterations, skip the slowest entries
+  --filter SUB         bench: only benchmarks whose id contains SUB
+  --out FILE           bench: write the JSON measurement record to FILE
+  --registry FILE      bench: load the registry from FILE (default built-in)
+  --min-change PCT     bench cmp: smallest change ever flagged (default 10)
+  --noise-mult X       bench cmp: noise-floor multiplier (default 4)
+  --strict             bench cmp: also fail when records diverge in content";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -149,6 +175,15 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         trace_file: String::new(),
         fault_spec: None,
         fault_seed: 0,
+        quick: false,
+        bench_filter: None,
+        bench_out: None,
+        bench_registry: None,
+        cmp_old: String::new(),
+        cmp_new: String::new(),
+        min_change: 10.0,
+        noise_mult: 4.0,
+        strict: false,
     };
     let mut it = args.iter();
     match it.next().map(String::as_str) {
@@ -180,6 +215,24 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                     return Err(format!("unknown trace subcommand `{other}` (summary)"))
                 }
                 None => return Err("trace expects a subcommand: summary FILE".to_string()),
+            }
+        }
+        Some("bench") => {
+            // `bench cmp OLD NEW` vs plain `bench [options]`: peek so an
+            // option token is not swallowed as a subcommand.
+            if it.as_slice().first().map(String::as_str) == Some("cmp") {
+                it.next();
+                cli.cmp_old = it
+                    .next()
+                    .ok_or_else(|| "bench cmp expects OLD.json NEW.json".to_string())?
+                    .clone();
+                cli.cmp_new = it
+                    .next()
+                    .ok_or_else(|| "bench cmp expects OLD.json NEW.json".to_string())?
+                    .clone();
+                cli.command = Command::BenchCmp;
+            } else {
+                cli.command = Command::BenchRun;
             }
         }
         Some("help") | Some("--help") | Some("-h") => cli.command = Command::Help,
@@ -264,6 +317,31 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 )
             }
             "--fault-seed" => cli.fault_seed = parse_num(&mut it, "--fault-seed")?,
+            "--quick" => cli.quick = true,
+            "--filter" => {
+                cli.bench_filter = Some(
+                    it.next()
+                        .ok_or_else(|| "--filter expects an id substring".to_string())?
+                        .clone(),
+                )
+            }
+            "--out" => {
+                cli.bench_out = Some(
+                    it.next()
+                        .ok_or_else(|| "--out expects a file path".to_string())?
+                        .clone(),
+                )
+            }
+            "--registry" => {
+                cli.bench_registry = Some(
+                    it.next()
+                        .ok_or_else(|| "--registry expects a file path".to_string())?
+                        .clone(),
+                )
+            }
+            "--min-change" => cli.min_change = parse_num(&mut it, "--min-change")?,
+            "--noise-mult" => cli.noise_mult = parse_num(&mut it, "--noise-mult")?,
+            "--strict" => cli.strict = true,
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
     }
@@ -596,6 +674,75 @@ fn cmd_trace_summary(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Load `--registry FILE` when given, else the built-in catalogue.
+fn bench_registry(cli: &Cli) -> Result<fgbs::bench::barometer::Registry, String> {
+    match &cli.bench_registry {
+        Some(path) => {
+            let raw = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read registry {path}: {e}"))?;
+            fgbs::bench::barometer::Registry::parse(&raw)
+        }
+        None => Ok(fgbs::bench::barometer::Registry::builtin()),
+    }
+}
+
+fn cmd_bench_run(cli: &Cli) -> Result<(), String> {
+    let reg = bench_registry(cli)?;
+    let threads = if cli.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cli.threads
+    };
+    let opts = fgbs::bench::barometer::RunOptions {
+        quick: cli.quick,
+        filter: cli.bench_filter.clone(),
+        threads,
+    };
+    eprintln!(
+        "benchmark barometer: {} mode, {} worker thread(s)…",
+        if cli.quick { "quick" } else { "full" },
+        threads
+    );
+    let out = fgbs::bench::barometer::run_registry(&reg, &opts)?;
+    print!("{}", fgbs::bench::barometer::render_report(&out));
+    if let Some(path) = &cli.bench_out {
+        std::fs::write(path, out.record.render())
+            .map_err(|e| format!("cannot write record to {path}: {e}"))?;
+        eprintln!("record -> {path}");
+    }
+    let failed = out.failed_gates();
+    if !failed.is_empty() {
+        let ids: Vec<&str> = failed.iter().map(|g| g.id.as_str()).collect();
+        return Err(format!(
+            "{} perf gate(s) failed: {}",
+            failed.len(),
+            ids.join(", ")
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_bench_cmp(cli: &Cli) -> Result<(), String> {
+    let load = |path: &str| -> Result<fgbs::bench::barometer::Record, String> {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read record {path}: {e}"))?;
+        fgbs::bench::barometer::Record::parse(&raw).map_err(|e| format!("{path}: {e}"))
+    };
+    let old = load(&cli.cmp_old)?;
+    let new = load(&cli.cmp_new)?;
+    let opts = fgbs::bench::barometer::CmpOptions {
+        min_change_pct: cli.min_change,
+        noise_mult: cli.noise_mult,
+        strict: cli.strict,
+    };
+    let report = fgbs::bench::barometer::compare(&old, &new, &opts);
+    print!("{}", report.render());
+    match report.failure(&opts) {
+        Some(msg) => Err(msg),
+        None => Ok(()),
+    }
+}
+
 /// Write the collector's contents as a Chrome trace into `path`.
 fn write_trace(path: &str) -> Result<(), String> {
     let trace = fgbs::trace::drain();
@@ -674,6 +821,8 @@ fn main() {
         Command::StoreLs => cmd_store_ls(&cli),
         Command::StoreGc => cmd_store_gc(&cli),
         Command::TraceSummary => cmd_trace_summary(&cli),
+        Command::BenchRun => cmd_bench_run(&cli),
+        Command::BenchCmp => cmd_bench_cmp(&cli),
     };
     let outcome = outcome.and_then(|()| match &cli.trace {
         Some(path) => write_trace(path),
@@ -774,6 +923,50 @@ mod tests {
         let c = parse(&argv("help")).unwrap();
         assert_eq!(c.command, Command::Help);
         assert_eq!(parse(&argv("--help")).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parses_bench_commands() {
+        let c = parse(&argv("bench")).unwrap();
+        assert_eq!(c.command, Command::BenchRun);
+        assert!(!c.quick && c.bench_filter.is_none() && c.bench_out.is_none());
+
+        let c = parse(&argv("bench --quick --filter clustering --out rec.json --threads 2"))
+            .unwrap();
+        assert_eq!(c.command, Command::BenchRun);
+        assert!(c.quick);
+        assert_eq!(c.bench_filter.as_deref(), Some("clustering"));
+        assert_eq!(c.bench_out.as_deref(), Some("rec.json"));
+        assert_eq!(c.threads, 2);
+
+        let c = parse(&argv("bench --registry custom.json")).unwrap();
+        assert_eq!(c.bench_registry.as_deref(), Some("custom.json"));
+
+        let c = parse(&argv("bench cmp old.json new.json")).unwrap();
+        assert_eq!(c.command, Command::BenchCmp);
+        assert_eq!(c.cmp_old, "old.json");
+        assert_eq!(c.cmp_new, "new.json");
+        assert_eq!(c.min_change, 10.0);
+        assert_eq!(c.noise_mult, 4.0);
+        assert!(!c.strict);
+
+        let c = parse(&argv("bench cmp a.json b.json --min-change 25 --noise-mult 2 --strict"))
+            .unwrap();
+        assert_eq!(c.min_change, 25.0);
+        assert_eq!(c.noise_mult, 2.0);
+        assert!(c.strict);
+
+        // An option right after `bench` must not be eaten as a subcommand.
+        let c = parse(&argv("bench --quick")).unwrap();
+        assert_eq!(c.command, Command::BenchRun);
+        assert!(c.quick);
+
+        assert!(parse(&argv("bench cmp old.json")).is_err());
+        assert!(parse(&argv("bench cmp")).is_err());
+        assert!(parse(&argv("bench --filter")).is_err());
+        assert!(parse(&argv("bench --out")).is_err());
+        assert!(parse(&argv("bench --registry")).is_err());
+        assert!(parse(&argv("bench cmp a b --min-change lots")).is_err());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! | [`serve`] | `fgbs-serve` | concurrent HTTP system-selection service |
 //! | [`trace`] | `fgbs-trace` | cross-crate spans, counters, Chrome-trace export |
 //! | [`fault`] | `fgbs-fault` | deterministic failpoints, retry/backoff, deadlines |
+//! | [`bench`] | `fgbs-bench` | experiment harness + benchmark barometer (`fgbs bench`) |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use fgbs_analysis as analysis;
+pub use fgbs_bench as bench;
 pub use fgbs_clustering as clustering;
 pub use fgbs_core as core;
 pub use fgbs_extract as extract;

@@ -1,0 +1,114 @@
+//! End-to-end acceptance for the benchmark barometer: a synthetically
+//! injected slowdown must trip `bench cmp`, while records of the same
+//! workload must compare clean.
+
+use fgbs::bench::barometer::{
+    compare, run_registry, BenchResult, CmpOptions, EnvFingerprint, Record, Registry, RunOptions,
+    Verdict, RECORD_SCHEMA,
+};
+
+fn synthetic_record(pairs: &[(&str, f64)]) -> Record {
+    Record {
+        schema: RECORD_SCHEMA,
+        created_unix: 1_754_600_000,
+        mode: "quick".into(),
+        threads: 1,
+        env: EnvFingerprint::capture(),
+        benchmarks: pairs
+            .iter()
+            .map(|(id, ns)| {
+                // Three tight samples: a ~1% noise floor, so the default
+                // 10% change floor is what the verdict rides on.
+                BenchResult::from_samples(*id, 1, vec![*ns * 0.99, *ns, *ns * 1.01])
+            })
+            .collect(),
+    }
+}
+
+/// The headline acceptance criterion: a >= 25% injected slowdown on one
+/// benchmark is flagged as a regression and fails the comparison.
+#[test]
+fn cmp_detects_an_injected_30_percent_slowdown() {
+    let old = synthetic_record(&[
+        ("calibration/spin/n262144/t1", 1000.0),
+        ("clustering/linkage_nnchain/n256/t1", 80_000.0),
+        ("store/publish/n4096/t1", 55_000.0),
+    ]);
+    let new = synthetic_record(&[
+        ("calibration/spin/n262144/t1", 1000.0),
+        ("clustering/linkage_nnchain/n256/t1", 104_000.0), // 1.3x
+        ("store/publish/n4096/t1", 55_000.0),
+    ]);
+    let opts = CmpOptions::default();
+    let report = compare(&old, &new, &opts);
+    let row = report
+        .rows
+        .iter()
+        .find(|r| r.id.contains("linkage_nnchain"))
+        .expect("slowed benchmark is compared");
+    assert_eq!(row.verdict, Verdict::Regressed, "1.3x must trip the gate");
+    assert!((row.ratio - 1.3).abs() < 1e-9);
+    let failure = report.failure(&opts).expect("regression fails the cmp");
+    assert!(failure.contains("linkage_nnchain"), "{failure}");
+    // The untouched benchmarks stay clean.
+    assert!(report
+        .rows
+        .iter()
+        .filter(|r| !r.id.contains("linkage_nnchain"))
+        .all(|r| r.verdict == Verdict::Unchanged));
+}
+
+/// A slowdown that tracks the calibration spin (machine drift, CPU
+/// scaling) is normalized away instead of tripping the gate.
+#[test]
+fn cmp_cancels_uniform_machine_drift() {
+    let old = synthetic_record(&[
+        ("calibration/spin/n262144/t1", 1000.0),
+        ("ga/masked_cold/n128/t1", 200_000.0),
+    ]);
+    let drifted = synthetic_record(&[
+        ("calibration/spin/n262144/t1", 1600.0),
+        ("ga/masked_cold/n128/t1", 320_000.0), // same 1.6x as the spin
+    ]);
+    let opts = CmpOptions::default();
+    let report = compare(&old, &drifted, &opts);
+    assert_eq!(report.calibration_ratio, Some(1.6));
+    assert!(
+        report.failure(&opts).is_none(),
+        "uniform drift is not a regression"
+    );
+}
+
+/// Two records of the same run — one written and re-read, one still in
+/// memory — always compare clean, and a real back-to-back rerun of the
+/// same (cheap) registry slice stays clean under the noise model.
+#[test]
+fn records_of_the_same_run_compare_clean() {
+    let opts = RunOptions {
+        quick: true,
+        filter: Some("calibration".into()),
+        threads: 1,
+    };
+    let first = run_registry(&Registry::builtin(), &opts).expect("bench run");
+    assert!(!first.record.benchmarks.is_empty());
+
+    // Serialize + reparse, then compare against the in-memory record.
+    let reread = Record::parse(&first.record.render()).expect("record round-trips");
+    let copts = CmpOptions {
+        strict: true,
+        ..CmpOptions::default()
+    };
+    let report = compare(&reread, &first.record, &copts);
+    assert!(report.failure(&copts).is_none(), "same run must be clean");
+    assert!(report.rows.iter().all(|r| r.verdict == Verdict::Unchanged));
+
+    // A second real run: calibration normalization keeps it clean even
+    // on a noisy host.
+    let second = run_registry(&Registry::builtin(), &opts).expect("bench rerun");
+    let report = compare(&first.record, &second.record, &copts);
+    assert!(
+        report.failure(&copts).is_none(),
+        "back-to-back runs of the same build must compare clean:\n{}",
+        report.render()
+    );
+}

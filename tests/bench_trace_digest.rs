@@ -1,0 +1,84 @@
+//! The barometer honours the repo's trace contract (DESIGN.md
+//! "Observability", tests/trace_pipeline.rs): a `--trace`d `fgbs bench
+//! --quick` run produces the same canonical digest — span names,
+//! nesting, deterministic args, counters — at any worker-thread count.
+//!
+//! One `#[test]`, alone in this binary, because the trace collector is
+//! process-global: a concurrent test would interleave its spans.
+
+use fgbs::bench::barometer::{run_registry, Registry, RunOptions};
+use fgbs::trace::{self, Trace};
+
+/// Run the pipeline slice of the registry with the collector on, as the
+/// CLI does for `fgbs bench --quick --trace FILE`, and drain the trace.
+fn traced_bench(threads: usize) -> Trace {
+    trace::set_enabled(true);
+    let _ = trace::drain();
+    let out = run_registry(
+        &Registry::builtin(),
+        &RunOptions {
+            quick: true,
+            filter: Some("pipeline/reduce".into()),
+            threads,
+        },
+    )
+    .expect("bench run succeeds");
+    assert_eq!(
+        out.record.benchmarks.len(),
+        2,
+        "the filter selects the plain and the traced pipeline benchmark"
+    );
+    trace::set_enabled(false);
+    trace::drain()
+}
+
+#[test]
+fn bench_trace_digest_is_thread_invariant() {
+    let serial = traced_bench(1);
+    let parallel = traced_bench(4);
+
+    assert_eq!(
+        serial.digest(),
+        parallel.digest(),
+        "a traced bench run must produce identical trace content at any \
+         --threads value"
+    );
+
+    // One bench.case span per executed benchmark, carrying only the
+    // deterministic arguments (id + sample count, never timings or the
+    // thread count).
+    let cases = parallel.spans_named("bench.case");
+    assert_eq!(cases.len(), 2);
+    assert_eq!(parallel.counter("bench.cases"), 2);
+    for c in &cases {
+        assert!(c.args.iter().any(|(k, _)| *k == "id"));
+        assert!(c.args.iter().any(|(k, _)| *k == "samples"));
+        assert!(
+            c.args.iter().all(|(k, _)| *k == "id" || *k == "samples"),
+            "bench.case args must stay deterministic"
+        );
+    }
+
+    // The measured pipeline's own spans are present and nest under the
+    // bench.case that ran them.
+    let profiles = parallel.spans_named("stage.profile");
+    assert!(
+        !profiles.is_empty(),
+        "the traced workload records pipeline spans"
+    );
+    let case_ids: Vec<u64> = cases.iter().map(|c| c.id).collect();
+    let under_case = |mut parent: Option<u64>| {
+        // Walk up the span tree to the owning bench.case.
+        while let Some(p) = parent {
+            if case_ids.contains(&p) {
+                return true;
+            }
+            parent = parallel.spans.iter().find(|s| s.id == p).and_then(|s| s.parent);
+        }
+        false
+    };
+    assert!(
+        profiles.iter().all(|s| under_case(s.parent)),
+        "pipeline spans nest under their bench.case"
+    );
+}
