@@ -48,6 +48,14 @@ pub enum Stage {
     PipelineReduce,
     /// The same pipeline with the trace collector enabled.
     PipelineReduceTraced,
+    /// Build + encode a snippet pack from `size` bigdata apps.
+    SnippetPack,
+    /// Parse + checksum + semantically validate an encoded pack.
+    SnippetUnpackVerify,
+    /// Replay a parsed pack against its bitwise contract.
+    SnippetReplay,
+    /// Execute the same codelets in-process (the replay baseline).
+    SnippetInproc,
 }
 
 impl Stage {
@@ -68,6 +76,10 @@ impl Stage {
             "fault_probe" => Stage::FaultProbe,
             "pipeline_reduce" => Stage::PipelineReduce,
             "pipeline_reduce_traced" => Stage::PipelineReduceTraced,
+            "snippet_pack" => Stage::SnippetPack,
+            "snippet_unpack_verify" => Stage::SnippetUnpackVerify,
+            "snippet_replay" => Stage::SnippetReplay,
+            "snippet_inproc" => Stage::SnippetInproc,
             _ => return None,
         })
     }
@@ -278,7 +290,16 @@ mod tests {
         let r = Registry::builtin();
         assert_eq!(r.schema, REGISTRY_SCHEMA);
         assert!(r.benchmarks.len() >= 15, "got {}", r.benchmarks.len());
-        for suite in ["calibration", "clustering", "ga", "store", "trace", "fault", "pipeline"] {
+        for suite in [
+            "calibration",
+            "clustering",
+            "ga",
+            "store",
+            "trace",
+            "fault",
+            "pipeline",
+            "snippet",
+        ] {
             assert!(
                 r.benchmarks.iter().any(|b| b.suite == suite),
                 "no `{suite}` benchmarks in the built-in registry"
@@ -292,6 +313,11 @@ mod tests {
         assert_eq!(r.find("fault/probe/n1/t1").unwrap().max_ns, Some(1000));
         let traced = r.find("pipeline/reduce_traced/n10/t0").unwrap();
         assert_eq!(traced.gate.as_ref().unwrap().vs, "pipeline/reduce/n10/t0");
+        // Replaying a pack must cost within 5% of in-process execution.
+        let replay = r.find("snippet/replay/n3/t1").unwrap();
+        let gate = replay.gate.as_ref().unwrap();
+        assert_eq!(gate.vs, "snippet/inproc/n3/t1");
+        assert_eq!(gate.max_ratio, 1.05);
     }
 
     #[test]
@@ -345,6 +371,10 @@ mod tests {
             "fault_probe",
             "pipeline_reduce",
             "pipeline_reduce_traced",
+            "snippet_pack",
+            "snippet_unpack_verify",
+            "snippet_replay",
+            "snippet_inproc",
         ] {
             assert!(Stage::parse(name).is_some(), "stage `{name}` must parse");
         }

@@ -21,8 +21,10 @@ use fgbs_core::{profile_reference, reduce_cached, select_features_ga, KChoice, M
 use fgbs_genetic::GaConfig;
 use fgbs_machine::{Arch, PARK_SCALE};
 use fgbs_matrix::Matrix;
+use fgbs_pool::WorkPool;
+use fgbs_snippet::{build_pack, encode_pack, parse_pack, replay_pack, snippet_digest, verify_pack};
 use fgbs_store::{ArtifactKind, Store};
-use fgbs_suites::{nr_suite, Class};
+use fgbs_suites::{bigdata_suite, nr_suite, Class};
 
 use super::registry::{BenchDef, Stage};
 
@@ -250,6 +252,69 @@ pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Resu
                     let suite = profile_reference(&apps, &cfg);
                     black_box(reduce_cached(&suite, &cfg, &MicroCache::new()));
                 })
+            })
+        }
+        Stage::SnippetPack => {
+            let apps: Vec<_> = bigdata_suite(Class::Test)
+                .into_iter()
+                .take(def.size)
+                .collect();
+            let pool = WorkPool::new(threads);
+            run_samples(batch, samples, |_| {
+                let pack = build_pack("bench", "bigdata", "class=test", &apps, &pool)
+                    .expect("bench pack builds");
+                black_box(encode_pack(&pack));
+            })
+        }
+        Stage::SnippetUnpackVerify => {
+            let apps: Vec<_> = bigdata_suite(Class::Test)
+                .into_iter()
+                .take(def.size)
+                .collect();
+            let pool = WorkPool::new(threads);
+            let bytes = encode_pack(
+                &build_pack("bench", "bigdata", "class=test", &apps, &pool)
+                    .map_err(|e| format!("bench pack: {e}"))?,
+            );
+            run_samples(batch, samples, |_| {
+                black_box(verify_pack(&bytes).expect("bench pack verifies"));
+            })
+        }
+        Stage::SnippetReplay => {
+            let apps: Vec<_> = bigdata_suite(Class::Test)
+                .into_iter()
+                .take(def.size)
+                .collect();
+            let pool = WorkPool::new(threads);
+            let bytes = encode_pack(
+                &build_pack("bench", "bigdata", "class=test", &apps, &pool)
+                    .map_err(|e| format!("bench pack: {e}"))?,
+            );
+            let pack = parse_pack(&bytes).map_err(|e| format!("bench pack parse: {e}"))?;
+            run_samples(batch, samples, |_| {
+                let report = replay_pack(&pack, &pool).expect("bench replay runs");
+                assert!(report.all_ok(), "bench replay met its contract");
+                black_box(report);
+            })
+        }
+        Stage::SnippetInproc => {
+            // The replay gate's baseline: the same codelets and contexts
+            // executed straight from the in-process suite, no pack in
+            // between. `snippet/replay` must land within 5% of this.
+            let apps: Vec<_> = bigdata_suite(Class::Test)
+                .into_iter()
+                .take(def.size)
+                .collect();
+            let pool = WorkPool::new(threads);
+            run_samples(batch, samples, |_| {
+                for app in &apps {
+                    for ci in app.extractable() {
+                        black_box(
+                            snippet_digest(&app.codelets[ci], &app.contexts[ci], &pool)
+                                .expect("bench inproc digest"),
+                        );
+                    }
+                }
             })
         }
     };

@@ -29,8 +29,10 @@ use fgbs_core::{
 };
 use fgbs_fault::Deadline;
 use fgbs_machine::{Arch, PARK_SCALE};
+use fgbs_extract::ApplicationBuilder;
+use fgbs_snippet::{ingest_pack, load_pack, Pack, RegistryError};
 use fgbs_store::{ArtifactKind, SingleFlight, StableHasher, Store};
-use fgbs_suites::{nas_suite, nr_suite, Class};
+use fgbs_suites::{bigdata_suite, nas_suite, nr_suite, Class};
 use parking_lot::Mutex;
 
 use crate::http::{Request, Response};
@@ -49,8 +51,12 @@ fn resolve_suite(req: &Request) -> Result<SuiteSpec, Response> {
     let kind = match req.param_or("suite", "nr").to_ascii_lowercase().as_str() {
         "nr" => "nr",
         "nas" => "nas",
+        "bigdata" => "bigdata",
         other => {
-            return Err(Response::error(400, &format!("unknown suite `{other}` (nr|nas)")));
+            return Err(Response::error(
+                400,
+                &format!("unknown suite `{other}` (nr|nas|bigdata)"),
+            ));
         }
     };
     let (class_name, class) = match req.param_or("class", "test").to_ascii_lowercase().as_str() {
@@ -149,6 +155,33 @@ fn parse_usize_param(req: &Request, name: &str, default: usize) -> Result<usize,
     }
 }
 
+/// Rebuild runnable applications from a snippet pack: snippets are
+/// regrouped by their originating application (preserving pack order),
+/// and each invocation context is scheduled once — replaying the
+/// extraction-time invocation profile the pack recorded.
+fn pack_applications(pack: &Pack) -> Vec<fgbs_extract::Application> {
+    let mut order: Vec<&str> = Vec::new();
+    for s in &pack.snippets {
+        if !order.contains(&s.codelet.app.as_str()) {
+            order.push(&s.codelet.app);
+        }
+    }
+    order
+        .into_iter()
+        .map(|app_name| {
+            let mut b = ApplicationBuilder::new(app_name);
+            for s in pack.snippets.iter().filter(|s| s.codelet.app == app_name) {
+                let i = b.codelet(s.codelet.clone(), s.contexts.clone());
+                for c in 0..s.contexts.len() {
+                    b.invoke(i, c, 1);
+                }
+            }
+            b.rounds(1);
+            b.build()
+        })
+        .collect()
+}
+
 /// The system-selection service: store-first, single-flighted handlers
 /// over the Steps A–E pipeline. Request-agnostic and socket-free — the
 /// server loop in [`crate`] feeds it, and tests call
@@ -226,11 +259,17 @@ impl Service {
             ("GET", "/predict") => ("predict", self.ep_predict(req)),
             ("GET", "/sweep") => ("sweep", self.ep_sweep(req)),
             ("POST", "/reduce") => ("reduce", self.ep_reduce(req)),
+            ("POST", "/snippets") => ("snippets", self.ep_snippets(req)),
+            ("GET", "/snippets") => ("snippets", self.ep_snippets_list()),
             ("GET", "/artifacts") => ("artifacts", self.ep_artifacts()),
             ("GET", "/metrics") => ("metrics", self.ep_metrics()),
             ("GET", "/trace") => ("trace", self.ep_trace()),
             ("GET", "/health") => ("health", Response::json(&Json::obj(vec![("ok", Json::Bool(true))]))),
-            (_, "/predict" | "/sweep" | "/reduce" | "/artifacts" | "/metrics" | "/trace") => (
+            (
+                _,
+                "/predict" | "/sweep" | "/reduce" | "/snippets" | "/artifacts" | "/metrics"
+                | "/trace",
+            ) => (
                 "other",
                 Response::error(405, "method not allowed for this endpoint"),
             ),
@@ -303,6 +342,7 @@ impl Service {
         }
         let apps = match spec.kind {
             "nr" => nr_suite(spec.class),
+            "bigdata" => bigdata_suite(spec.class),
             _ => nas_suite(spec.class),
         };
         let t0 = Instant::now();
@@ -316,7 +356,166 @@ impl Service {
             .clone()
     }
 
+    /// The profiled suite of an ingested snippet pack, memoised like the
+    /// first-party suites (keyed by the pack's content-addressed id, so
+    /// a re-uploaded edit profiles afresh under its new id).
+    fn profiled_snippet(&self, id: &str, pack: &Pack) -> Arc<ProfiledSuite> {
+        let memo_key = format!("snippet/{id}");
+        if let Some(p) = self.profiles.lock().get(&memo_key) {
+            return Arc::clone(p);
+        }
+        let apps = pack_applications(pack);
+        let t0 = Instant::now();
+        let suite = Arc::new(profile_reference(&apps, &self.cfg));
+        self.metrics
+            .record("stage.profile", t0.elapsed().as_micros() as u64);
+        self.profiles
+            .lock()
+            .entry(memo_key)
+            .or_insert(suite)
+            .clone()
+    }
+
+    /// `POST /snippets`: validate-then-publish a submitted pack frame.
+    /// A corrupt frame is quarantined (bytes preserved, never executed)
+    /// and reported as a structured `400`.
+    fn ep_snippets(&self, req: &Request) -> Response {
+        if req.body.is_empty() {
+            return Response::error(400, "empty body: POST the binary pack frame");
+        }
+        match ingest_pack(&self.store, &req.body) {
+            Ok(s) => Response::json(&Json::obj(vec![
+                ("id", Json::str(&s.id)),
+                ("name", Json::str(&s.name)),
+                ("suite", Json::str(&s.suite)),
+                ("schema", Json::U64(s.schema as u64)),
+                ("snippets", Json::U64(s.snippets as u64)),
+                ("bytes", Json::U64(s.bytes as u64)),
+            ])),
+            Err(RegistryError::Invalid(e)) => {
+                fgbs_trace::stat("serve.snippet_rejected", 1);
+                Response {
+                    status: 400,
+                    source: None,
+                    body: Json::obj(vec![
+                        ("error", Json::str(format!("invalid pack: {e}"))),
+                        ("quarantined", Json::Bool(true)),
+                    ])
+                    .render()
+                    .into_bytes(),
+                }
+            }
+            Err(RegistryError::Io(e)) => Response::error(503, &format!("store error: {e}")),
+        }
+    }
+
+    /// `GET /snippets`: every published pack, in stable key order.
+    fn ep_snippets_list(&self) -> Response {
+        let packs: Vec<Json> = fgbs_snippet::list_packs(&self.store)
+            .iter()
+            .map(|m| {
+                Json::obj(vec![
+                    ("id", Json::str(&m.key)),
+                    ("bytes", Json::U64(m.bytes)),
+                    ("stored_at", Json::U64(m.stored_at)),
+                ])
+            })
+            .collect();
+        Response::json(&Json::obj(vec![
+            ("count", Json::U64(packs.len() as u64)),
+            ("packs", Json::Arr(packs)),
+        ]))
+    }
+
+    /// `GET /predict?snippet=<id>`: the prediction pipeline over an
+    /// ingested snippet pack instead of a first-party suite.
+    fn ep_predict_snippet(&self, req: &Request, id: &str) -> Response {
+        let target = match resolve_target(req) {
+            Ok(t) => t,
+            Err(r) => return r,
+        };
+        let (k, k_label) = match resolve_k(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let deadline = match resolve_deadline(req) {
+            Ok(d) => d,
+            Err(r) => return r,
+        };
+        let pack = match load_pack(&self.store, id) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Response::error(404, &format!("no snippet pack `{id}`")),
+            Err(e) => return Response::error(503, &e.to_string()),
+        };
+        let key = self.response_key("predict-snippet", &[id, &target.name, &k_label]);
+        self.respond_cached(&key, deadline, || {
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            let suite = self.profiled_snippet(id, &pack);
+            let mut cfg = self.cfg.clone().with_k(k);
+            if let Some(d) = deadline {
+                cfg = cfg.with_deadline(d);
+            }
+
+            let t0 = Instant::now();
+            let reduced = match try_reduce_cached(&suite, &cfg, &MicroCache::new()) {
+                Ok(r) => r,
+                Err(e) => return pipeline_error(e),
+            };
+            self.metrics
+                .record("stage.reduce", t0.elapsed().as_micros() as u64);
+
+            let t0 = Instant::now();
+            let out = match try_predict(&suite, &reduced, &target, &cfg) {
+                Ok(o) => o,
+                Err(e) => return pipeline_error(e),
+            };
+            self.metrics
+                .record("stage.predict", t0.elapsed().as_micros() as u64);
+
+            let predictions: Vec<Json> = out
+                .predictions
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("codelet", Json::str(&suite.codelets[p.codelet].name)),
+                        ("representative", Json::Bool(p.is_representative)),
+                        (
+                            "predicted_seconds",
+                            p.predicted_seconds.map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                        ("real_seconds", Json::Num(p.real_seconds)),
+                        (
+                            "error_pct",
+                            p.error_pct.map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                    ])
+                })
+                .collect();
+            Response::json(&Json::obj(vec![
+                ("snippet", Json::str(id)),
+                ("suite", Json::str(&pack.provenance.suite)),
+                ("pack", Json::str(&pack.name)),
+                ("target", Json::str(&out.target)),
+                ("k", Json::str(&k_label)),
+                ("k_requested", Json::U64(reduced.k_requested as u64)),
+                (
+                    "representatives",
+                    Json::U64(reduced.n_representatives() as u64),
+                ),
+                ("codelets", Json::U64(suite.len() as u64)),
+                ("coverage", Json::Num(suite.coverage)),
+                ("median_error_pct", Json::Num(out.median_error_pct())),
+                ("average_error_pct", Json::Num(out.average_error_pct())),
+                ("predictions", Json::Arr(predictions)),
+            ]))
+        })
+    }
+
     fn ep_predict(&self, req: &Request) -> Response {
+        if let Some(id) = req.param("snippet") {
+            let id = id.to_string();
+            return self.ep_predict_snippet(req, &id);
+        }
         let spec = match resolve_suite(req) {
             Ok(s) => s,
             Err(r) => return r,

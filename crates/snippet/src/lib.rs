@@ -1,0 +1,80 @@
+//! `fgbs-snippet` — portable, versioned codelet-snippet packs.
+//!
+//! The paper's product is a set of *representative codelets* that stand
+//! in for whole benchmark suites, but until now those codelets existed
+//! only as in-process `fgbs-isa` IR. This crate gives them a shippable
+//! form, in the spirit of *Nugget: Portable Program Snippets*: a
+//! **snippet pack** is a self-contained on-disk file bundling, per
+//! codelet,
+//!
+//! * the serialized codelet IR plus its invocation [`fgbs_isa::Binding`]s
+//!   (the binding's `seed` *is* the input-initialization recipe — memory
+//!   contents derive deterministically from it),
+//! * the architecture-independent feature vector of the first
+//!   invocation context,
+//! * a **replay contract**: the expected execution digest, bitwise under
+//!   schema 1 (the `tolerance` field is reserved and must be `0.0`),
+//! * provenance metadata (suite, extraction configuration, schema).
+//!
+//! # Frame layout (schema 1)
+//!
+//! ```text
+//! u32 magic  "FGSN"          | not covered by the checksum;
+//! u32 schema (= 1)           | validated field-by-field
+//! u64 fnv64 checksum of body |
+//! body:                        covered by the checksum:
+//!   str  kind (= "snippet")
+//!   str  pack name
+//!   str  provenance.suite
+//!   str  provenance.extraction
+//!   seq  snippets
+//! ```
+//!
+//! Every byte of a pack is either an individually validated header
+//! field or covered by the body checksum, so flipping *any* single byte
+//! is detected by [`verify_pack`] before a snippet is ever executed.
+//! Parsing is strict in the style of the store codec and the
+//! barometer's `Record`: unknown discriminants, truncated frames,
+//! semantic inconsistencies (out-of-range array/accumulator/parameter
+//! ids, empty loop nests, leading triangular dims, …) and trailing
+//! bytes are all structured [`fgbs_store::CodecError`]s, never panics.
+//!
+//! # Determinism
+//!
+//! Replay digests fold, per invocation context, the interpreter's
+//! iteration count, final accumulators and final memory image (all as
+//! IEEE-754 bit patterns), and combine contexts in index order through
+//! [`fgbs_pool::WorkPool::map_indexed`] — so the digest is
+//! bitwise-identical at any thread count.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codec;
+mod pack;
+mod registry;
+mod replay;
+
+pub use pack::{
+    encode_pack, pack_id, parse_pack, verify_pack, Pack, PackSummary, Provenance, ReplayContract,
+    Snippet,
+};
+pub use registry::{ingest_pack, list_packs, load_pack, RegistryError};
+pub use replay::{build_pack, replay_pack, snippet_digest, ReplayOutcome, ReplayReport};
+
+/// On-disk snippet-pack schema version. Bumping it orphans (never
+/// misreads) packs written by older builds: the version field is
+/// checked before anything else is parsed.
+pub const SNIPPET_SCHEMA: u32 = 1;
+
+/// Pack file magic bytes.
+pub(crate) const MAGIC: [u8; 4] = *b"FGSN";
+
+/// Maximum expression-tree depth accepted by the decoder — a corrupted
+/// or adversarial pack cannot trigger unbounded recursion.
+pub(crate) const MAX_EXPR_DEPTH: usize = 64;
+
+/// Upper bound on innermost iterations per invocation context: a pack
+/// that *claims* astronomically large trip counts is rejected at parse
+/// time instead of hanging the replayer. Far above every shipped suite.
+pub(crate) const MAX_CONTEXT_ITERATIONS: u64 = 1 << 32;

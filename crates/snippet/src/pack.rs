@@ -1,0 +1,331 @@
+//! The pack container: frame, checksum, strict parse/verify.
+
+use fgbs_isa::{Binding, Codelet};
+use fgbs_store::{fnv64, hash_fields, ByteReader, ByteWriter, CodecError};
+
+use crate::codec::{get_binding, get_codelet, put_binding, put_codelet, validate_binding};
+use crate::{MAGIC, SNIPPET_SCHEMA};
+
+/// The artifact-kind string stored inside every pack body.
+const KIND: &str = "snippet";
+/// Frame header bytes before the checksummed body: magic + schema +
+/// checksum.
+const HEADER_LEN: usize = 4 + 4 + 8;
+
+/// The replay contract of one snippet: what executing it must produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayContract {
+    /// Expected execution digest (see [`crate::snippet_digest`]).
+    pub digest: u64,
+    /// Allowed deviation. Schema 1 is strictly bitwise: the field is
+    /// reserved for future value-level comparison and must be `0.0`
+    /// (the parser rejects anything else).
+    pub tolerance: f64,
+}
+
+/// Where a pack came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Suite the codelets were extracted from (e.g. `bigdata`).
+    pub suite: String,
+    /// Extraction configuration, free-form (e.g. `class=test`).
+    pub extraction: String,
+}
+
+/// One portable codelet: IR, invocation contexts, features, contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snippet {
+    /// The codelet IR.
+    pub codelet: Codelet,
+    /// Invocation bindings; each binding's `seed` is the complete
+    /// input-initialization recipe (memory derives from it).
+    pub contexts: Vec<Binding>,
+    /// Architecture-independent feature vector of the first context.
+    pub features: Vec<f64>,
+    /// Expected replay outcome.
+    pub contract: ReplayContract,
+}
+
+/// A self-contained snippet pack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pack {
+    /// Human-readable pack name.
+    pub name: String,
+    /// Provenance metadata.
+    pub provenance: Provenance,
+    /// The snippets, in extraction order.
+    pub snippets: Vec<Snippet>,
+}
+
+/// What [`verify_pack`] reports about a structurally valid pack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackSummary {
+    /// Content-addressed pack id (32 hex chars).
+    pub id: String,
+    /// Pack name.
+    pub name: String,
+    /// Provenance suite.
+    pub suite: String,
+    /// Schema version of the frame.
+    pub schema: u32,
+    /// Number of snippets.
+    pub snippets: usize,
+    /// Total frame size in bytes.
+    pub bytes: usize,
+}
+
+/// Content-addressed id of a pack: a stable 128-bit hash of its exact
+/// frame bytes, so byte-identical packs share an id and any edit moves
+/// to a fresh one.
+pub fn pack_id(bytes: &[u8]) -> String {
+    hash_fields(&[b"snippet-pack", bytes])
+}
+
+fn put_snippet(w: &mut ByteWriter, s: &Snippet) {
+    put_codelet(w, &s.codelet);
+    w.put_seq(s.contexts.len());
+    for b in &s.contexts {
+        put_binding(w, b);
+    }
+    w.put_f64_slice(&s.features);
+    w.put_u64(s.contract.digest);
+    w.put_f64(s.contract.tolerance);
+}
+
+fn get_snippet(r: &mut ByteReader) -> Result<Snippet, CodecError> {
+    let codelet = get_codelet(r)?;
+    let n = r.get_seq()?;
+    if n == 0 {
+        return Err(CodecError::new(format!(
+            "{}: snippet has no invocation contexts",
+            codelet.qualified_name()
+        )));
+    }
+    let mut contexts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let b = get_binding(r)?;
+        validate_binding(&b, &codelet)?;
+        contexts.push(b);
+    }
+    let features = r.get_f64_vec()?;
+    let contract = ReplayContract {
+        digest: r.get_u64()?,
+        tolerance: r.get_f64()?,
+    };
+    if contract.tolerance != 0.0 {
+        return Err(CodecError::new(format!(
+            "{}: schema {SNIPPET_SCHEMA} replay contracts are bitwise; \
+             nonzero tolerance {} is reserved",
+            codelet.qualified_name(),
+            contract.tolerance
+        )));
+    }
+    Ok(Snippet {
+        codelet,
+        contexts,
+        features,
+        contract,
+    })
+}
+
+/// Encode a pack into its on-disk frame. Deterministic: the same pack
+/// always encodes to the same bytes (and therefore the same id).
+pub fn encode_pack(pack: &Pack) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    body.put_str(KIND);
+    body.put_str(&pack.name);
+    body.put_str(&pack.provenance.suite);
+    body.put_str(&pack.provenance.extraction);
+    body.put_seq(pack.snippets.len());
+    for s in &pack.snippets {
+        put_snippet(&mut body, s);
+    }
+    let body = body.into_bytes();
+
+    let mut head = ByteWriter::new();
+    head.put_u32(u32::from_le_bytes(MAGIC));
+    head.put_u32(SNIPPET_SCHEMA);
+    head.put_u64(fnv64(&body));
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parse a pack frame, verifying every integrity and semantic invariant.
+///
+/// Structured errors, never panics: bad magic, unknown schema, checksum
+/// mismatch, truncation, unknown discriminants, semantic violations and
+/// trailing bytes each report what failed. A single flipped byte
+/// anywhere in the frame is caught here (header fields are validated
+/// individually; everything else is covered by the body checksum).
+pub fn parse_pack(bytes: &[u8]) -> Result<Pack, CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::new(format!(
+            "truncated pack: {} bytes is smaller than the {HEADER_LEN}-byte header",
+            bytes.len()
+        )));
+    }
+    let mut head = ByteReader::new(&bytes[..HEADER_LEN]);
+    let magic = head.get_u32()?;
+    if magic != u32::from_le_bytes(MAGIC) {
+        return Err(CodecError::new("bad magic: not a snippet pack"));
+    }
+    let schema = head.get_u32()?;
+    if schema != SNIPPET_SCHEMA {
+        return Err(CodecError::new(format!(
+            "unsupported snippet schema {schema} (this build reads schema {SNIPPET_SCHEMA})"
+        )));
+    }
+    let checksum = head.get_u64()?;
+    let body = &bytes[HEADER_LEN..];
+    if fnv64(body) != checksum {
+        return Err(CodecError::new("pack checksum mismatch (corrupt body)"));
+    }
+
+    let mut r = ByteReader::new(body);
+    let kind = r.get_str()?;
+    if kind != KIND {
+        return Err(CodecError::new(format!(
+            "pack kind `{kind}` is not `{KIND}`"
+        )));
+    }
+    let name = r.get_str()?;
+    let provenance = Provenance {
+        suite: r.get_str()?,
+        extraction: r.get_str()?,
+    };
+    let n = r.get_seq()?;
+    let mut snippets = Vec::with_capacity(n);
+    for _ in 0..n {
+        snippets.push(get_snippet(&mut r)?);
+    }
+    r.finish()?;
+    Ok(Pack {
+        name,
+        provenance,
+        snippets,
+    })
+}
+
+/// Structurally verify a pack without executing anything; returns a
+/// summary on success. This is the gate serve-side ingestion and
+/// `fgbs snippet verify` stand behind: a pack that fails here is never
+/// replayed.
+pub fn verify_pack(bytes: &[u8]) -> Result<PackSummary, CodecError> {
+    let pack = parse_pack(bytes)?;
+    Ok(PackSummary {
+        id: pack_id(bytes),
+        name: pack.name,
+        suite: pack.provenance.suite,
+        schema: SNIPPET_SCHEMA,
+        snippets: pack.snippets.len(),
+        bytes: bytes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgbs_isa::{BinOp, BindingBuilder, CodeletBuilder, Precision};
+
+    pub(crate) fn tiny_pack() -> Pack {
+        let c = CodeletBuilder::new("dot.c:5-9", "tiny")
+            .pattern("DP: dot product")
+            .array("x", Precision::F64)
+            .array("y", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+            .build();
+        let b = BindingBuilder::new(0x1000)
+            .vector(32, 8)
+            .vector(32, 8)
+            .param(32)
+            .seed(7)
+            .build_for(&c);
+        Pack {
+            name: "tiny-pack".into(),
+            provenance: Provenance {
+                suite: "unit".into(),
+                extraction: "class=test".into(),
+            },
+            snippets: vec![Snippet {
+                codelet: c,
+                contexts: vec![b],
+                features: vec![1.0, 2.0, 3.0],
+                contract: ReplayContract {
+                    digest: 0xDEAD_BEEF,
+                    tolerance: 0.0,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn pack_round_trips_and_is_deterministic() {
+        let p = tiny_pack();
+        let bytes = encode_pack(&p);
+        assert_eq!(bytes, encode_pack(&p), "encoding must be deterministic");
+        let back = parse_pack(&bytes).unwrap();
+        assert_eq!(back, p);
+        let summary = verify_pack(&bytes).unwrap();
+        assert_eq!(summary.name, "tiny-pack");
+        assert_eq!(summary.snippets, 1);
+        assert_eq!(summary.id, pack_id(&bytes));
+        assert_eq!(summary.id.len(), 32);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_pack(&tiny_pack());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                parse_pack(&bad).is_err(),
+                "flip at byte {i}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_by_name() {
+        let mut bytes = encode_pack(&tiny_pack());
+        bytes[4] = 2; // schema u32 LE low byte
+        let err = parse_pack(&bytes).unwrap_err();
+        assert!(err.message.contains("schema"), "{}", err.message);
+    }
+
+    #[test]
+    fn nonzero_tolerance_is_reserved() {
+        let mut p = tiny_pack();
+        p.snippets[0].contract.tolerance = 0.5;
+        let bytes = encode_pack(&p);
+        let err = parse_pack(&bytes).unwrap_err();
+        assert!(err.message.contains("tolerance"), "{}", err.message);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let p = tiny_pack();
+        let mut bytes = encode_pack(&p);
+        bytes.push(0);
+        // The checksum no longer matches the extended body.
+        assert!(parse_pack(&bytes).is_err());
+        // Even a forged checksum over the padded body must fail on
+        // trailing bytes.
+        let body_checksum = fnv64(&bytes[HEADER_LEN..]);
+        bytes[8..16].copy_from_slice(&body_checksum.to_le_bytes());
+        let err = parse_pack(&bytes).unwrap_err();
+        assert!(err.message.contains("trailing"), "{}", err.message);
+    }
+
+    #[test]
+    fn empty_contexts_are_rejected() {
+        let mut p = tiny_pack();
+        p.snippets[0].contexts.clear();
+        let bytes = encode_pack(&p);
+        let err = parse_pack(&bytes).unwrap_err();
+        assert!(err.message.contains("contexts"), "{}", err.message);
+    }
+}

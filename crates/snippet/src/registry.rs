@@ -1,0 +1,148 @@
+//! The pack registry: content-addressed persistence in `fgbs-store`.
+
+use std::fmt;
+use std::io;
+
+use fgbs_store::{ArtifactKind, ArtifactMeta, CodecError, Store};
+
+use crate::pack::{pack_id, parse_pack, verify_pack, Pack, PackSummary};
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The pack bytes failed validation (and were quarantined on ingest).
+    Invalid(CodecError),
+    /// The store could not be read or written.
+    Io(io::Error),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Invalid(e) => write!(f, "invalid pack: {e}"),
+            RegistryError::Io(e) => write!(f, "store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> Self {
+        RegistryError::Io(e)
+    }
+}
+
+/// Validate-then-publish a submitted pack.
+///
+/// A valid pack is stored content-addressed under [`ArtifactKind::Snippet`]
+/// and its summary returned. A corrupt submission is **quarantined** —
+/// the bytes are preserved under the store's `quarantine/` directory
+/// (never `objects/`, so they can never be replayed later) and the
+/// validation error is returned. This is the only write path serve-side
+/// ingestion uses, so a corrupt pack is never executed.
+pub fn ingest_pack(store: &Store, bytes: &[u8]) -> Result<PackSummary, RegistryError> {
+    match verify_pack(bytes) {
+        Ok(summary) => {
+            store.put(ArtifactKind::Snippet, &summary.id, bytes)?;
+            Ok(summary)
+        }
+        Err(e) => {
+            // Best-effort preservation: the validation error dominates
+            // any secondary quarantine-write failure.
+            let _ = store.quarantine_external(ArtifactKind::Snippet, &pack_id(bytes), bytes);
+            Err(RegistryError::Invalid(e))
+        }
+    }
+}
+
+/// Load and re-validate a stored pack by id. `Ok(None)` when the id is
+/// unknown — including when the stored object failed the store's own
+/// frame checks and was quarantined by [`Store::get`].
+pub fn load_pack(store: &Store, id: &str) -> Result<Option<Pack>, RegistryError> {
+    match store.get(ArtifactKind::Snippet, id)? {
+        None => Ok(None),
+        Some(bytes) => parse_pack(&bytes)
+            .map(Some)
+            .map_err(RegistryError::Invalid),
+    }
+}
+
+/// Every stored snippet pack, in stable (key) order.
+pub fn list_packs(store: &Store) -> Vec<ArtifactMeta> {
+    store
+        .list()
+        .into_iter()
+        .filter(|m| m.kind == ArtifactKind::Snippet)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::encode_pack;
+    use crate::replay::build_pack;
+    use fgbs_isa::{BinOp, BindingBuilder, CodeletBuilder, Precision};
+    use fgbs_pool::WorkPool;
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fgbs-snippet-reg-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let c = CodeletBuilder::new("k.c:1-4", "reg")
+            .pattern("DP: sum")
+            .array("x", Precision::F64)
+            .param_loop("n")
+            .update_acc("s", BinOp::Add, |b| b.load("x", &[1]))
+            .build();
+        let b = BindingBuilder::new(0x1000)
+            .vector(64, 8)
+            .param(64)
+            .seed(3)
+            .build_for(&c);
+        let mut app = fgbs_extract::ApplicationBuilder::new("reg");
+        let i = app.codelet(c, vec![b]);
+        app.invoke(i, 0, 1);
+        let apps = vec![app.build()];
+        let pack = build_pack("reg-pack", "unit", "handmade", &apps, &WorkPool::serial()).unwrap();
+        encode_pack(&pack)
+    }
+
+    #[test]
+    fn ingest_list_load_round_trip() {
+        let root = tmp_root("ok");
+        let store = Store::open(&root).unwrap();
+        let bytes = sample_bytes();
+        let summary = ingest_pack(&store, &bytes).unwrap();
+        assert_eq!(summary.id, pack_id(&bytes));
+        let listed = list_packs(&store);
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].key, summary.id);
+        let pack = load_pack(&store, &summary.id).unwrap().unwrap();
+        assert_eq!(pack.name, "reg-pack");
+        assert!(load_pack(&store, "0000").unwrap().is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_ingest_quarantines_and_never_publishes() {
+        let root = tmp_root("bad");
+        let store = Store::open(&root).unwrap();
+        let mut bytes = sample_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = ingest_pack(&store, &bytes).unwrap_err();
+        assert!(matches!(err, RegistryError::Invalid(_)), "{err}");
+        assert!(list_packs(&store).is_empty(), "corrupt pack must not publish");
+        assert_eq!(store.counters().quarantines, 1);
+        assert!(root.join("quarantine").exists());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

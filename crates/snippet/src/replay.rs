@@ -1,0 +1,251 @@
+//! Deterministic replay: execute snippets and digest the outcome.
+
+use fgbs_analysis::archind_features;
+use fgbs_extract::Application;
+use fgbs_isa::{interpret, Binding, Codelet, Memory};
+use fgbs_pool::WorkPool;
+use fgbs_store::{fnv64, ByteWriter};
+
+use crate::pack::{Pack, Provenance, ReplayContract, Snippet};
+
+/// Execute one invocation context and digest everything observable:
+/// the iteration count, the final accumulators, and the final memory
+/// image of every array, all as exact bit patterns.
+fn context_digest(codelet: &Codelet, binding: &Binding) -> Result<u64, String> {
+    let mut mem = Memory::for_binding(codelet, binding);
+    let res = interpret(codelet, binding, &mut mem)
+        .map_err(|e| format!("{}: {e}", codelet.qualified_name()))?;
+    let mut w = ByteWriter::new();
+    w.put_u64(res.iterations);
+    w.put_f64_slice(&res.accs);
+    for i in 0..codelet.arrays.len() {
+        w.put_f64_slice(mem.array(i));
+    }
+    Ok(fnv64(&w.into_bytes()))
+}
+
+/// Fold per-context digests, in context order, into one snippet digest.
+fn combine_digests(per: Vec<Result<u64, String>>) -> Result<u64, String> {
+    let mut w = ByteWriter::new();
+    w.put_seq(per.len());
+    for d in per {
+        w.put_u64(d?);
+    }
+    Ok(fnv64(&w.into_bytes()))
+}
+
+/// The execution digest of one codelet over its invocation contexts.
+///
+/// Contexts are distributed over `pool` but combined in index order
+/// ([`WorkPool::map_indexed`]), so the digest is bitwise-identical at
+/// any thread count. This same function produces the replay contract at
+/// pack time and the in-process reference the round-trip tests (and the
+/// barometer's replay-vs-inproc gate) compare against.
+pub fn snippet_digest(
+    codelet: &Codelet,
+    contexts: &[Binding],
+    pool: &WorkPool,
+) -> Result<u64, String> {
+    let per = pool.map_indexed(contexts.len(), |i| context_digest(codelet, &contexts[i]));
+    combine_digests(per)
+}
+
+/// Build a pack from applications: every extractable codelet becomes a
+/// snippet carrying its invocation contexts, its architecture-independent
+/// feature vector, and a freshly executed bitwise replay contract.
+pub fn build_pack(
+    name: &str,
+    suite: &str,
+    extraction: &str,
+    apps: &[Application],
+    pool: &WorkPool,
+) -> Result<Pack, String> {
+    let mut snippets = Vec::new();
+    for app in apps {
+        for ci in app.extractable() {
+            let codelet = app.codelets[ci].clone();
+            let contexts = app.contexts[ci].clone();
+            if contexts.is_empty() {
+                return Err(format!(
+                    "{}: extractable codelet has no invocation contexts",
+                    codelet.qualified_name()
+                ));
+            }
+            let features = archind_features(&codelet, &contexts[0]);
+            let digest = snippet_digest(&codelet, &contexts, pool)?;
+            snippets.push(Snippet {
+                codelet,
+                contexts,
+                features,
+                contract: ReplayContract {
+                    digest,
+                    tolerance: 0.0,
+                },
+            });
+        }
+    }
+    Ok(Pack {
+        name: name.to_string(),
+        provenance: Provenance {
+            suite: suite.to_string(),
+            extraction: extraction.to_string(),
+        },
+        snippets,
+    })
+}
+
+/// The replay verdict for one snippet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Qualified codelet name (`app/name`).
+    pub name: String,
+    /// Digest the pack's contract expects.
+    pub expected: u64,
+    /// Digest this replay produced.
+    pub actual: u64,
+    /// Whether the contract held (bitwise equality under schema 1).
+    pub ok: bool,
+}
+
+/// The outcome of replaying a whole pack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// One verdict per snippet, in pack order.
+    pub outcomes: Vec<ReplayOutcome>,
+}
+
+impl ReplayReport {
+    /// True when every snippet met its contract.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.ok)
+    }
+
+    /// The snippets that broke their contract.
+    pub fn failures(&self) -> Vec<&ReplayOutcome> {
+        self.outcomes.iter().filter(|o| !o.ok).collect()
+    }
+}
+
+/// Replay every snippet of a pack against its contract.
+///
+/// All (snippet, context) executions across the pack are flattened into
+/// one index-ordered parallel map, then regrouped per snippet — maximal
+/// parallelism with the same bitwise digests as a serial run.
+pub fn replay_pack(pack: &Pack, pool: &WorkPool) -> Result<ReplayReport, String> {
+    let mut jobs: Vec<(usize, &Binding)> = Vec::new();
+    for (si, s) in pack.snippets.iter().enumerate() {
+        for b in &s.contexts {
+            jobs.push((si, b));
+        }
+    }
+    let per = pool.map_indexed(jobs.len(), |i| {
+        let (si, b) = jobs[i];
+        context_digest(&pack.snippets[si].codelet, b)
+    });
+
+    let mut outcomes = Vec::with_capacity(pack.snippets.len());
+    let mut cursor = 0usize;
+    for s in &pack.snippets {
+        let slice = per[cursor..cursor + s.contexts.len()].to_vec();
+        cursor += s.contexts.len();
+        let actual = combine_digests(slice)?;
+        outcomes.push(ReplayOutcome {
+            name: s.codelet.qualified_name(),
+            expected: s.contract.digest,
+            actual,
+            ok: actual == s.contract.digest,
+        });
+    }
+    Ok(ReplayReport { outcomes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{encode_pack, parse_pack};
+    use fgbs_isa::{BinOp, BindingBuilder, CodeletBuilder, Precision};
+
+    fn stencil() -> (Codelet, Vec<Binding>) {
+        let c = CodeletBuilder::new("st.c:3-9", "t")
+            .pattern("DP: 3-point stencil + reduction")
+            .array("a", Precision::F64)
+            .array("o", Precision::F64)
+            .param_loop("n")
+            .store("o", &[1], |b| {
+                b.load_off("a", &[1], 0) + b.load_off("a", &[1], 1)
+            })
+            .update_acc("s", BinOp::Add, |b| b.load("o", &[1]))
+            .build();
+        let mk = |seed, c: &Codelet| {
+            BindingBuilder::new(0x2000)
+                .vector(257, 8)
+                .vector(256, 8)
+                .param(256)
+                .seed(seed)
+                .build_for(c)
+        };
+        let ctxs = vec![mk(1, &c), mk(99, &c)];
+        (c, ctxs)
+    }
+
+    #[test]
+    fn digest_is_thread_invariant() {
+        let (c, ctxs) = stencil();
+        let d1 = snippet_digest(&c, &ctxs, &WorkPool::serial()).unwrap();
+        let d8 = snippet_digest(&c, &ctxs, &WorkPool::new(8)).unwrap();
+        assert_eq!(d1, d8);
+    }
+
+    #[test]
+    fn digest_sees_seed_and_context_order() {
+        let (c, ctxs) = stencil();
+        let d = snippet_digest(&c, &ctxs, &WorkPool::serial()).unwrap();
+        let swapped = vec![ctxs[1].clone(), ctxs[0].clone()];
+        let ds = snippet_digest(&c, &swapped, &WorkPool::serial()).unwrap();
+        assert_ne!(d, ds, "context order is part of the contract");
+        let one = snippet_digest(&c, &ctxs[..1], &WorkPool::serial()).unwrap();
+        assert_ne!(d, one);
+    }
+
+    #[test]
+    fn pack_replay_meets_its_own_contract() {
+        let (c, ctxs) = stencil();
+        let pool = WorkPool::serial();
+        let digest = snippet_digest(&c, &ctxs, &pool).unwrap();
+        let pack = Pack {
+            name: "p".into(),
+            provenance: Provenance {
+                suite: "unit".into(),
+                extraction: "handmade".into(),
+            },
+            snippets: vec![Snippet {
+                codelet: c,
+                contexts: ctxs,
+                features: vec![],
+                contract: ReplayContract {
+                    digest,
+                    tolerance: 0.0,
+                },
+            }],
+        };
+        let parsed = parse_pack(&encode_pack(&pack)).unwrap();
+        let report = replay_pack(&parsed, &WorkPool::new(8)).unwrap();
+        assert!(report.all_ok(), "{:?}", report.failures());
+        // A wrong contract is reported, not panicked over.
+        let mut broken = parsed;
+        broken.snippets[0].contract.digest ^= 1;
+        let report = replay_pack(&broken, &pool).unwrap();
+        assert!(!report.all_ok());
+        assert_eq!(report.failures().len(), 1);
+    }
+
+    #[test]
+    fn undersized_binding_is_a_structured_replay_error() {
+        let (c, mut ctxs) = stencil();
+        // Shrink array `a` below the +1 stencil halo: interpreting must
+        // surface OutOfBounds as an error string, never a panic.
+        ctxs[0].arrays[0].len = 16;
+        let err = snippet_digest(&c, &ctxs, &WorkPool::serial()).unwrap_err();
+        assert!(err.contains("outside length"), "{err}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Byte-pinned golden fixture for snippet schema v1.
+//!
+//! The committed fixture freezes the exact frame bytes a v1 pack
+//! encodes to. Any codec change that silently alters the wire format —
+//! field order, discriminant values, header layout — fails here and
+//! forces a deliberate schema bump. Regenerate intentionally with
+//! `UPDATE_GOLDEN=1 cargo test -p fgbs-snippet --test golden`.
+
+use std::path::PathBuf;
+
+use fgbs_isa::{BinOp, BindingBuilder, Codelet, CodeletBuilder, Precision};
+use fgbs_pool::WorkPool;
+use fgbs_snippet::{
+    encode_pack, parse_pack, replay_pack, snippet_digest, verify_pack, Pack, Provenance,
+    ReplayContract, Snippet, SNIPPET_SCHEMA,
+};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("pack_v1.fgsn")
+}
+
+/// A fixed two-snippet pack exercising every corner of the format:
+/// affine + random accesses, triangular loops, accumulators, integer
+/// and float precisions, multiple contexts.
+fn golden_pack() -> Pack {
+    let dot = CodeletBuilder::new("dot.c:12-18", "golden")
+        .source("dot.c", 12, 18)
+        .pattern("DP: dot product")
+        .array("x", Precision::F64)
+        .array("y", Precision::F32)
+        .param_loop("n")
+        .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+        .build();
+    let mk_dot = |seed: u64, c: &Codelet| {
+        BindingBuilder::new(0x4000)
+            .vector(48, 8)
+            .vector(48, 4)
+            .param(48)
+            .seed(seed)
+            .build_for(c)
+    };
+    let dot_ctxs = vec![mk_dot(11, &dot), mk_dot(12, &dot)];
+
+    let hist = CodeletBuilder::new("hist.c:30-44", "golden")
+        .pattern("INT: triangular scatter histogram")
+        .array("buckets", Precision::I32)
+        .array("keys", Precision::I64)
+        .param_loop("n")
+        .tri_loop()
+        .store_random("buckets", 64, |b| {
+            b.load_random("buckets", 64) + b.load("keys", &[0, 1]).abs()
+        })
+        .build();
+    let hist_ctx = BindingBuilder::new(0x8000)
+        .vector(64, 4)
+        .vector(32, 8)
+        .param(24)
+        .seed(5)
+        .build_for(&hist);
+    let hist_ctxs = vec![hist_ctx];
+
+    let pool = WorkPool::serial();
+    let snippets = vec![
+        Snippet {
+            contract: ReplayContract {
+                digest: snippet_digest(&dot, &dot_ctxs, &pool).unwrap(),
+                tolerance: 0.0,
+            },
+            features: fgbs_analysis::archind_features(&dot, &dot_ctxs[0]),
+            codelet: dot,
+            contexts: dot_ctxs,
+        },
+        Snippet {
+            contract: ReplayContract {
+                digest: snippet_digest(&hist, &hist_ctxs, &pool).unwrap(),
+                tolerance: 0.0,
+            },
+            features: fgbs_analysis::archind_features(&hist, &hist_ctxs[0]),
+            codelet: hist,
+            contexts: hist_ctxs,
+        },
+    ];
+    Pack {
+        name: "golden-v1".into(),
+        provenance: Provenance {
+            suite: "golden".into(),
+            extraction: "class=test,fixture=v1".into(),
+        },
+        snippets,
+    }
+}
+
+#[test]
+fn schema_v1_bytes_are_pinned() {
+    let bytes = encode_pack(&golden_pack());
+    let path = fixture_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        panic!("fixture regenerated at {}; rerun without UPDATE_GOLDEN", path.display());
+    }
+    let pinned = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); regenerate with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        bytes,
+        pinned,
+        "schema-1 wire format drifted; if intentional, bump SNIPPET_SCHEMA and regenerate"
+    );
+}
+
+#[test]
+fn pinned_fixture_still_parses_verifies_and_replays() {
+    let pinned = std::fs::read(fixture_path()).expect("fixture present");
+    let summary = verify_pack(&pinned).unwrap();
+    assert_eq!(summary.schema, SNIPPET_SCHEMA);
+    assert_eq!(summary.name, "golden-v1");
+    assert_eq!(summary.snippets, 2);
+    let pack = parse_pack(&pinned).unwrap();
+    assert_eq!(pack, golden_pack(), "fixture decodes to the source pack");
+    let report = replay_pack(&pack, &WorkPool::new(4)).unwrap();
+    assert!(report.all_ok(), "{:?}", report.failures());
+}
+
+#[test]
+fn future_schema_is_rejected_by_name() {
+    let mut bytes = encode_pack(&golden_pack());
+    let next = (SNIPPET_SCHEMA + 1).to_le_bytes();
+    bytes[4..8].copy_from_slice(&next);
+    let err = parse_pack(&bytes).unwrap_err();
+    assert!(err.message.contains("schema"), "{}", err.message);
+    assert!(
+        err.message.contains(&format!("{}", SNIPPET_SCHEMA + 1)),
+        "error names the offending version: {}",
+        err.message
+    );
+}

@@ -1,0 +1,121 @@
+//! Hostile-input fuzzing for the pack parser, in the same proptest
+//! harness style as `crates/serve/tests/malformed.rs`: feed the parser
+//! adversarial byte soup and prove it answers with a structured
+//! [`CodecError`] — never a panic, never a bogus `Ok`.
+
+use fgbs_isa::{BinOp, BindingBuilder, CodeletBuilder, Precision};
+use fgbs_snippet::{encode_pack, parse_pack, verify_pack, Pack, Provenance, ReplayContract, Snippet};
+use proptest::prelude::*;
+
+/// One small well-formed pack, used as the seed all mutations start from.
+fn valid_bytes() -> Vec<u8> {
+    let c = CodeletBuilder::new("fz.c:1-6", "fuzz")
+        .pattern("DP: fused multiply-add reduction")
+        .array("x", Precision::F64)
+        .array("y", Precision::I32)
+        .param_loop("n")
+        .update_acc("s", BinOp::Add, |b| b.load("x", &[1]) * b.load("y", &[1]))
+        .build();
+    let b = BindingBuilder::new(0x1000)
+        .vector(40, 8)
+        .vector(40, 4)
+        .param(40)
+        .seed(9)
+        .build_for(&c);
+    encode_pack(&Pack {
+        name: "fuzz-seed".into(),
+        provenance: Provenance {
+            suite: "unit".into(),
+            extraction: "class=test".into(),
+        },
+        snippets: vec![Snippet {
+            codelet: c,
+            contexts: vec![b],
+            features: vec![0.5, 1.5],
+            contract: ReplayContract {
+                digest: 1,
+                tolerance: 0.0,
+            },
+        }],
+    })
+}
+
+/// Deterministic exhaustive sweeps first: every truncation length and a
+/// stride of single-byte flips (the unit tests already cover *all* flips
+/// for a tiny pack; this re-checks on the fuzz seed).
+#[test]
+fn every_truncation_is_a_structured_error() {
+    let bytes = valid_bytes();
+    assert!(parse_pack(&bytes).is_ok(), "seed pack must be valid");
+    for len in 0..bytes.len() {
+        let err = parse_pack(&bytes[..len])
+            .expect_err("a truncated frame can never parse");
+        assert!(!err.message.is_empty());
+        assert!(verify_pack(&bytes[..len]).is_err());
+    }
+}
+
+#[test]
+fn unknown_schema_versions_are_rejected() {
+    let bytes = valid_bytes();
+    for schema in [0u32, 2, 7, u32::MAX] {
+        let mut bad = bytes.clone();
+        bad[4..8].copy_from_slice(&schema.to_le_bytes());
+        let err = parse_pack(&bad).unwrap_err();
+        assert!(err.message.contains("schema"), "schema {schema}: {}", err.message);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary byte soup — empty through oversized — never panics and
+    /// never parses (the 16-byte header with magic + checksum makes an
+    /// accidental valid frame astronomically unlikely; any soup that
+    /// *did* parse would be a real finding, so fail loudly).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok(pack) = parse_pack(&bytes) {
+            prop_assert!(false, "byte soup parsed as a pack: {:?}", pack.name);
+        }
+    }
+
+    /// Any single corrupted byte anywhere in a valid frame is detected.
+    #[test]
+    fn corrupted_byte_is_always_detected(pos in 0usize..4096, flip in 1usize..256) {
+        let mut bytes = valid_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip as u8;
+        let err = parse_pack(&bytes).unwrap_err();
+        prop_assert!(!err.message.is_empty());
+        prop_assert!(verify_pack(&bytes).is_err());
+    }
+
+    /// Valid header grafted onto hostile body bytes (with a *correct*
+    /// checksum over that body, so the strict body parser — not the
+    /// checksum — must do the rejecting).
+    #[test]
+    fn forged_checksum_over_garbage_body_is_still_rejected(
+        body in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let seed = valid_bytes();
+        let mut frame = seed[..8].to_vec(); // magic + schema
+        frame.extend_from_slice(&fgbs_store::fnv64(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        if let Ok(pack) = parse_pack(&frame) {
+            prop_assert!(false, "garbage body parsed as a pack: {:?}", pack.name);
+        }
+    }
+
+    /// Splicing two valid frames at a random point never panics.
+    #[test]
+    fn spliced_frames_never_panic(cut in 0usize..4096, keep in 0usize..4096) {
+        let a = valid_bytes();
+        let cut = cut % a.len();
+        let keep = keep % a.len();
+        let mut spliced = a[..cut].to_vec();
+        spliced.extend_from_slice(&a[keep..]);
+        let _ = parse_pack(&spliced);
+        let _ = verify_pack(&spliced);
+    }
+}

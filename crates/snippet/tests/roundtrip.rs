@@ -1,0 +1,109 @@
+//! The tentpole property: pack → unpack → replay is digest-identical to
+//! in-process execution for **every** suite codelet, at 1 and 8 threads.
+
+use fgbs_extract::Application;
+use fgbs_pool::WorkPool;
+use fgbs_snippet::{build_pack, encode_pack, parse_pack, replay_pack, snippet_digest};
+use fgbs_suites::{bigdata_suite, nas_suite, nr_suite, Class};
+use proptest::prelude::*;
+
+fn suites() -> Vec<(&'static str, Vec<Application>)> {
+    vec![
+        ("nr", nr_suite(Class::Test)),
+        ("nas", nas_suite(Class::Test)),
+        ("bigdata", bigdata_suite(Class::Test)),
+    ]
+}
+
+#[test]
+fn every_suite_codelet_round_trips_bitwise_at_1_and_8_threads() {
+    for (name, apps) in suites() {
+        let pack = build_pack(
+            &format!("{name}-pack"),
+            name,
+            "class=test",
+            &apps,
+            &WorkPool::serial(),
+        )
+        .unwrap();
+        let expected: usize = apps.iter().map(|a| a.extractable().len()).sum();
+        assert_eq!(pack.snippets.len(), expected, "{name}: one snippet per extractable codelet");
+
+        let bytes = encode_pack(&pack);
+        let parsed = parse_pack(&bytes).unwrap();
+        assert_eq!(parsed, pack, "{name}: lossless structural round trip");
+
+        for threads in [1usize, 8] {
+            let pool = WorkPool::new(threads);
+            let report = replay_pack(&parsed, &pool).unwrap();
+            assert!(
+                report.all_ok(),
+                "{name} at {threads} threads: {:?}",
+                report.failures()
+            );
+            // Replay digests are bitwise-identical to executing the
+            // original in-process codelets (never serialized).
+            let mut k = 0usize;
+            for app in &apps {
+                for ci in app.extractable() {
+                    let inproc =
+                        snippet_digest(&app.codelets[ci], &app.contexts[ci], &pool).unwrap();
+                    assert_eq!(
+                        report.outcomes[k].actual, inproc,
+                        "{name}/{} diverges from in-process execution",
+                        app.codelets[ci].qualified_name()
+                    );
+                    k += 1;
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_features_match_inproc_features() {
+    let apps = bigdata_suite(Class::Test);
+    let pack = build_pack("bd", "bigdata", "class=test", &apps, &WorkPool::serial()).unwrap();
+    let parsed = parse_pack(&encode_pack(&pack)).unwrap();
+    let mut k = 0usize;
+    for app in &apps {
+        for ci in app.extractable() {
+            let inproc =
+                fgbs_analysis::archind_features(&app.codelets[ci], &app.contexts[ci][0]);
+            assert_eq!(parsed.snippets[k].features, inproc);
+            k += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized slice of the same property: any one application,
+    /// packed alone and replayed at any thread count, reproduces the
+    /// digest of its in-process codelets bitwise.
+    #[test]
+    fn pack_unpack_replay_digest_identity(pick in 0usize..38, threads in 1usize..9) {
+        let (suite, apps) = match pick {
+            0..=27 => ("nr", nr_suite(Class::Test)),
+            28..=34 => ("nas", nas_suite(Class::Test)),
+            _ => ("bigdata", bigdata_suite(Class::Test)),
+        };
+        let app_idx = match pick {
+            0..=27 => pick,
+            28..=34 => pick - 28,
+            _ => pick - 35,
+        };
+        let one = vec![apps[app_idx].clone()];
+        let pack = build_pack("prop", suite, "class=test", &one, &WorkPool::serial()).unwrap();
+        let parsed = parse_pack(&encode_pack(&pack)).unwrap();
+        let pool = WorkPool::new(threads);
+        let report = replay_pack(&parsed, &pool).unwrap();
+        prop_assert!(report.all_ok(), "{:?}", report.failures());
+        let app = &one[0];
+        for (k, ci) in app.extractable().into_iter().enumerate() {
+            let inproc = snippet_digest(&app.codelets[ci], &app.contexts[ci], &pool).unwrap();
+            prop_assert_eq!(report.outcomes[k].actual, inproc);
+        }
+    }
+}

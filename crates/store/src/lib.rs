@@ -74,16 +74,19 @@ pub enum ArtifactKind {
     Fitness,
     /// A rendered service response body (byte-exact replay).
     Response,
+    /// A portable codelet-snippet pack (see `fgbs-snippet`).
+    Snippet,
 }
 
 impl ArtifactKind {
     /// All kinds, in display order.
-    pub const ALL: [ArtifactKind; 5] = [
+    pub const ALL: [ArtifactKind; 6] = [
         ArtifactKind::Profile,
         ArtifactKind::Reduce,
         ArtifactKind::Predict,
         ArtifactKind::Fitness,
         ArtifactKind::Response,
+        ArtifactKind::Snippet,
     ];
 
     /// Directory / manifest name of the kind.
@@ -94,6 +97,7 @@ impl ArtifactKind {
             ArtifactKind::Predict => "predict",
             ArtifactKind::Fitness => "fitness",
             ArtifactKind::Response => "response",
+            ArtifactKind::Snippet => "snippet",
         }
     }
 
@@ -407,6 +411,28 @@ impl Store {
         self.quarantines.fetch_add(1, Ordering::Relaxed);
         fgbs_trace::counter("store.quarantines", 1);
         Ok(())
+    }
+
+    /// Quarantine externally submitted bytes that failed validation —
+    /// e.g. a corrupt snippet pack received over HTTP. The bytes are
+    /// preserved under `quarantine/` for inspection (never under
+    /// `objects/`, so they can never be decoded as an artifact later)
+    /// and the quarantine counter ticks exactly as for an on-disk
+    /// corruption, so `/metrics` surfaces rejected submissions.
+    pub fn quarantine_external(
+        &self,
+        kind: ArtifactKind,
+        key: &str,
+        bytes: &[u8],
+    ) -> io::Result<PathBuf> {
+        let qdir = self.root.join("quarantine");
+        fs::create_dir_all(&qdir)?;
+        let qpath = qdir.join(format!("{}-{key}.submitted", kind.as_str()));
+        fs::write(&qpath, bytes)?;
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        fgbs_trace::counter("store.quarantines", 1);
+        fgbs_trace::stat("store.quarantine.external", 1);
+        Ok(qpath)
     }
 
     /// True when `(kind, key)` is stored (no counter side effects).
@@ -849,6 +875,23 @@ mod tests {
         let left: Vec<String> = s.list().into_iter().map(|m| m.key).collect();
         assert_eq!(left, vec!["keepme", "k3", "k4"]);
         assert_eq!(s.counters().evictions, 3);
+        assert!(s.verify().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn external_quarantine_preserves_bytes_and_counts() {
+        let _g = fault_guard();
+        let root = tmp_root("quarantine-ext");
+        let s = Store::open(&root).unwrap();
+        let qpath = s
+            .quarantine_external(ArtifactKind::Snippet, "badkey", b"mangled submission")
+            .unwrap();
+        assert!(qpath.starts_with(root.join("quarantine")));
+        assert_eq!(fs::read(&qpath).unwrap(), b"mangled submission");
+        assert_eq!(s.counters().quarantines, 1);
+        // Nothing was published: the store itself stays healthy and empty.
+        assert!(s.list().is_empty());
         assert!(s.verify().is_empty());
         fs::remove_dir_all(&root).unwrap();
     }

@@ -1,0 +1,294 @@
+//! Big-data-like suite: pointer-chasing, hash-join and scan-heavy
+//! kernels with **low floating-point intensity** — the memory-irregular
+//! regime *Characterizing and Subsetting Big Data Workloads* shows a
+//! subsetting methodology must be validated on, and one the NR/NAS-like
+//! suites never enter. Three applications:
+//!
+//! * `chase` — linked-structure traversal: node-table generation, a
+//!   DRAM-random pointer walk, and a frontier scatter.
+//! * `join`  — hash join: build-side scatter into a hash table, a probe
+//!   gather reduction, and a partition prefix sum.
+//! * `scan`  — columnar scan: a selection reduction, a two-column
+//!   projection, and a strided column extract out of a wide row.
+//!
+//! All arrays are integer precisions (`I32`/`I64`); the only arithmetic
+//! is address-like adds/muls, so the FP-intensity features sit at the
+//! bottom of the feature space, stressing the clustering in a regime
+//! where the NR/NAS codelets offer no nearby neighbours. The codelets of
+//! this suite are exported as the first first-party snippet pack (see
+//! `fgbs-snippet`).
+
+use fgbs_extract::{Application, ApplicationBuilder};
+use fgbs_isa::{AffineExpr, BinOp, CodeletBuilder, Precision};
+
+use super::Alloc;
+use crate::common::Class;
+
+/// The applications of the big-data suite, in build order.
+pub const BIGDATA_APPS: [&str; 3] = ["chase", "join", "scan"];
+
+/// Build the full big-data suite at `class`.
+pub fn bigdata_suite(class: Class) -> Vec<Application> {
+    BIGDATA_APPS
+        .iter()
+        .map(|name| bigdata_app(name, class))
+        .collect()
+}
+
+/// Build one application by name (panics on an unknown name — the CLI
+/// validates suite names before reaching this).
+pub fn bigdata_app(name: &str, class: Class) -> Application {
+    match name {
+        "chase" => build_chase(class),
+        "join" => build_join(class),
+        "scan" => build_scan(class),
+        other => panic!("unknown bigdata application `{other}`"),
+    }
+}
+
+/// `chase` — pointer-chasing graph traversal.
+fn build_chase(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("chase");
+    let nodes = class.big_vec();
+    let frontier = class.med_vec();
+
+    // 1. Node-table generation (integer successor stream).
+    let c = CodeletBuilder::new("chase.c:31-42", "chase")
+        .pattern("INT: successor table generation")
+        .array("next", Precision::I64)
+        .array("seed", Precision::I64)
+        .param_loop("n")
+        .store("next", &[1], |b| b.load("seed", &[1]) * 13.0 + 7.0)
+        .build();
+    let b = al.bind_vecs(&c, nodes, &[nodes]);
+    let i_gen = ab.codelet(c, vec![b]);
+
+    // 2. Random pointer walk: every hop is a data-dependent load with no
+    // spatial locality — the DRAM-latency-bound heart of the suite.
+    let c = CodeletBuilder::new("chase.c:55-68", "chase")
+        .pattern("INT: random pointer walk reduction")
+        .array("next", Precision::I64)
+        .param_loop("n")
+        .update_acc("hop", BinOp::Add, |b| b.load_random("next", u64::MAX))
+        .build();
+    let b = al.bind_vecs(&c, nodes, &[nodes]);
+    let i_walk = ab.codelet(c, vec![b]);
+
+    // 3. Frontier scatter (visit-count histogram over a smaller table).
+    let c = CodeletBuilder::new("chase.c:74-88", "chase")
+        .pattern("INT: frontier scatter increments")
+        .array("visit", Precision::I32)
+        .param_loop("n")
+        .store_random("visit", u64::MAX, |b| b.load_random("visit", u64::MAX) + 1.0)
+        .build();
+    let b = al.bind_vecs(&c, frontier, &[nodes]);
+    let i_front = ab.codelet(c, vec![b]);
+
+    // Residue: traversal bookkeeping CF cannot outline.
+    let c = CodeletBuilder::new("queue-glue", "chase")
+        .pattern("INT: work-queue touch")
+        .array("q", Precision::I32)
+        .param_loop("n")
+        .store("q", &[1], |b| b.constant(1.0))
+        .build();
+    let mut cc = c;
+    cc.extractable = false;
+    let b = al.bind_vecs(&cc, frontier / 4, &[frontier / 4]);
+    let i_hidden = ab.codelet(cc, vec![b]);
+
+    ab.invoke(i_gen, 0, rs)
+        .invoke(i_walk, 0, 4 * rs)
+        .invoke(i_front, 0, 2 * rs)
+        .invoke(i_hidden, 0, rs)
+        .rounds(class.rounds() * 2);
+    ab.build()
+}
+
+/// `join` — hash join over integer keys.
+fn build_join(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("join");
+    let table = class.is_buckets();
+    let keys = class.med_vec();
+
+    // 1. Build side: scatter build keys into the hash table.
+    let c = CodeletBuilder::new("join.c:102-118", "join")
+        .pattern("INT: hash-table build scatter")
+        .array("ht", Precision::I64)
+        .array("build", Precision::I64)
+        .param_loop("n")
+        .store_random("ht", u64::MAX, |b| b.load("build", &[1]))
+        .build();
+    let b = al.bind(&c, &[(table, table as i64), (keys, keys as i64)], &[keys]);
+    let i_build = ab.codelet(c, vec![b]);
+
+    // 2. Probe side: gather matches, accumulate the join cardinality.
+    let c = CodeletBuilder::new("join.c:131-150", "join")
+        .pattern("INT: hash-table probe gather")
+        .array("ht", Precision::I64)
+        .array("probe", Precision::I64)
+        .param_loop("n")
+        .update_acc("matches", BinOp::Add, |b| {
+            b.load_random("ht", u64::MAX) * b.load("probe", &[1])
+        })
+        .build();
+    let b = al.bind(&c, &[(table, table as i64), (keys, keys as i64)], &[keys]);
+    let i_probe = ab.codelet(c, vec![b]);
+
+    // 3. Partition offsets: integer prefix-sum recurrence.
+    let c = CodeletBuilder::new("join.c:160-171", "join")
+        .pattern("INT: partition prefix sum")
+        .array("part", Precision::I32)
+        .param_loop("n")
+        .store_at("part", vec![AffineExpr::lit(1)], AffineExpr::lit(1), |b| {
+            b.load_off("part", &[1], 0) + b.load_off("part", &[1], 1)
+        })
+        .build();
+    let b = al.bind_vecs(&c, table, &[table - 1]);
+    let i_part = ab.codelet(c, vec![b]);
+
+    // Residue: tuple materialisation glue.
+    let c = CodeletBuilder::new("spill-glue", "join")
+        .pattern("INT: spill buffer touch")
+        .array("t", Precision::I64)
+        .param_loop("n")
+        .store("t", &[1], |b| b.constant(0.0))
+        .build();
+    let mut cc = c;
+    cc.extractable = false;
+    let b = al.bind_vecs(&cc, keys / 4, &[keys / 4]);
+    let i_hidden = ab.codelet(cc, vec![b]);
+
+    ab.invoke(i_build, 0, 2 * rs)
+        .invoke(i_probe, 0, 4 * rs)
+        .invoke(i_part, 0, 2 * rs)
+        .invoke(i_hidden, 0, rs)
+        .rounds(class.rounds() * 2);
+    ab.build()
+}
+
+/// `scan` — scan-heavy columnar kernels.
+fn build_scan(class: Class) -> Application {
+    let mut al = Alloc::new();
+    let rs = class.repeat_scale();
+    let mut ab = ApplicationBuilder::new("scan");
+    let col = class.big_vec();
+
+    // 1. Selection: stream one column, reduce (the predicate count).
+    let c = CodeletBuilder::new("scan.c:20-33", "scan")
+        .pattern("INT: selection scan reduction")
+        .array("col", Precision::I32)
+        .param_loop("n")
+        .update_acc("hits", BinOp::Add, |b| b.load("col", &[1]))
+        .build();
+    let b = al.bind_vecs(&c, col, &[col]);
+    let i_sel = ab.codelet(c, vec![b]);
+
+    // 2. Projection: combine two columns into an output column.
+    let c = CodeletBuilder::new("scan.c:41-55", "scan")
+        .pattern("INT: two-column projection")
+        .array("out", Precision::I64)
+        .array("a", Precision::I64)
+        .array("b", Precision::I64)
+        .param_loop("n")
+        .store("out", &[1], |b| b.load("a", &[1]) + b.load("b", &[1]))
+        .build();
+    let b = al.bind_vecs(&c, col, &[col]);
+    let i_proj = ab.codelet(c, vec![b]);
+
+    // 3. Strided extract: pull one column out of a 4-wide row layout.
+    let c = CodeletBuilder::new("scan.c:62-75", "scan")
+        .pattern("INT: strided column extract")
+        .array("out", Precision::I32)
+        .array("wide", Precision::I32)
+        .param_loop("n")
+        .store("out", &[1], |b| b.load("wide", &[4]))
+        .build();
+    let narrow = class.med_vec();
+    let b = al.bind(
+        &c,
+        &[(narrow, narrow as i64), (4 * narrow, 4 * narrow as i64)],
+        &[narrow],
+    );
+    let i_ext = ab.codelet(c, vec![b]);
+
+    // Residue: page-header bookkeeping.
+    let c = CodeletBuilder::new("page-glue", "scan")
+        .pattern("INT: page header touch")
+        .array("h", Precision::I32)
+        .param_loop("n")
+        .store("h", &[1], |b| b.constant(1.0))
+        .build();
+    let mut cc = c;
+    cc.extractable = false;
+    let b = al.bind_vecs(&cc, narrow / 4, &[narrow / 4]);
+    let i_hidden = ab.codelet(cc, vec![b]);
+
+    ab.invoke(i_sel, 0, 3 * rs)
+        .invoke(i_proj, 0, 2 * rs)
+        .invoke(i_ext, 0, 2 * rs)
+        .invoke(i_hidden, 0, rs)
+        .rounds(class.rounds() * 2);
+    ab.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigdata_has_three_apps_with_nine_extractable_codelets() {
+        let suite = bigdata_suite(Class::Test);
+        let names: Vec<&str> = suite.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, BIGDATA_APPS);
+        for app in &suite {
+            app.validate();
+        }
+        let n: usize = suite.iter().map(|a| a.extractable().len()).sum();
+        assert_eq!(n, 9, "three kernels per application");
+    }
+
+    #[test]
+    fn every_bigdata_app_has_non_extractable_residue() {
+        for app in bigdata_suite(Class::Test) {
+            let hidden = app.codelets.iter().filter(|c| !c.extractable).count();
+            assert!(hidden >= 1, "{} must have uncovered loops", app.name);
+        }
+    }
+
+    #[test]
+    fn bigdata_is_low_fp_intensity() {
+        // The defining trait of the suite: no floating-point arrays at
+        // all — every codelet works on integer data.
+        for app in bigdata_suite(Class::Test) {
+            for c in &app.codelets {
+                assert!(
+                    c.arrays.iter().all(|a| !a.elem.is_float()),
+                    "{} has a float array",
+                    c.qualified_name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bigdata_classes_scale_invocations_not_footprints() {
+        let t = bigdata_suite(Class::Test);
+        let b = bigdata_suite(Class::B);
+        assert_eq!(t[0].codelets[0].name, b[0].codelets[0].name);
+        assert!(b[0].invocations_of(0) > t[0].invocations_of(0));
+        assert_eq!(
+            t[0].contexts[0][0].footprint_bytes(&t[0].codelets[0]),
+            b[0].contexts[0][0].footprint_bytes(&b[0].codelets[0]),
+        );
+    }
+
+    #[test]
+    fn bigdata_app_rejects_unknown_names() {
+        let caught = std::panic::catch_unwind(|| bigdata_app("tpc-h", Class::Test));
+        assert!(caught.is_err());
+    }
+}

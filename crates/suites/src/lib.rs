@@ -10,6 +10,10 @@
 //!   multi-level multigrid contexts, a CG dominated by one sparse-matvec
 //!   codelet, …) plus non-extractable filler loops so detected codelets
 //!   cover roughly 92 % of execution time, as the paper reports.
+//! * [`bigdata_suite`] — three **big-data-like** applications (pointer
+//!   chasing, hash join, columnar scans) with low FP intensity: the
+//!   memory-irregular regime the subsetting must also be validated on.
+//!   Their codelets ship as the first first-party snippet pack.
 //!
 //! Dataset sizes scale with [`Class`]: `Test` for unit/integration tests,
 //! `A` for examples, `B` for the full benchmark harness (the paper runs
@@ -18,10 +22,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod bigdata;
 mod common;
 mod nas;
 mod nr;
 
+pub use bigdata::{bigdata_app, bigdata_suite, BIGDATA_APPS};
 pub use common::{Alloc, Class};
 pub use nas::{nas_app, nas_suite, NAS_APPS};
 pub use nr::{nr_codelet_names, nr_suite};

@@ -10,6 +10,11 @@
 //! fgbs serve   [--addr HOST:PORT] [options]      # system-selection daemon
 //! fgbs store ls                           # list persisted pipeline artifacts
 //! fgbs store gc [--keep N]                # evict all but the newest N per kind
+//! fgbs snippet pack --out FILE [options]  # export a suite as a snippet pack
+//! fgbs snippet unpack FILE                # decode and describe a pack
+//! fgbs snippet ls                         # list ingested packs in the store
+//! fgbs snippet verify FILE                # integrity + semantic validation
+//! fgbs snippet replay FILE                # replay against the pack's contract
 //! fgbs trace summary FILE                 # aggregate a Chrome-trace file
 //! fgbs bench [--quick] [--filter SUB] [--out FILE]   # run the benchmark barometer
 //! fgbs bench cmp OLD.json NEW.json        # noise-aware record comparison
@@ -37,8 +42,10 @@ use fgbs::core::{
 use fgbs::genetic::GaConfig;
 use fgbs::machine::{Arch, PARK_SCALE};
 use fgbs::serve::{Server, Service};
+use fgbs::pool::WorkPool;
+use fgbs::snippet::{build_pack, encode_pack, list_packs, parse_pack, replay_pack, verify_pack};
 use fgbs::store::Store;
-use fgbs::suites::{nas_suite, nr_suite, Class, NAS_APPS};
+use fgbs::suites::{bigdata_suite, nas_suite, nr_suite, Class, BIGDATA_APPS, NAS_APPS};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +67,7 @@ struct Cli {
     seed: u64,
     trace: Option<String>,
     trace_file: String,
+    snippet_file: String,
     fault_spec: Option<String>,
     fault_seed: u64,
     quick: bool,
@@ -84,6 +92,11 @@ enum Command {
     Serve,
     StoreLs,
     StoreGc,
+    SnippetPack,
+    SnippetUnpack,
+    SnippetLs,
+    SnippetVerify,
+    SnippetReplay,
     TraceSummary,
     BenchRun,
     BenchCmp,
@@ -94,10 +107,21 @@ enum Command {
 enum SuiteKind {
     Nr,
     Nas,
+    Bigdata,
 }
 
-const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|trace|bench|help> \
-[--suite nr|nas] [--class test|a|b] [--k N|elbow] [--threads N] \
+impl SuiteKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            SuiteKind::Nr => "nr",
+            SuiteKind::Nas => "nas",
+            SuiteKind::Bigdata => "bigdata",
+        }
+    }
+}
+
+const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|snippet|trace|bench|help> \
+[--suite nr|nas|bigdata] [--class test|a|b] [--k N|elbow] [--threads N] \
 [--target atom|core2|sb] [--codelet NAME] [--paper-features] \
 [--results-dir DIR] [--store] [--addr HOST:PORT] [--keep N] \
 [--generations N] [--population N] [--seed N] [--trace FILE] \
@@ -114,9 +138,15 @@ commands:
   select               full system selection across the machine park
   features             GA feature selection; reports fitness/store cache counters
   serve                HTTP system-selection daemon (endpoints: /predict /sweep
-                       /reduce /artifacts /metrics /trace /health)
+                       /reduce /snippets /artifacts /metrics /trace /health)
   store ls             list persisted pipeline artifacts
   store gc             evict all but the newest --keep artifacts per kind
+  snippet pack         export a suite (--suite/--class) as a portable,
+                       checksummed snippet pack (--out FILE required)
+  snippet unpack FILE  decode a pack and describe every snippet in it
+  snippet ls           list snippet packs ingested into the artifact store
+  snippet verify FILE  validate a pack's integrity without executing it
+  snippet replay FILE  execute a pack and check its bitwise replay contract
   trace summary FILE   aggregate a Chrome-trace file into a per-span table
   bench                run the declarative benchmark registry; prints per-
                        benchmark medians/noise and evaluates declared perf
@@ -126,7 +156,7 @@ commands:
   help                 this text
 
 options:
-  --suite nr|nas       benchmark suite (default nas)
+  --suite nr|nas|bigdata  benchmark suite (default nas)
   --class test|a|b     dataset class (default a)
   --k N|elbow          cluster count policy (default elbow)
   --threads N          worker threads; for serve: connection workers (0 = auto)
@@ -173,6 +203,7 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         seed: 7,
         trace: None,
         trace_file: String::new(),
+        snippet_file: String::new(),
         fault_spec: None,
         fault_seed: 0,
         quick: false,
@@ -200,6 +231,42 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 Some("gc") => Command::StoreGc,
                 Some(other) => return Err(format!("unknown store subcommand `{other}` (ls|gc)")),
                 None => return Err("store expects a subcommand: ls|gc".to_string()),
+            }
+        }
+        Some("snippet") => {
+            let pack_file = |verb: &str,
+                             it: &mut std::slice::Iter<'_, String>|
+             -> Result<String, String> {
+                match it.next() {
+                    Some(f) if !f.starts_with('-') => Ok(f.clone()),
+                    _ => Err(format!("snippet {verb} expects a pack file path")),
+                }
+            };
+            cli.command = match it.next().map(String::as_str) {
+                Some("pack") => Command::SnippetPack,
+                Some("unpack") => {
+                    cli.snippet_file = pack_file("unpack", &mut it)?;
+                    Command::SnippetUnpack
+                }
+                Some("ls") => Command::SnippetLs,
+                Some("verify") => {
+                    cli.snippet_file = pack_file("verify", &mut it)?;
+                    Command::SnippetVerify
+                }
+                Some("replay") => {
+                    cli.snippet_file = pack_file("replay", &mut it)?;
+                    Command::SnippetReplay
+                }
+                Some(other) => {
+                    return Err(format!(
+                        "unknown snippet subcommand `{other}` (pack|unpack|ls|verify|replay)"
+                    ))
+                }
+                None => {
+                    return Err(
+                        "snippet expects a subcommand: pack|unpack|ls|verify|replay".to_string()
+                    )
+                }
             }
         }
         Some("trace") => {
@@ -245,7 +312,8 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 cli.suite = match it.next().map(String::as_str) {
                     Some("nr") => SuiteKind::Nr,
                     Some("nas") => SuiteKind::Nas,
-                    other => return Err(format!("--suite nr|nas, got {other:?}")),
+                    Some("bigdata") => SuiteKind::Bigdata,
+                    other => return Err(format!("--suite nr|nas|bigdata, got {other:?}")),
                 }
             }
             "--class" => {
@@ -342,7 +410,13 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--min-change" => cli.min_change = parse_num(&mut it, "--min-change")?,
             "--noise-mult" => cli.noise_mult = parse_num(&mut it, "--noise-mult")?,
             "--strict" => cli.strict = true,
-            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+            // Distinguish a mistyped flag from a stray positional so
+            // `fgbs info extra` fails loudly instead of pretending
+            // `extra` was an option.
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`\n{USAGE}"))
+            }
+            other => return Err(format!("unexpected trailing argument `{other}`\n{USAGE}")),
         }
     }
     Ok(cli)
@@ -396,6 +470,15 @@ fn suite_apps(cli: &Cli) -> Vec<fgbs::extract::Application> {
     match cli.suite {
         SuiteKind::Nr => nr_suite(cli.class),
         SuiteKind::Nas => nas_suite(cli.class),
+        SuiteKind::Bigdata => bigdata_suite(cli.class),
+    }
+}
+
+fn class_name(class: Class) -> &'static str {
+    match class {
+        Class::Test => "test",
+        Class::A => "a",
+        Class::B => "b",
     }
 }
 
@@ -423,6 +506,11 @@ fn cmd_info() {
         "  nas — {} NAS-like applications: {}",
         NAS_APPS.len(),
         NAS_APPS.join(", ")
+    );
+    println!(
+        "  bigdata — {} data-intensive applications: {}",
+        BIGDATA_APPS.len(),
+        BIGDATA_APPS.join(", ")
     );
 }
 
@@ -639,6 +727,121 @@ fn cmd_store_gc(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// `fgbs snippet pack`: export a suite as a portable snippet pack.
+fn cmd_snippet_pack(cli: &Cli) -> Result<(), String> {
+    let out = cli
+        .bench_out
+        .as_deref()
+        .ok_or("snippet pack requires --out FILE")?;
+    let apps = suite_apps(cli);
+    let pool = WorkPool::new(cli.threads);
+    let class = class_name(cli.class);
+    let pack = build_pack(
+        &format!("{}-{class}", cli.suite.as_str()),
+        cli.suite.as_str(),
+        &format!("class={class}"),
+        &apps,
+        &pool,
+    )?;
+    let bytes = encode_pack(&pack);
+    let summary = verify_pack(&bytes).map_err(|e| format!("freshly packed bytes invalid: {e}"))?;
+    std::fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "packed {} snippet(s) from {} {} app(s) -> {out} ({} bytes, id {})",
+        summary.snippets,
+        apps.len(),
+        cli.suite.as_str(),
+        summary.bytes,
+        summary.id
+    );
+    Ok(())
+}
+
+fn read_pack_file(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+/// `fgbs snippet unpack`: decode a pack and describe its contents.
+fn cmd_snippet_unpack(cli: &Cli) -> Result<(), String> {
+    let bytes = read_pack_file(&cli.snippet_file)?;
+    let pack = parse_pack(&bytes).map_err(|e| format!("{}: {e}", cli.snippet_file))?;
+    println!(
+        "pack {} (suite {}, extraction {}, {} snippet(s))",
+        pack.name, pack.provenance.suite, pack.provenance.extraction, pack.snippets.len()
+    );
+    println!(
+        "{:<28} {:>9} {:>9} {:>18}",
+        "codelet", "contexts", "features", "contract digest"
+    );
+    for s in &pack.snippets {
+        println!(
+            "{:<28} {:>9} {:>9} {:>18}",
+            s.codelet.qualified_name(),
+            s.contexts.len(),
+            s.features.len(),
+            format!("{:016x}", s.contract.digest)
+        );
+    }
+    Ok(())
+}
+
+/// `fgbs snippet ls`: the packs ingested into the artifact store.
+fn cmd_snippet_ls(cli: &Cli) -> Result<(), String> {
+    let store = open_store(cli)?;
+    let packs = list_packs(&store);
+    println!("{:<34} {:>10} {:>12}", "id", "bytes", "stored_at");
+    for m in &packs {
+        println!("{:<34} {:>10} {:>12}", m.key, m.bytes, m.stored_at);
+    }
+    println!("{} pack(s) at {}", packs.len(), store.root().display());
+    Ok(())
+}
+
+/// `fgbs snippet verify`: full integrity + semantic validation, no
+/// execution. Exits non-zero on any corruption.
+fn cmd_snippet_verify(cli: &Cli) -> Result<(), String> {
+    let bytes = read_pack_file(&cli.snippet_file)?;
+    let s = verify_pack(&bytes).map_err(|e| format!("{}: INVALID: {e}", cli.snippet_file))?;
+    println!(
+        "{}: ok — pack {} (suite {}, schema {}, {} snippet(s), {} bytes, id {})",
+        cli.snippet_file, s.name, s.suite, s.schema, s.snippets, s.bytes, s.id
+    );
+    Ok(())
+}
+
+/// `fgbs snippet replay`: execute every snippet and check the bitwise
+/// replay contract. Exits non-zero if any digest diverges.
+fn cmd_snippet_replay(cli: &Cli) -> Result<(), String> {
+    let bytes = read_pack_file(&cli.snippet_file)?;
+    let pack = parse_pack(&bytes).map_err(|e| format!("{}: {e}", cli.snippet_file))?;
+    let pool = WorkPool::new(cli.threads);
+    let report = replay_pack(&pack, &pool)?;
+    for o in &report.outcomes {
+        println!(
+            "{:<28} expected {:016x} actual {:016x} {}",
+            o.name,
+            o.expected,
+            o.actual,
+            if o.ok { "ok" } else { "FAIL" }
+        );
+    }
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!(
+            "{} snippet(s) replayed bitwise-identical on {} thread(s)",
+            report.outcomes.len(),
+            pool.threads()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} snippet(s) broke the replay contract",
+            failures.len(),
+            report.outcomes.len()
+        ))
+    }
+}
+
 /// The per-generation GA progress table (`ga.generation` trace spans
 /// carry `gen`/`best`/`mean` arguments recorded by the GA driver).
 fn print_ga_progress(trace: &fgbs::trace::Trace) {
@@ -820,6 +1023,11 @@ fn main() {
         Command::Serve => cmd_serve(&cli),
         Command::StoreLs => cmd_store_ls(&cli),
         Command::StoreGc => cmd_store_gc(&cli),
+        Command::SnippetPack => cmd_snippet_pack(&cli),
+        Command::SnippetUnpack => cmd_snippet_unpack(&cli),
+        Command::SnippetLs => cmd_snippet_ls(&cli),
+        Command::SnippetVerify => cmd_snippet_verify(&cli),
+        Command::SnippetReplay => cmd_snippet_replay(&cli),
         Command::TraceSummary => cmd_trace_summary(&cli),
         Command::BenchRun => cmd_bench_run(&cli),
         Command::BenchCmp => cmd_bench_cmp(&cli),
@@ -967,6 +1175,60 @@ mod tests {
         assert!(parse(&argv("bench --out")).is_err());
         assert!(parse(&argv("bench --registry")).is_err());
         assert!(parse(&argv("bench cmp a b --min-change lots")).is_err());
+    }
+
+    #[test]
+    fn parses_snippet_subcommands() {
+        let c = parse(&argv("snippet pack --suite bigdata --class test --out p.fgsn")).unwrap();
+        assert_eq!(c.command, Command::SnippetPack);
+        assert_eq!(c.suite, SuiteKind::Bigdata);
+        assert_eq!(c.class, Class::Test);
+        assert_eq!(c.bench_out.as_deref(), Some("p.fgsn"));
+
+        let c = parse(&argv("snippet unpack p.fgsn")).unwrap();
+        assert_eq!(c.command, Command::SnippetUnpack);
+        assert_eq!(c.snippet_file, "p.fgsn");
+
+        let c = parse(&argv("snippet ls --results-dir /tmp/x")).unwrap();
+        assert_eq!(c.command, Command::SnippetLs);
+        assert_eq!(c.results_dir, "/tmp/x");
+
+        let c = parse(&argv("snippet verify p.fgsn")).unwrap();
+        assert_eq!(c.command, Command::SnippetVerify);
+
+        let c = parse(&argv("snippet replay p.fgsn --threads 8")).unwrap();
+        assert_eq!(c.command, Command::SnippetReplay);
+        assert_eq!(c.threads, 8);
+
+        assert!(parse(&argv("snippet")).is_err(), "snippet needs a subcommand");
+        assert!(parse(&argv("snippet smash")).is_err());
+        assert!(parse(&argv("snippet verify")).is_err(), "verify needs a file");
+        assert!(
+            parse(&argv("snippet replay --threads 2")).is_err(),
+            "a flag is not a pack file"
+        );
+    }
+
+    #[test]
+    fn help_text_enumerates_every_subcommand() {
+        for cmd in [
+            "info", "show", "reduce", "predict", "select", "features", "serve", "store ls",
+            "store gc", "snippet pack", "snippet unpack", "snippet ls", "snippet verify",
+            "snippet replay", "trace summary", "bench", "bench cmp", "help",
+        ] {
+            assert!(HELP.contains(cmd), "help must describe `{cmd}`");
+        }
+    }
+
+    #[test]
+    fn trailing_arguments_are_rejected_not_swallowed() {
+        let err = parse(&argv("info extra")).unwrap_err();
+        assert!(err.contains("unexpected trailing argument `extra`"), "{err}");
+        let err = parse(&argv("reduce --suite nr leftovers")).unwrap_err();
+        assert!(err.contains("unexpected trailing argument `leftovers`"), "{err}");
+        // Mistyped flags still read as unknown options.
+        let err = parse(&argv("reduce --bogus")).unwrap_err();
+        assert!(err.contains("unknown option `--bogus`"), "{err}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! | [`pool`] | `fgbs-pool` | shared work-stealing pool + memoization cache |
 //! | [`suites`] | `fgbs-suites` | Numerical Recipes + NAS-like benchmark suites |
 //! | [`core`] | `fgbs-core` | the five-step pipeline and prediction model |
+//! | [`snippet`] | `fgbs-snippet` | portable, versioned, replayable codelet-snippet packs |
 //! | [`store`] | `fgbs-store` | content-addressed, versioned on-disk artifact store |
 //! | [`serve`] | `fgbs-serve` | concurrent HTTP system-selection service |
 //! | [`trace`] | `fgbs-trace` | cross-crate spans, counters, Chrome-trace export |
@@ -68,6 +69,7 @@ pub use fgbs_machine as machine;
 pub use fgbs_matrix as matrix;
 pub use fgbs_pool as pool;
 pub use fgbs_serve as serve;
+pub use fgbs_snippet as snippet;
 pub use fgbs_store as store;
 pub use fgbs_suites as suites;
 pub use fgbs_trace as trace;
