@@ -46,8 +46,16 @@ pub enum Stage {
     FaultProbe,
     /// Full profile+reduce pipeline on `size` Test-class NR codes.
     PipelineReduce,
-    /// The same pipeline with the trace collector enabled.
+    /// The same pipeline with the trace collector enabled (flight
+    /// recorder explicitly disarmed: this isolates the span cost).
     PipelineReduceTraced,
+    /// The traced pipeline with the flight recorder armed — the full
+    /// production observability posture.
+    PipelineReduceTracedArmed,
+    /// One armed flight-recorder event (`record_at` into the ring).
+    ObsFlightrecRecord,
+    /// One value recorded into a log-linear quantile histogram.
+    ObsHistRecord,
     /// Build + encode a snippet pack from `size` bigdata apps.
     SnippetPack,
     /// Parse + checksum + semantically validate an encoded pack.
@@ -76,6 +84,9 @@ impl Stage {
             "fault_probe" => Stage::FaultProbe,
             "pipeline_reduce" => Stage::PipelineReduce,
             "pipeline_reduce_traced" => Stage::PipelineReduceTraced,
+            "pipeline_reduce_traced_armed" => Stage::PipelineReduceTracedArmed,
+            "obs_flightrec_record" => Stage::ObsFlightrecRecord,
+            "obs_hist_record" => Stage::ObsHistRecord,
             "snippet_pack" => Stage::SnippetPack,
             "snippet_unpack_verify" => Stage::SnippetUnpackVerify,
             "snippet_replay" => Stage::SnippetReplay,
@@ -299,6 +310,7 @@ mod tests {
             "fault",
             "pipeline",
             "snippet",
+            "obs",
         ] {
             assert!(
                 r.benchmarks.iter().any(|b| b.suite == suite),
@@ -313,6 +325,14 @@ mod tests {
         assert_eq!(r.find("fault/probe/n1/t1").unwrap().max_ns, Some(1000));
         let traced = r.find("pipeline/reduce_traced/n10/t0").unwrap();
         assert_eq!(traced.gate.as_ref().unwrap().vs, "pipeline/reduce/n10/t0");
+        // The observability gates: armed recorder ≤50 ns/event, full
+        // armed pipeline still within 5% of the untraced baseline.
+        assert_eq!(r.find("obs/flightrec_record/n1/t1").unwrap().max_ns, Some(50));
+        assert!(r.find("obs/hist_record/n1/t1").unwrap().max_ns.is_some());
+        let armed = r.find("pipeline/reduce_traced_armed/n10/t0").unwrap();
+        let armed_gate = armed.gate.as_ref().unwrap();
+        assert_eq!(armed_gate.vs, "pipeline/reduce/n10/t0");
+        assert_eq!(armed_gate.max_ratio, 1.05);
         // Replaying a pack must cost within 5% of in-process execution.
         let replay = r.find("snippet/replay/n3/t1").unwrap();
         let gate = replay.gate.as_ref().unwrap();
@@ -371,6 +391,9 @@ mod tests {
             "fault_probe",
             "pipeline_reduce",
             "pipeline_reduce_traced",
+            "pipeline_reduce_traced_armed",
+            "obs_flightrec_record",
+            "obs_hist_record",
             "snippet_pack",
             "snippet_unpack_verify",
             "snippet_replay",

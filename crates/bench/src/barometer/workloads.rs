@@ -89,6 +89,19 @@ fn with_trace_enabled<T>(f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Arm or disarm the flight recorder for a closure, restoring the
+/// previous state afterwards. The traced-pipeline entries use it to
+/// separate the span cost (recorder off) from the full production
+/// posture (recorder on); `set_enabled(true)` arms it as a side
+/// effect, so the disarm direction matters.
+fn with_flightrec_armed<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let was = fgbs_trace::flightrec::armed();
+    fgbs_trace::flightrec::arm(on);
+    let out = f();
+    fgbs_trace::flightrec::arm(was);
+    out
+}
+
 /// Execute `def`'s workload and return `samples` per-op nanosecond
 /// samples. `effective_threads` substitutes for `threads: 0` entries.
 pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Result<Vec<f64>, String> {
@@ -248,10 +261,48 @@ pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Resu
                 .with_k(KChoice::Fixed(4))
                 .with_threads(threads);
             with_trace_enabled(|| {
-                run_samples(batch, samples, |_| {
-                    let suite = profile_reference(&apps, &cfg);
-                    black_box(reduce_cached(&suite, &cfg, &MicroCache::new()));
+                with_flightrec_armed(false, || {
+                    run_samples(batch, samples, |_| {
+                        let suite = profile_reference(&apps, &cfg);
+                        black_box(reduce_cached(&suite, &cfg, &MicroCache::new()));
+                    })
                 })
+            })
+        }
+        Stage::PipelineReduceTracedArmed => {
+            let apps: Vec<_> = nr_suite(Class::Test).into_iter().take(def.size).collect();
+            let cfg = PipelineConfig::fast()
+                .with_k(KChoice::Fixed(4))
+                .with_threads(threads);
+            with_trace_enabled(|| {
+                with_flightrec_armed(true, || {
+                    run_samples(batch, samples, |_| {
+                        let suite = profile_reference(&apps, &cfg);
+                        black_box(reduce_cached(&suite, &cfg, &MicroCache::new()));
+                    })
+                })
+            })
+        }
+        Stage::ObsFlightrecRecord => {
+            // The ring is bounded: a long batch overwrites the oldest
+            // slot, which is the honest steady-state cost. The explicit
+            // timestamp mirrors the span path (it reuses the span's end
+            // time instead of reading the clock twice).
+            with_flightrec_armed(true, || {
+                run_samples(batch, samples, |i| {
+                    fgbs_trace::flightrec::record_at(
+                        i,
+                        fgbs_trace::flightrec::EventKind::Note,
+                        "bench.obs",
+                        i,
+                    );
+                })
+            })
+        }
+        Stage::ObsHistRecord => {
+            let h = fgbs_trace::hist::Histogram::new();
+            run_samples(batch, samples, |i| {
+                h.record(i);
             })
         }
         Stage::SnippetPack => {

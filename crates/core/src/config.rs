@@ -62,6 +62,13 @@ pub struct PipelineConfig {
     /// [`crate::PipelineError::DeadlineExceeded`] instead of starting
     /// more work. The infallible entry points ignore it.
     pub deadline: Option<fgbs_fault::Deadline>,
+    /// The request this run executes on behalf of (0 = none). Stage
+    /// entry points install it as the ambient trace request id
+    /// ([`fgbs_trace::enter_request`]) and attach it to their stage
+    /// spans, so every span, counter and flight-recorder event the run
+    /// emits — including on pool workers — is attributable to the
+    /// originating HTTP request or CLI invocation.
+    pub request_id: u64,
 }
 
 impl Default for PipelineConfig {
@@ -84,6 +91,7 @@ impl Default for PipelineConfig {
             threads: 1,
             store: None,
             deadline: None,
+            request_id: 0,
         }
     }
 }
@@ -137,6 +145,28 @@ impl PipelineConfig {
     pub fn with_deadline(mut self, deadline: fgbs_fault::Deadline) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Same configuration bound to a request id (see
+    /// [`PipelineConfig::request_id`]).
+    pub fn with_request_id(mut self, request_id: u64) -> Self {
+        self.request_id = request_id;
+        self
+    }
+
+    /// Install this run's request id as the thread's ambient trace
+    /// context. Stage entry points hold the guard for their whole
+    /// scope; the pool re-enters the id on workers. A zero id (the
+    /// default) leaves whatever ambient id the caller installed —
+    /// embedded services set the id at the request boundary rather
+    /// than per config.
+    #[must_use = "the request id is uninstalled when the guard drops"]
+    pub fn enter_request(&self) -> fgbs_trace::RequestGuard {
+        if self.request_id != 0 {
+            fgbs_trace::enter_request(self.request_id)
+        } else {
+            fgbs_trace::enter_request(fgbs_trace::current_request_id())
+        }
     }
 
     /// Fail with [`crate::PipelineError::DeadlineExceeded`] when the

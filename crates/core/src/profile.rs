@@ -101,8 +101,12 @@ pub fn try_profile_reference(
 
 /// The uncached Steps A + B.
 fn compute_profile(apps: &[Application], cfg: &PipelineConfig) -> ProfiledSuite {
+    let _request_ctx = cfg.enter_request();
     let mut stage_span = fgbs_trace::span("stage.profile");
     stage_span.arg_u64("apps", apps.len() as u64);
+    if cfg.request_id != 0 {
+        stage_span.arg_u64("req", cfg.request_id);
+    }
     let arch = &cfg.reference;
     let runs: Vec<AppRun> = {
         let _run_span = fgbs_trace::span("profile.run");

@@ -288,6 +288,10 @@ pub fn decide(site: &str) -> Option<FaultAction> {
         INJECTED.fetch_add(1, Ordering::Relaxed);
         fgbs_trace::counter("fault.injected", 1);
         fgbs_trace::stat(&format!("fault.{site}"), 1);
+        // An armed failpoint firing is a diagnostic moment: snapshot
+        // the flight-recorder window (no-op unless a dump sink is
+        // installed — the chaos byte-identity suite runs sink-less).
+        fgbs_trace::flightrec::trigger("failpoint", fgbs_trace::current_request_id());
         return Some(armed_rule.rule.action);
     }
     None

@@ -104,8 +104,10 @@ impl WorkPool {
             return (0..n).map(f).collect();
         }
         // The open `pool.map` span is the logical parent of every span
-        // `f` records on a worker.
+        // `f` records on a worker, and the submitting thread's request
+        // id follows the work onto the workers the same way.
         let span_parent = fgbs_trace::current_span_id();
+        let request_id = fgbs_trace::current_request_id();
 
         let chunk = chunk_size(n, workers);
         let mut out: Vec<Option<R>> = Vec::with_capacity(n);
@@ -134,6 +136,7 @@ impl WorkPool {
                     let f = &f;
                     scope.spawn(move || {
                         let _trace_ctx = fgbs_trace::inherit_parent(span_parent);
+                        let _request_ctx = fgbs_trace::enter_request(request_id);
                         let spawned = std::time::Instant::now();
                         let mut run_ns: u64 = 0;
                         let mut chunks: u64 = 0;

@@ -249,7 +249,14 @@ pub struct Response {
     /// rendered as an `x-fgbs-source` header so clients and smoke tests
     /// can observe cache behaviour without parsing `/metrics`.
     pub source: Option<&'static str>,
-    /// Response body (JSON).
+    /// The request id the service assigned (0 = none); rendered as an
+    /// `x-fgbs-request-id` header so a client can correlate its call
+    /// with traces, metrics and flight-recorder dumps.
+    pub request_id: u64,
+    /// Overrides the default `application/json` content type (the
+    /// Prometheus exposition endpoint serves `text/plain`).
+    pub content_type: Option<&'static str>,
+    /// Response body (JSON unless `content_type` says otherwise).
     pub body: Vec<u8>,
 }
 
@@ -259,6 +266,8 @@ impl Response {
         Response {
             status: 200,
             source: None,
+            request_id: 0,
+            content_type: None,
             body: value.render().into_bytes(),
         }
     }
@@ -268,7 +277,20 @@ impl Response {
         Response {
             status: 200,
             source: None,
+            request_id: 0,
+            content_type: None,
             body,
+        }
+    }
+
+    /// A 200 plain-text response (Prometheus exposition).
+    pub fn text(body: String) -> Response {
+        Response {
+            status: 200,
+            source: None,
+            request_id: 0,
+            content_type: Some("text/plain; version=0.0.4"),
+            body: body.into_bytes(),
         }
     }
 
@@ -277,6 +299,8 @@ impl Response {
         Response {
             status,
             source: None,
+            request_id: 0,
+            content_type: None,
             body: Json::obj(vec![("error", Json::str(message))])
                 .render()
                 .into_bytes(),
@@ -286,6 +310,12 @@ impl Response {
     /// Same response tagged with a payload source.
     pub fn with_source(mut self, source: &'static str) -> Response {
         self.source = Some(source);
+        self
+    }
+
+    /// Same response stamped with a request id (0 leaves it unstamped).
+    pub fn with_request_id(mut self, request_id: u64) -> Response {
+        self.request_id = request_id;
         self
     }
 
@@ -306,13 +336,17 @@ impl Response {
     pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
         write!(
             w,
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
             self.status,
             self.status_text(),
+            self.content_type.unwrap_or("application/json"),
             self.body.len()
         )?;
         if let Some(source) = self.source {
             write!(w, "x-fgbs-source: {source}\r\n")?;
+        }
+        if self.request_id != 0 {
+            write!(w, "x-fgbs-request-id: {}\r\n", self.request_id)?;
         }
         w.write_all(b"\r\n")?;
         w.write_all(&self.body)?;
@@ -420,5 +454,35 @@ mod tests {
         let r = Response::error(404, "no such endpoint");
         assert_eq!(r.status, 404);
         assert_eq!(r.body, br#"{"error":"no such endpoint"}"#);
+    }
+
+    #[test]
+    fn request_id_header_appears_only_when_stamped() {
+        let mut out = Vec::new();
+        Response::json(&Json::U64(7))
+            .with_request_id(42)
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-fgbs-request-id: 42\r\n"), "{text}");
+
+        let mut out = Vec::new();
+        Response::json(&Json::U64(7)).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("x-fgbs-request-id"), "{text}");
+    }
+
+    #[test]
+    fn text_responses_override_the_content_type() {
+        let mut out = Vec::new();
+        Response::text("metric 1\n".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("content-type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\nmetric 1\n"), "{text}");
     }
 }

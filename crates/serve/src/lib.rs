@@ -10,14 +10,24 @@
 //! | `GET /predict`   | cross-architecture prediction for a suite/target (`suite`, `class`, `target`, `k`) |
 //! | `GET /sweep`     | benchmark-reduction quality across `k` (`kmin`, `kmax`) |
 //! | `POST /reduce`   | subset a suite into representatives (`suite`, `class`, `k`) |
+//! | `POST /snippets` | ingest a portable snippet pack                 |
+//! | `GET /snippets`  | list published snippet packs                   |
 //! | `GET /artifacts` | list persisted store artifacts                  |
-//! | `GET /metrics`   | request counts, store hit/miss, latency histograms |
+//! | `GET /metrics`   | counts, store hit/miss, latency quantiles (JSON; `?format=prom` for Prometheus text) |
+//! | `GET /trace`     | Chrome-trace export of recent spans            |
 //! | `GET /health`    | liveness probe                                 |
 //!
 //! Every cacheable handler consults the [`fgbs_store::Store`] first and
 //! replays byte-identical bodies on a hit; concurrent identical misses
 //! collapse into one computation via single-flight. See
 //! [`Service`] for the full request lifecycle.
+//!
+//! Every request gets a monotonically increasing **request id**,
+//! installed as the thread's ambient trace context and echoed as an
+//! `x-fgbs-request-id` response header; spans, counters and
+//! flight-recorder events carry it, so one failing request can be
+//! picked out of `/trace` or a diagnostic dump
+//! ([`install_diagnostic_sink`], `fgbs flightrec show`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,7 +51,7 @@ pub use http::{
     DEFAULT_MAX_BODY,
 };
 pub use metrics::{Metrics, N_BUCKETS, SERIES};
-pub use service::Service;
+pub use service::{install_diagnostic_sink, Service};
 
 /// Tunable per-connection behaviour: socket timeouts and request-size
 /// limits. [`Server::start`] uses [`ServeOptions::default`]; tests and
@@ -190,6 +200,11 @@ fn guarded_handle(service: &Service, request: &Request) -> Response {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.handle(request)))
         .unwrap_or_else(|_| {
             fgbs_trace::stat("serve.panics", 1);
+            // The handler's RequestGuard unwound with it, so read the id
+            // back from the global cursor is impossible — dump with the
+            // ambient id (0 outside a request) and let the event window
+            // carry the story.
+            fgbs_trace::flightrec::trigger("panic", fgbs_trace::current_request_id());
             Response::error(500, "internal error: handler panicked")
         })
 }

@@ -1,23 +1,36 @@
-//! Request and stage metrics: counts, latencies, log2 histograms.
+//! Request and stage metrics: counts, quantile latencies, EWMA.
 //!
 //! Everything is lock-free atomics so recording never contends with the
-//! request path. The registry is a fixed set of named series — the five
-//! endpoints plus the three pipeline stages — rendered into `/metrics`
-//! as JSON.
+//! request path. The registry is a fixed set of named series — the
+//! endpoints plus the three pipeline stages — each backed by a
+//! log-linear quantile histogram ([`fgbs_trace::hist::Histogram`]) and
+//! an EWMA ([`fgbs_trace::hist::Estimator`]), rendered into `/metrics`
+//! as JSON or Prometheus text exposition.
+//!
+//! The per-stage estimators double as the latency feed for admission
+//! control (ROADMAP item 1): `ewma × queue depth` against a request's
+//! remaining deadline budget.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fgbs_trace::hist::Estimator;
 use fgbs_trace::Json;
 
-/// Number of log2 latency buckets: bucket `i` counts samples in
-/// `[2^i, 2^{i+1})` microseconds (bucket 0 additionally holds 0 µs).
-pub const N_BUCKETS: usize = 22;
+pub use fgbs_trace::hist::N_BUCKETS;
+
+/// EWMA smoothing factor: ~63% of the estimate renews every 5 samples,
+/// fast enough to track load shifts without chasing single outliers.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Quantiles exported per series, as `(label, p)` pairs.
+const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
 
 /// Series tracked by the registry (endpoints, then pipeline stages).
-pub const SERIES: [&str; 11] = [
+pub const SERIES: [&str; 12] = [
     "predict",
     "sweep",
     "reduce",
+    "snippets",
     "artifacts",
     "metrics",
     "health",
@@ -28,59 +41,44 @@ pub const SERIES: [&str; 11] = [
     "stage.predict",
 ];
 
-/// One latency series.
+/// One latency series: a quantile histogram + EWMA, plus the most
+/// recent sample (the smoke tests' cache-hit probe).
 #[derive(Debug)]
 struct Series {
-    count: AtomicU64,
-    total_micros: AtomicU64,
     last_micros: AtomicU64,
-    buckets: [AtomicU64; N_BUCKETS],
+    est: Estimator,
 }
 
 impl Series {
     fn new() -> Series {
         Series {
-            count: AtomicU64::new(0),
-            total_micros: AtomicU64::new(0),
             last_micros: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            est: Estimator::new(EWMA_ALPHA),
         }
     }
 
     fn record(&self, micros: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.est.record(micros);
         self.last_micros.store(micros, Ordering::Relaxed);
-        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
     }
 
     fn to_json(&self) -> Json {
-        let buckets: Vec<Json> = self
-            .buckets
-            .iter()
-            .map(|b| Json::U64(b.load(Ordering::Relaxed)))
-            .collect();
-        Json::obj(vec![
-            ("count", Json::U64(self.count.load(Ordering::Relaxed))),
-            (
-                "total_micros",
-                Json::U64(self.total_micros.load(Ordering::Relaxed)),
-            ),
+        let h = self.est.histogram();
+        let mut fields = vec![
+            ("count", Json::U64(h.count())),
+            ("total_micros", Json::U64(h.sum())),
             (
                 "last_micros",
                 Json::U64(self.last_micros.load(Ordering::Relaxed)),
             ),
-            ("buckets_log2_micros", Json::Arr(buckets)),
-        ])
-    }
-}
-
-/// Bucket index of a latency sample.
-fn bucket_of(micros: u64) -> usize {
-    if micros == 0 {
-        0
-    } else {
-        (63 - micros.leading_zeros() as usize).min(N_BUCKETS - 1)
+            ("min_micros", Json::U64(h.min())),
+            ("max_micros", Json::U64(h.max())),
+        ];
+        for (label, p) in QUANTILES {
+            fields.push((label, Json::U64(h.quantile(p))));
+        }
+        fields.push(("ewma_micros", Json::Num(self.est.ewma())));
+        Json::obj(fields)
     }
 }
 
@@ -98,37 +96,48 @@ impl Metrics {
         }
     }
 
+    fn find(&self, name: &str) -> Option<&Series> {
+        self.series
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, s)| s)
+    }
+
     /// Record one sample; unknown names fall into `other`. A sample
     /// matching no series at all (impossible while `SERIES` contains
     /// `other`) is dropped rather than panicking a connection worker.
     pub fn record(&self, name: &str, micros: u64) {
-        let series = self
-            .series
-            .iter()
-            .find(|(n, _)| *n == name)
-            .or_else(|| self.series.iter().find(|(n, _)| *n == "other"))
-            .map(|(_, s)| s);
-        if let Some(series) = series {
+        if let Some(series) = self.find(name).or_else(|| self.find("other")) {
             series.record(micros);
         }
     }
 
     /// Samples recorded under `name`.
     pub fn count(&self, name: &str) -> u64 {
-        self.series
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, s)| s.count.load(Ordering::Relaxed))
+        self.find(name)
+            .map(|s| s.est.histogram().count())
             .unwrap_or(0)
     }
 
     /// Latency of the most recent sample under `name` (µs).
     pub fn last_micros(&self, name: &str) -> u64 {
-        self.series
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, s)| s.last_micros.load(Ordering::Relaxed))
+        self.find(name)
+            .map(|s| s.last_micros.load(Ordering::Relaxed))
             .unwrap_or(0)
+    }
+
+    /// Latency quantile estimate for `name` (µs); 0 for an unknown or
+    /// empty series.
+    pub fn quantile(&self, name: &str, p: f64) -> u64 {
+        self.find(name)
+            .map(|s| s.est.histogram().quantile(p))
+            .unwrap_or(0)
+    }
+
+    /// Current EWMA latency for `name` (µs) — the admission-control
+    /// feed (0.0 before the first sample).
+    pub fn ewma_micros(&self, name: &str) -> f64 {
+        self.find(name).map(|s| s.est.ewma()).unwrap_or(0.0)
     }
 
     /// Render every series as a JSON object keyed by name.
@@ -139,6 +148,37 @@ impl Metrics {
                 .map(|(n, s)| (n.to_string(), s.to_json()))
                 .collect(),
         )
+    }
+
+    /// Append every series to `out` as Prometheus text exposition: one
+    /// summary family `fgbs_request_duration_microseconds` with
+    /// quantile-labelled samples plus `_sum` and `_count`.
+    pub fn render_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str(
+            "# HELP fgbs_request_duration_microseconds Request and stage latency in microseconds.\n",
+        );
+        out.push_str("# TYPE fgbs_request_duration_microseconds summary\n");
+        for (name, s) in &self.series {
+            let h = s.est.histogram();
+            for (_, p) in QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "fgbs_request_duration_microseconds{{series=\"{name}\",quantile=\"{p}\"}} {}",
+                    h.quantile(p)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "fgbs_request_duration_microseconds_sum{{series=\"{name}\"}} {}",
+                h.sum()
+            );
+            let _ = writeln!(
+                out,
+                "fgbs_request_duration_microseconds_count{{series=\"{name}\"}} {}",
+                h.count()
+            );
+        }
     }
 }
 
@@ -153,16 +193,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
-    }
-
-    #[test]
     fn record_and_read_back() {
         let m = Metrics::new();
         m.record("predict", 100);
@@ -174,6 +204,59 @@ mod tests {
         let rendered = m.to_json().render();
         assert!(rendered.contains("\"predict\""));
         assert!(rendered.contains("\"stage.profile\""));
+        assert!(rendered.contains("\"snippets\""));
+    }
+
+    #[test]
+    fn series_report_quantiles_and_ewma() {
+        let m = Metrics::new();
+        for v in 1..=100 {
+            m.record("sweep", v);
+        }
+        // Bounded relative error: p50 near 50, p99 near 99, extremes exact.
+        assert_eq!(m.quantile("sweep", 0.0), 1);
+        assert_eq!(m.quantile("sweep", 1.0), 100);
+        assert!((45..=55).contains(&m.quantile("sweep", 0.5)));
+        assert!(m.quantile("sweep", 0.5) <= m.quantile("sweep", 0.99));
+        assert!(m.ewma_micros("sweep") > 0.0);
+        let rendered = m.to_json().render();
+        assert!(rendered.contains("\"p50\""), "{rendered}");
+        assert!(rendered.contains("\"p95\""), "{rendered}");
+        assert!(rendered.contains("\"p99\""), "{rendered}");
+        assert!(rendered.contains("\"ewma_micros\""), "{rendered}");
+        // The keys the CI smoke test scrapes stay stable.
+        assert!(rendered.contains("\"count\""), "{rendered}");
+        assert!(rendered.contains("\"total_micros\""), "{rendered}");
+        assert!(rendered.contains("\"last_micros\""), "{rendered}");
+    }
+
+    #[test]
+    fn snippets_is_a_dedicated_series() {
+        let m = Metrics::new();
+        m.record("snippets", 40);
+        assert_eq!(m.count("snippets"), 1);
+        assert_eq!(m.count("other"), 0, "snippets must not fall into other");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let m = Metrics::new();
+        m.record("predict", 150);
+        let mut out = String::new();
+        m.render_prometheus(&mut out);
+        assert!(out.starts_with("# HELP fgbs_request_duration_microseconds"));
+        assert!(out.contains("# TYPE fgbs_request_duration_microseconds summary\n"));
+        assert!(out.contains(
+            "fgbs_request_duration_microseconds{series=\"predict\",quantile=\"0.5\"} 150\n"
+        ));
+        assert!(out.contains("fgbs_request_duration_microseconds_sum{series=\"predict\"} 150\n"));
+        assert!(out.contains("fgbs_request_duration_microseconds_count{series=\"predict\"} 1\n"));
+        // Every non-comment line is `name{labels} value`.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let (name_part, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(name_part.starts_with("fgbs_"), "{line}");
+            assert!(value.parse::<f64>().is_ok(), "{line}");
+        }
     }
 
     #[test]

@@ -125,18 +125,26 @@ fn resolve_deadline(req: &Request) -> Result<Option<Deadline>, Response> {
 }
 
 /// Render a pipeline failure as an HTTP response: an expired deadline is
-/// the service saying "not in time" (`503` with the losing stage in a
-/// structured body), while non-finite inputs are a data bug (`500`).
+/// the service saying "not in time" (`503` with the losing stage and
+/// request id in a structured body), while non-finite inputs are a data
+/// bug (`500`). A deadline failure also fires the flight recorder, so
+/// the events leading up to the `503` are captured as a diagnostic
+/// artifact when a sink is installed ([`install_diagnostic_sink`]).
 fn pipeline_error(err: PipelineError) -> Response {
     match &err {
         PipelineError::DeadlineExceeded { stage } => {
             fgbs_trace::stat("serve.deadline_expired", 1);
+            let request = fgbs_trace::current_request_id();
+            fgbs_trace::flightrec::trigger("deadline", request);
             Response {
                 status: 503,
                 source: None,
+                request_id: request,
+                content_type: None,
                 body: Json::obj(vec![
                     ("error", Json::str("deadline exceeded")),
                     ("stage", Json::str(*stage)),
+                    ("request", Json::U64(request)),
                 ])
                 .render()
                 .into_bytes(),
@@ -144,6 +152,24 @@ fn pipeline_error(err: PipelineError) -> Response {
         }
         PipelineError::NonFinite { .. } => Response::error(500, &err.to_string()),
     }
+}
+
+/// Persist every flight-recorder dump into `store` as a
+/// [`ArtifactKind::Diagnostic`] artifact keyed by request id, trigger
+/// reason and capture time — the post-mortem `fgbs flightrec` reads
+/// them back. Installed by the daemon and by tests that inspect dumps;
+/// deliberately *not* by [`Service::new`], so embedding a service (the
+/// chaos suite's byte-identity runs, unit tests) never writes
+/// diagnostics as a side effect.
+pub fn install_diagnostic_sink(store: Arc<Store>) {
+    fgbs_trace::flightrec::set_sink(move |dump| {
+        let key = format!("req{}-{}-{}", dump.request, dump.reason, dump.ts_ns);
+        let _ = store.put(
+            ArtifactKind::Diagnostic,
+            &key,
+            dump.to_json().render().as_bytes(),
+        );
+    });
 }
 
 fn parse_usize_param(req: &Request, name: &str, default: usize) -> Result<usize, Response> {
@@ -193,6 +219,7 @@ pub struct Service {
     metrics: Metrics,
     profiles: Mutex<HashMap<String, Arc<ProfiledSuite>>>,
     computations: AtomicU64,
+    in_flight: AtomicU64,
 }
 
 impl std::fmt::Debug for Service {
@@ -221,6 +248,7 @@ impl Service {
             metrics: Metrics::new(),
             profiles: Mutex::new(HashMap::new()),
             computations: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
         }
     }
 
@@ -246,12 +274,34 @@ impl Service {
         self.flight.coalesced()
     }
 
-    /// Handle one parsed request, recording endpoint latency.
+    /// Requests currently being handled (the `/metrics` in-flight
+    /// gauge).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Handle one parsed request: assign the next request id, install it
+    /// as the thread's ambient trace context for the handler's whole
+    /// scope (pipeline stages and pool workers re-enter it), record
+    /// endpoint latency, and stamp the id onto the response
+    /// (`x-fgbs-request-id`).
     pub fn handle(&self, req: &Request) -> Response {
+        // Decrement-on-drop so a panicking handler (unwound by the
+        // connection worker's firewall) cannot leak the gauge.
+        struct InFlight<'a>(&'a AtomicU64);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let rid = fgbs_trace::next_request_id();
+        let _request_ctx = fgbs_trace::enter_request(rid);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _gauge = InFlight(&self.in_flight);
         let t0 = Instant::now();
         let (name, resp) = self.route(req);
         self.metrics.record(name, t0.elapsed().as_micros() as u64);
-        resp
+        resp.with_request_id(rid)
     }
 
     fn route(&self, req: &Request) -> (&'static str, Response) {
@@ -262,7 +312,7 @@ impl Service {
             ("POST", "/snippets") => ("snippets", self.ep_snippets(req)),
             ("GET", "/snippets") => ("snippets", self.ep_snippets_list()),
             ("GET", "/artifacts") => ("artifacts", self.ep_artifacts()),
-            ("GET", "/metrics") => ("metrics", self.ep_metrics()),
+            ("GET", "/metrics") => ("metrics", self.ep_metrics(req)),
             ("GET", "/trace") => ("trace", self.ep_trace()),
             ("GET", "/health") => ("health", Response::json(&Json::obj(vec![("ok", Json::Bool(true))]))),
             (
@@ -397,6 +447,8 @@ impl Service {
                 Response {
                     status: 400,
                     source: None,
+                    request_id: 0,
+                    content_type: None,
                     body: Json::obj(vec![
                         ("error", Json::str(format!("invalid pack: {e}"))),
                         ("quarantined", Json::Bool(true)),
@@ -451,7 +503,11 @@ impl Service {
         self.respond_cached(&key, deadline, || {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled_snippet(id, &pack);
-            let mut cfg = self.cfg.clone().with_k(k);
+            let mut cfg = self
+                .cfg
+                .clone()
+                .with_k(k)
+                .with_request_id(fgbs_trace::current_request_id());
             if let Some(d) = deadline {
                 cfg = cfg.with_deadline(d);
             }
@@ -539,7 +595,11 @@ impl Service {
         self.respond_cached(&key, deadline, || {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled(spec);
-            let mut cfg = self.cfg.clone().with_k(k);
+            let mut cfg = self
+                .cfg
+                .clone()
+                .with_k(k)
+                .with_request_id(fgbs_trace::current_request_id());
             if let Some(d) = deadline {
                 cfg = cfg.with_deadline(d);
             }
@@ -644,7 +704,10 @@ impl Service {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled(spec);
             let cache = MicroCache::new();
-            let mut cfg = self.cfg.clone();
+            let mut cfg = self
+                .cfg
+                .clone()
+                .with_request_id(fgbs_trace::current_request_id());
             if let Some(d) = deadline {
                 cfg = cfg.with_deadline(d);
             }
@@ -692,7 +755,11 @@ impl Service {
         self.respond_cached(&key, deadline, || {
             self.computations.fetch_add(1, Ordering::Relaxed);
             let suite = self.profiled(spec);
-            let mut cfg = self.cfg.clone().with_k(k);
+            let mut cfg = self
+                .cfg
+                .clone()
+                .with_k(k)
+                .with_request_id(fgbs_trace::current_request_id());
             if let Some(d) = deadline {
                 cfg = cfg.with_deadline(d);
             }
@@ -773,7 +840,96 @@ impl Service {
         Response::json(&fgbs_trace::chrome::to_chrome(&fgbs_trace::snapshot()))
     }
 
-    fn ep_metrics(&self) -> Response {
+    /// `GET /metrics`: the default JSON document, or Prometheus text
+    /// exposition with `?format=prom` (`text/plain`, scrape-ready).
+    fn ep_metrics(&self, req: &Request) -> Response {
+        match req.param_or("format", "json") {
+            "prom" | "prometheus" => self.metrics_prometheus(),
+            _ => self.metrics_json(),
+        }
+    }
+
+    /// Render every metric family as Prometheus text exposition:
+    /// request/stage latency quantiles, trace counters and stats, store
+    /// counters, single-flight and liveness gauges.
+    fn metrics_prometheus(&self) -> Response {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        self.metrics.render_prometheus(&mut out);
+        let trace = fgbs_trace::snapshot();
+        let family = |out: &mut String, name: &str, help: &str, kind: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
+        family(
+            &mut out,
+            "fgbs_trace_counter_total",
+            "Deterministic trace counters.",
+            "counter",
+        );
+        for (name, v) in &trace.counters {
+            let _ = writeln!(out, "fgbs_trace_counter_total{{name=\"{name}\"}} {v}");
+        }
+        family(
+            &mut out,
+            "fgbs_trace_stat_total",
+            "Non-deterministic trace stats (timings, fault injections).",
+            "counter",
+        );
+        for (name, v) in &trace.stats {
+            let _ = writeln!(out, "fgbs_trace_stat_total{{name=\"{name}\"}} {v}");
+        }
+        let sc = self.store.counters();
+        family(
+            &mut out,
+            "fgbs_store_operations_total",
+            "Artifact store operations by outcome.",
+            "counter",
+        );
+        for (op, v) in [
+            ("hits", sc.hits),
+            ("misses", sc.misses),
+            ("puts", sc.puts),
+            ("evictions", sc.evictions),
+            ("retries", sc.retries),
+            ("quarantines", sc.quarantines),
+        ] {
+            let _ = writeln!(out, "fgbs_store_operations_total{{op=\"{op}\"}} {v}");
+        }
+        family(
+            &mut out,
+            "fgbs_flights_total",
+            "Single-flight computations led and coalesced.",
+            "counter",
+        );
+        let _ = writeln!(
+            out,
+            "fgbs_flights_total{{outcome=\"led\"}} {}",
+            self.flight.flights()
+        );
+        let _ = writeln!(
+            out,
+            "fgbs_flights_total{{outcome=\"coalesced\"}} {}",
+            self.flight.coalesced()
+        );
+        family(
+            &mut out,
+            "fgbs_computations_total",
+            "Full pipeline computations performed.",
+            "counter",
+        );
+        let _ = writeln!(out, "fgbs_computations_total {}", self.computations());
+        family(
+            &mut out,
+            "fgbs_in_flight_requests",
+            "Requests currently being handled.",
+            "gauge",
+        );
+        let _ = writeln!(out, "fgbs_in_flight_requests {}", self.in_flight());
+        Response::text(out)
+    }
+
+    fn metrics_json(&self) -> Response {
         let sc = self.store.counters();
         let trace = fgbs_trace::snapshot();
         let span_totals: Vec<Json> = trace
@@ -826,6 +982,7 @@ impl Service {
                 ]),
             ),
             ("computations", Json::U64(self.computations())),
+            ("in_flight", Json::U64(self.in_flight())),
         ]))
     }
 }

@@ -76,17 +76,21 @@ pub enum ArtifactKind {
     Response,
     /// A portable codelet-snippet pack (see `fgbs-snippet`).
     Snippet,
+    /// A flight-recorder dump captured at a failure (panic, 503,
+    /// quarantine, armed failpoint); see `fgbs_trace::flightrec`.
+    Diagnostic,
 }
 
 impl ArtifactKind {
     /// All kinds, in display order.
-    pub const ALL: [ArtifactKind; 6] = [
+    pub const ALL: [ArtifactKind; 7] = [
         ArtifactKind::Profile,
         ArtifactKind::Reduce,
         ArtifactKind::Predict,
         ArtifactKind::Fitness,
         ArtifactKind::Response,
         ArtifactKind::Snippet,
+        ArtifactKind::Diagnostic,
     ];
 
     /// Directory / manifest name of the kind.
@@ -98,6 +102,7 @@ impl ArtifactKind {
             ArtifactKind::Fitness => "fitness",
             ArtifactKind::Response => "response",
             ArtifactKind::Snippet => "snippet",
+            ArtifactKind::Diagnostic => "diagnostic",
         }
     }
 
@@ -241,6 +246,10 @@ impl Store {
                 store.quarantines.fetch_add(1, Ordering::Relaxed);
                 fgbs_trace::counter("store.quarantines", 1);
                 fgbs_trace::stat("store.quarantine.manifest", 1);
+                fgbs_trace::flightrec::trigger(
+                    "quarantine.manifest",
+                    fgbs_trace::current_request_id(),
+                );
                 Ok(store)
             }
             Err(e) => Err(e),
@@ -410,6 +419,7 @@ impl Store {
         }
         self.quarantines.fetch_add(1, Ordering::Relaxed);
         fgbs_trace::counter("store.quarantines", 1);
+        fgbs_trace::flightrec::trigger("quarantine.object", fgbs_trace::current_request_id());
         Ok(())
     }
 
@@ -432,6 +442,7 @@ impl Store {
         self.quarantines.fetch_add(1, Ordering::Relaxed);
         fgbs_trace::counter("store.quarantines", 1);
         fgbs_trace::stat("store.quarantine.external", 1);
+        fgbs_trace::flightrec::trigger("quarantine.external", fgbs_trace::current_request_id());
         Ok(qpath)
     }
 

@@ -46,6 +46,11 @@ pub fn to_chrome(trace: &Trace) -> Json {
         if let Some(parent) = span.parent {
             args.push(("parent", Json::U64(parent)));
         }
+        // Perfetto timelines filter per request on this arg
+        // (`args.req = N` in a track query).
+        if span.request != 0 {
+            args.push(("req", Json::U64(span.request)));
+        }
         for (key, value) in &span.args {
             args.push((
                 key,
@@ -111,6 +116,7 @@ mod tests {
                     tid: 0,
                     start_ns: 1_000,
                     dur_ns: 5_000,
+                    request: 7,
                     args: vec![("k", ArgValue::U64(4)), ("err", ArgValue::F64(0.5))].into(),
                 },
                 SpanRecord {
@@ -120,6 +126,7 @@ mod tests {
                     tid: 0,
                     start_ns: 1_500,
                     dur_ns: 2_000,
+                    request: 0,
                     args: crate::Args::new(),
                 },
             ],
@@ -151,6 +158,7 @@ mod tests {
         let args = x.get("args").unwrap();
         assert_eq!(args.get("k").and_then(Json::as_u64), Some(4));
         assert_eq!(args.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(args.get("req").and_then(Json::as_u64), Some(7));
 
         let child = events
             .iter()

@@ -1,0 +1,395 @@
+//! Log-linear ("HDR-style") quantile histograms.
+//!
+//! [`Histogram`] buckets unsigned values on a log-linear grid: the
+//! first octave is exact (bucket width 1), and every later octave is
+//! split into `SUB/2` equal sub-buckets, so the bucket holding a value
+//! `v` is never wider than `2·v/SUB` — a bounded *relative* error of
+//! `2/SUB` (≈3.1% with the default 6 sub-bucket bits) at any
+//! magnitude. That makes p50/p95/p99 estimates trustworthy across the
+//! microsecond-to-minute range one set of serve endpoints spans,
+//! where the old fixed log2 buckets answered only within 2×.
+//!
+//! Recording is wait-free: one bucket index computation (a handful of
+//! shifts off `leading_zeros`) plus five relaxed atomic RMWs, so the
+//! histogram can sit on the serve hot path and inside the per-stage
+//! latency estimator ([`Estimator`]) without a lock.
+//!
+//! # Quantile contract (property-tested in `tests/hist_prop.rs`)
+//!
+//! * `quantile(0)` is exactly the minimum recorded value and
+//!   `quantile(1)` exactly the maximum (tracked out-of-band).
+//! * For `0 < p < 1` the estimate lies within the bounds of the bucket
+//!   containing the rank-`⌈p·n⌉` sample.
+//! * `quantile` is monotone non-decreasing in `p`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::Json;
+
+/// Sub-bucket bits: `1 << SUB_BITS` exact buckets in the first octave,
+/// half that per later octave. 6 bits bounds relative error at 1/32.
+pub const SUB_BITS: u32 = 6;
+/// Sub-buckets in the first (exact) octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Sub-buckets per logarithmic octave after the first.
+const HALF: u64 = SUB / 2;
+/// Octaves needed to cover the full `u64` range.
+const OCTAVES: u64 = 64 - SUB_BITS as u64;
+/// Total bucket count (first exact octave + log-linear octaves).
+pub const N_BUCKETS: usize = (SUB + OCTAVES * HALF) as usize;
+
+/// Bucket index for a value. Exact below `SUB`; log-linear above.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        // Highest set bit is at position `top >= SUB_BITS`; shifting by
+        // `octave` leaves a SUB_BITS-bit value in [HALF, SUB).
+        let top = 63 - v.leading_zeros() as u64;
+        let octave = top - (SUB_BITS as u64 - 1);
+        let sub = (v >> octave) - HALF;
+        (SUB + (octave - 1) * HALF + sub) as usize
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let low = |i: u64| -> u64 {
+        if i < SUB {
+            i
+        } else {
+            let j = i - SUB;
+            let octave = j / HALF + 1;
+            let sub = j % HALF;
+            (HALF + sub) << octave
+        }
+    };
+    let lo = low(index as u64);
+    let hi = if index + 1 >= N_BUCKETS {
+        u64::MAX
+    } else {
+        low(index as u64 + 1) - 1
+    };
+    (lo, hi)
+}
+
+/// A concurrent log-linear histogram with bounded-relative-error
+/// quantiles. All methods take `&self`; recording is five relaxed
+/// atomic operations.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        // `[AtomicU64; N]` has no const initializer path through a Box
+        // without unsafe; build via a Vec of zeros instead.
+        let v: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; N_BUCKETS]> = v
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("vec has N_BUCKETS elements"));
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX && self.count() == 0 {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate. Exact at `p = 0` (min) and `p = 1` (max);
+    /// otherwise within the bounds of the bucket holding the
+    /// rank-`⌈p·n⌉` sample. Returns 0 on an empty histogram.
+    pub fn quantile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 {
+            return self.min();
+        }
+        if p >= 1.0 {
+            return self.max();
+        }
+        let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                // Clamping the bucket's upper bound into [min, max]
+                // keeps the estimate inside the bucket: the bucket
+                // holds at least one sample, so min <= high-side
+                // samples and max >= low bound.
+                let (_, hi) = bucket_bounds(i);
+                return hi.min(self.max()).max(self.min());
+            }
+        }
+        self.max()
+    }
+
+    /// Occupied buckets as `(low_bound, count)` pairs, ascending.
+    pub fn occupied(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then(|| (bucket_bounds(i).0, c))
+            })
+            .collect()
+    }
+
+    /// JSON summary: count/sum/min/max plus the standard quantiles.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::U64(self.count())),
+            ("sum", Json::U64(self.sum())),
+            ("min", Json::U64(self.min())),
+            ("max", Json::U64(self.max())),
+            ("p50", Json::U64(self.quantile(0.50))),
+            ("p95", Json::U64(self.quantile(0.95))),
+            ("p99", Json::U64(self.quantile(0.99))),
+        ])
+    }
+}
+
+/// Per-stage latency estimator: a [`Histogram`] for quantiles plus an
+/// exponentially-weighted moving average for a fast "current latency"
+/// signal. This pair is the feed the admission controller (ROADMAP
+/// item 1) multiplies by queue depth to decide whether a request can
+/// meet its deadline.
+pub struct Estimator {
+    hist: Histogram,
+    /// EWMA stored as `f64` bits for lock-free update.
+    ewma_bits: AtomicU64,
+    /// Smoothing factor in (0, 1]; higher tracks faster.
+    alpha: f64,
+}
+
+impl std::fmt::Debug for Estimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Estimator")
+            .field("ewma", &self.ewma())
+            .field("count", &self.hist.count())
+            .finish()
+    }
+}
+
+impl Estimator {
+    /// A new estimator with smoothing factor `alpha` (e.g. 0.2).
+    pub fn new(alpha: f64) -> Estimator {
+        Estimator {
+            hist: Histogram::new(),
+            ewma_bits: AtomicU64::new(f64::NAN.to_bits()),
+            alpha,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.hist.record(v);
+        let mut cur = self.ewma_bits.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let next = if old.is_nan() {
+                v as f64
+            } else {
+                old + self.alpha * (v as f64 - old)
+            };
+            match self.ewma_bits.compare_exchange_weak(
+                cur,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current EWMA (0.0 before the first observation).
+    pub fn ewma(&self) -> f64 {
+        let v = f64::from_bits(self.ewma_bits.load(Ordering::Relaxed));
+        if v.is_nan() {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+
+    /// JSON summary: the histogram fields plus the EWMA.
+    pub fn to_json(&self) -> Json {
+        let Json::Obj(mut fields) = self.hist.to_json() else {
+            unreachable!("histogram summary is an object")
+        };
+        fields.push(("ewma".to_string(), Json::Num(self.ewma())));
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_octave_is_exact() {
+        for v in 0..SUB {
+            let i = bucket_index(v);
+            assert_eq!(bucket_bounds(i), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_partition_the_value_range() {
+        let mut expect = 0u64;
+        for i in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expect, "bucket {i} lower bound");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, N_BUCKETS - 1);
+                return;
+            }
+            expect = hi + 1;
+        }
+        panic!("last bucket must reach u64::MAX");
+    }
+
+    #[test]
+    fn index_respects_bounds_at_powers_of_two() {
+        for shift in 0..64u32 {
+            for delta in [-1i64, 0, 1] {
+                let v = (1u128 << shift) as i128 + delta as i128;
+                if v < 0 || v > u64::MAX as i128 {
+                    continue;
+                }
+                let v = v as u64;
+                let (lo, hi) = bucket_bounds(bucket_index(v));
+                assert!(lo <= v && v <= hi, "v={v} lo={lo} hi={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[100u64, 999, 12_345, 1 << 20, u64::MAX / 3] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            let width = hi - lo;
+            assert!(
+                (width as f64) <= 2.0 * v as f64 / SUB as f64 + 1.0,
+                "v={v} width={width}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_on_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
+        let p50 = h.quantile(0.5);
+        // 500 sits in a bucket of width <= 2*500/64 + 1.
+        assert!((468..=532).contains(&p50), "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((958..=1000).contains(&p99), "p99={p99}");
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn estimator_tracks_shifts() {
+        let e = Estimator::new(0.5);
+        assert_eq!(e.ewma(), 0.0);
+        e.record(100);
+        assert_eq!(e.ewma(), 100.0);
+        e.record(200);
+        assert_eq!(e.ewma(), 150.0);
+        for _ in 0..20 {
+            e.record(1000);
+        }
+        assert!(e.ewma() > 990.0, "ewma converges: {}", e.ewma());
+        assert_eq!(e.histogram().count(), 22);
+    }
+}

@@ -125,6 +125,8 @@ mod clock {
 }
 
 pub mod chrome;
+pub mod flightrec;
+pub mod hist;
 pub mod json;
 pub mod summary;
 
@@ -260,6 +262,9 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Ambient request id when the span closed (0 = none). Contextual,
+    /// like `tid`: excluded from [`Trace::digest`].
+    pub request: u64,
     /// Deterministic key/value arguments, in insertion order.
     pub args: Args,
 }
@@ -491,10 +496,70 @@ fn with_tls<R>(f: impl FnOnce(&mut Tls) -> R) -> R {
 }
 
 /// Globally enable or disable recording. Disabled (the default), every
-/// entry point is a single relaxed atomic load.
+/// entry point is a single relaxed atomic load. Enabling also arms the
+/// [`flightrec`] recorder (the always-on diagnostic window); call
+/// [`flightrec::arm`]`(false)` afterwards to trace without it.
 pub fn set_enabled(on: bool) {
     clock::init(); // pin the epoch (and calibrate) before the first span
     ENABLED.store(on, Ordering::Relaxed);
+    flightrec::arm(on);
+}
+
+// ---------------------------------------------------------------------
+// Request-scoped context
+// ---------------------------------------------------------------------
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_REQUEST: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Allocate a fresh process-unique request id (monotonic from 1). The
+/// daemon calls this once per HTTP request; the CLI once per
+/// invocation. 0 is reserved for "no request".
+pub fn next_request_id() -> u64 {
+    NEXT_REQUEST.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The request id installed on this thread (0 = none). Spans and
+/// flight-recorder events stamp this at record time; works whether or
+/// not tracing is enabled.
+#[inline]
+pub fn current_request_id() -> u64 {
+    CURRENT_REQUEST.with(std::cell::Cell::get)
+}
+
+/// Install `id` as the ambient request id on this thread until the
+/// guard drops (restoring the previous value). The pool captures the
+/// submitting thread's request id and re-enters it on workers, so the
+/// id follows the work wherever it runs — the propagation contract in
+/// DESIGN.md §6h.
+#[must_use = "the request id is uninstalled when the guard drops"]
+pub fn enter_request(id: u64) -> RequestGuard {
+    let prev = CURRENT_REQUEST.with(|c| c.replace(id));
+    RequestGuard { prev }
+}
+
+/// Guard restoring the previous request id on drop. Obtain via
+/// [`enter_request`].
+#[derive(Debug)]
+pub struct RequestGuard {
+    prev: u64,
+}
+
+impl Drop for RequestGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        CURRENT_REQUEST.with(|c| c.set(prev));
+    }
+}
+
+/// This thread's trace-local thread id (allocating one if the thread
+/// has not recorded yet). Shared with [`flightrec`] so span `tid`s and
+/// flight-recorder `tid`s agree.
+pub(crate) fn thread_tid() -> u64 {
+    with_tls(|t| t.tid)
 }
 
 /// Whether recording is currently enabled.
@@ -598,12 +663,13 @@ impl Drop for Span {
         let dur_ns = clock::now_ns().saturating_sub(self.start_ns);
         let args = std::mem::take(&mut self.args);
         let (id, parent, name, start_ns) = (self.id, self.parent, self.name, self.start_ns);
-        with_tls(|t| {
+        let request = current_request_id();
+        let recorded = with_tls(|t| {
             // Close any children left open (a forgotten guard) so the
             // stack stays LIFO-consistent; a span already closed by its
             // parent records nothing.
             let Some(pos) = t.stack.iter().rposition(|&open| open == id) else {
-                return;
+                return false;
             };
             t.stack.truncate(pos);
             t.pending.push(SpanRecord {
@@ -613,12 +679,24 @@ impl Drop for Span {
                 tid: t.tid,
                 start_ns,
                 dur_ns,
+                request,
                 args,
             });
             if t.pending.len() >= FLUSH_EVERY {
                 flush_pending(&t.shard, &mut t.pending);
             }
+            true
         });
+        if recorded {
+            // Reuse the span's end timestamp — the recorder path pays
+            // no second clock read.
+            flightrec::record_at(
+                start_ns.saturating_add(dur_ns),
+                flightrec::EventKind::Span,
+                name,
+                dur_ns,
+            );
+        }
     }
 }
 
@@ -632,6 +710,9 @@ pub fn counter(name: &'static str, delta: u64) {
     with_tls(|t| {
         *t.shard.lock().counters.entry(name).or_insert(0) += delta;
     });
+    if flightrec::armed() {
+        flightrec::record_at(clock::now_ns(), flightrec::EventKind::Counter, name, delta);
+    }
 }
 
 /// Bump a nondeterministic aggregate (per-worker run time, queue wait,
@@ -799,9 +880,10 @@ fn collect(take: bool) -> Trace {
 mod tests {
     use super::*;
 
-    // The collector is process-global; tests that enable it serialize
-    // on this lock so they never observe each other's spans.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    // The collector (and the flight recorder) are process-global;
+    // tests that enable either serialize on this lock so they never
+    // observe each other's events. Shared with `flightrec::tests`.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn exclusive() -> std::sync::MutexGuard<'static, ()> {
         let guard = TEST_LOCK.lock();
@@ -977,6 +1059,66 @@ mod tests {
         let trace = drain();
         assert!(trace.spans.is_empty());
         assert_eq!(trace.counter("cluster.pairs"), 0);
+    }
+
+    #[test]
+    fn digest_is_thread_invariant_with_the_recorder_armed() {
+        let _g = exclusive();
+        flightrec::arm(true);
+        // Inline run: chunks nest directly under root.
+        {
+            let _root = span("root");
+            for _ in 0..3 {
+                let _c = span("chunk");
+                counter("pool.items", 1);
+            }
+        }
+        set_enabled(false);
+        let t1 = drain();
+
+        // Worker run: same forest via inherit_parent, each chunk under
+        // a different request id — contextual fields (tid, request)
+        // must not perturb the digest.
+        set_enabled(true);
+        {
+            let _root = span("root");
+            let pid = current_span_id();
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    std::thread::spawn(move || {
+                        let _ctx = inherit_parent(pid);
+                        let _rq = enter_request(70 + i);
+                        let _c = span("chunk");
+                        counter("pool.items", 1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+        set_enabled(false);
+        let t2 = drain();
+        assert_eq!(t1.digest(), t2.digest());
+        // The recorder did observe the spans...
+        assert!(flightrec::dump().iter().any(|e| e.name == "chunk"));
+        // ...and stamped the worker ones with their request ids.
+        assert!(flightrec::dump_for(71).iter().any(|e| e.name == "chunk"));
+    }
+
+    #[test]
+    fn request_guard_nests_and_restores() {
+        assert_eq!(current_request_id(), 0);
+        let outer = enter_request(5);
+        assert_eq!(current_request_id(), 5);
+        {
+            let _inner = enter_request(6);
+            assert_eq!(current_request_id(), 6);
+        }
+        assert_eq!(current_request_id(), 5);
+        drop(outer);
+        assert_eq!(current_request_id(), 0);
+        assert!(next_request_id() < next_request_id(), "monotonic ids");
     }
 
     #[test]

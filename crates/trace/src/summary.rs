@@ -193,6 +193,7 @@ mod tests {
                     tid: 0,
                     start_ns: 0,
                     dur_ns: 4_000,
+                    request: 0,
                     args: vec![("k", ArgValue::U64(3))].into(),
                 },
                 SpanRecord {
@@ -202,6 +203,7 @@ mod tests {
                     tid: 0,
                     start_ns: 500,
                     dur_ns: 1_000,
+                    request: 0,
                     args: crate::Args::new(),
                 },
                 SpanRecord {
@@ -211,6 +213,7 @@ mod tests {
                     tid: 1,
                     start_ns: 900,
                     dur_ns: 3_000,
+                    request: 0,
                     args: crate::Args::new(),
                 },
             ],

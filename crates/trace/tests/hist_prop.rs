@@ -1,0 +1,84 @@
+//! Property tests for the log-linear quantile histogram.
+//!
+//! The contract under test (see `fgbs_trace::hist`): a quantile
+//! estimate is never a fabrication — it lies inside the bucket that
+//! actually holds the rank-`⌈p·n⌉` sample, it is monotone in `p`, and
+//! it is *exact* at the extremes (`p = 0` is the recorded minimum,
+//! `p = 1` the recorded maximum). These are the properties the serve
+//! `/metrics` p50/p95/p99 and the admission-control estimator rely on.
+
+use fgbs_trace::hist::{bucket_bounds, bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// Values spread across the full u64 magnitude range: a uniform draw
+/// right-shifted by a uniform amount exercises every octave.
+fn value() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64).prop_map(|(v, shift)| v >> shift)
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(value(), 1..200)
+}
+
+proptest! {
+    #[test]
+    fn every_value_lands_in_its_own_bucket(v in value()) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v <= hi, "v={v} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn quantiles_are_exact_at_the_extremes(vs in values()) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        prop_assert_eq!(h.quantile(0.0), *vs.iter().min().unwrap());
+        prop_assert_eq!(h.quantile(1.0), *vs.iter().max().unwrap());
+        prop_assert_eq!(h.count(), vs.len() as u64);
+    }
+
+    #[test]
+    fn quantile_estimate_stays_inside_the_rank_sample_bucket(
+        vs in values(),
+        p in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        let mut sorted = vs.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = ((p * n as f64).ceil() as u64).clamp(1, n);
+        let truth = sorted[(rank - 1) as usize];
+        let (lo, hi) = bucket_bounds(bucket_index(truth));
+        let est = h.quantile(p);
+        if p > 0.0 {
+            prop_assert!(
+                lo <= est && est <= hi,
+                "p={p} truth={truth} est={est} bucket=[{lo}, {hi}]"
+            );
+        } else {
+            prop_assert_eq!(est, sorted[0]);
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p(vs in values(), mut ps in proptest::collection::vec(0.0f64..1.0, 2..20)) {
+        let h = Histogram::new();
+        for &v in &vs {
+            h.record(v);
+        }
+        ps.sort_by(f64::total_cmp);
+        let qs: Vec<u64> = ps.iter().map(|&p| h.quantile(p)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles regressed: {qs:?} at {ps:?}");
+        }
+        // The extremes bracket every estimate.
+        let (min, max) = (h.quantile(0.0), h.quantile(1.0));
+        for &q in &qs {
+            prop_assert!(min <= q && q <= max);
+        }
+    }
+}

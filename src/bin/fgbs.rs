@@ -16,6 +16,9 @@
 //! fgbs snippet verify FILE                # integrity + semantic validation
 //! fgbs snippet replay FILE                # replay against the pack's contract
 //! fgbs trace summary FILE                 # aggregate a Chrome-trace file
+//! fgbs flightrec dump [--request N]       # print a stored flight-recorder dump
+//! fgbs flightrec show [--request N]       # table view of a dump's event window
+//! fgbs top [--addr HOST:PORT] [--interval MS] [--count N]  # live /metrics view
 //! fgbs bench [--quick] [--filter SUB] [--out FILE]   # run the benchmark barometer
 //! fgbs bench cmp OLD.json NEW.json        # noise-aware record comparison
 //! fgbs help                               # this text
@@ -44,7 +47,7 @@ use fgbs::machine::{Arch, PARK_SCALE};
 use fgbs::serve::{Server, Service};
 use fgbs::pool::WorkPool;
 use fgbs::snippet::{build_pack, encode_pack, list_packs, parse_pack, replay_pack, verify_pack};
-use fgbs::store::Store;
+use fgbs::store::{ArtifactKind, Store};
 use fgbs::suites::{bigdata_suite, nas_suite, nr_suite, Class, BIGDATA_APPS, NAS_APPS};
 
 /// Parsed command line.
@@ -79,6 +82,9 @@ struct Cli {
     min_change: f64,
     noise_mult: f64,
     strict: bool,
+    request: Option<u64>,
+    interval_ms: u64,
+    count: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +104,9 @@ enum Command {
     SnippetVerify,
     SnippetReplay,
     TraceSummary,
+    FlightrecDump,
+    FlightrecShow,
+    Top,
     BenchRun,
     BenchCmp,
     Help,
@@ -120,13 +129,14 @@ impl SuiteKind {
     }
 }
 
-const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|snippet|trace|bench|help> \
+const USAGE: &str = "usage: fgbs <info|show|reduce|predict|select|features|serve|store|snippet|trace|flightrec|top|bench|help> \
 [--suite nr|nas|bigdata] [--class test|a|b] [--k N|elbow] [--threads N] \
 [--target atom|core2|sb] [--codelet NAME] [--paper-features] \
 [--results-dir DIR] [--store] [--addr HOST:PORT] [--keep N] \
 [--generations N] [--population N] [--seed N] [--trace FILE] \
 [--fault-spec SPEC] [--fault-seed N] [--quick] [--filter SUB] \
-[--out FILE] [--registry FILE] [--min-change PCT] [--noise-mult X] [--strict]";
+[--out FILE] [--registry FILE] [--min-change PCT] [--noise-mult X] [--strict] \
+[--request N] [--interval MS] [--count N]";
 
 const HELP: &str = "fgbs — fine-grained benchmark subsetting for system selection
 
@@ -148,6 +158,12 @@ commands:
   snippet verify FILE  validate a pack's integrity without executing it
   snippet replay FILE  execute a pack and check its bitwise replay contract
   trace summary FILE   aggregate a Chrome-trace file into a per-span table
+  flightrec dump       print the newest stored flight-recorder dump as JSON
+                       (--request N picks the dump for one request id)
+  flightrec show       human-readable table of a dump's last-N-events window
+  top                  poll a running daemon's /metrics: per-series
+                       throughput, p50/p95/p99, fault and store counters,
+                       in-flight requests (--interval MS, --count N)
   bench                run the declarative benchmark registry; prints per-
                        benchmark medians/noise and evaluates declared perf
                        gates (--quick for the fast subset, --out to record)
@@ -182,7 +198,10 @@ options:
   --registry FILE      bench: load the registry from FILE (default built-in)
   --min-change PCT     bench cmp: smallest change ever flagged (default 10)
   --noise-mult X       bench cmp: noise-floor multiplier (default 4)
-  --strict             bench cmp: also fail when records diverge in content";
+  --strict             bench cmp: also fail when records diverge in content
+  --request N          flightrec: select the dump captured for request N
+  --interval MS        top: poll period in milliseconds (default 1000)
+  --count N            top: number of polls before exiting (0 = forever)";
 
 fn parse(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -215,6 +234,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
         min_change: 10.0,
         noise_mult: 4.0,
         strict: false,
+        request: None,
+        interval_ms: 1000,
+        count: 0,
     };
     let mut it = args.iter();
     match it.next().map(String::as_str) {
@@ -284,6 +306,17 @@ fn parse(args: &[String]) -> Result<Cli, String> {
                 None => return Err("trace expects a subcommand: summary FILE".to_string()),
             }
         }
+        Some("flightrec") => {
+            cli.command = match it.next().map(String::as_str) {
+                Some("dump") => Command::FlightrecDump,
+                Some("show") => Command::FlightrecShow,
+                Some(other) => {
+                    return Err(format!("unknown flightrec subcommand `{other}` (dump|show)"))
+                }
+                None => return Err("flightrec expects a subcommand: dump|show".to_string()),
+            }
+        }
+        Some("top") => cli.command = Command::Top,
         Some("bench") => {
             // `bench cmp OLD NEW` vs plain `bench [options]`: peek so an
             // option token is not swallowed as a subcommand.
@@ -410,6 +443,9 @@ fn parse(args: &[String]) -> Result<Cli, String> {
             "--min-change" => cli.min_change = parse_num(&mut it, "--min-change")?,
             "--noise-mult" => cli.noise_mult = parse_num(&mut it, "--noise-mult")?,
             "--strict" => cli.strict = true,
+            "--request" => cli.request = Some(parse_num(&mut it, "--request")?),
+            "--interval" => cli.interval_ms = parse_num(&mut it, "--interval")?,
+            "--count" => cli.count = parse_num(&mut it, "--count")?,
             // Distinguish a mistyped flag from a stray positional so
             // `fgbs info extra` fails loudly instead of pretending
             // `extra` was an option.
@@ -672,6 +708,10 @@ fn cmd_features(cli: &Cli) -> Result<(), String> {
 
 fn cmd_serve(cli: &Cli) -> Result<(), String> {
     let store = open_store(cli)?;
+    // Failing requests (503s, quarantines, armed failpoints, panics)
+    // dump their flight-recorder window into the store as diagnostic
+    // artifacts; `fgbs flightrec dump|show` reads them back.
+    fgbs::serve::install_diagnostic_sink(Arc::clone(&store));
     // Requests run the pipeline serially; concurrency comes from the
     // connection workers, so identical queries stay deterministic.
     let mut cfg = PipelineConfig::default().with_k(cli.k).with_threads(1);
@@ -877,6 +917,192 @@ fn cmd_trace_summary(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+/// Load the diagnostic flight-recorder dump selected by `--request`
+/// (or the newest one) from the results store. Returns the artifact key
+/// and the parsed dump document.
+fn load_flightrec_dump(cli: &Cli) -> Result<(String, fgbs::trace::Json), String> {
+    let store = open_store(cli)?;
+    let mut dumps: Vec<_> = store
+        .list()
+        .into_iter()
+        .filter(|m| m.kind == ArtifactKind::Diagnostic)
+        .collect();
+    // Newest first; the key ends in the capture timestamp, which breaks
+    // same-second `stored_at` ties.
+    dumps.sort_by(|a, b| (b.stored_at, &b.key).cmp(&(a.stored_at, &a.key)));
+    for m in &dumps {
+        let Ok(Some(bytes)) = store.get(ArtifactKind::Diagnostic, &m.key) else {
+            continue;
+        };
+        let raw = String::from_utf8_lossy(&bytes).into_owned();
+        let Ok(doc) = fgbs::trace::Json::parse(&raw) else {
+            continue;
+        };
+        if let Some(want) = cli.request {
+            if doc.get("request").and_then(fgbs::trace::Json::as_u64) != Some(want) {
+                continue;
+            }
+        }
+        return Ok((m.key.clone(), doc));
+    }
+    Err(match cli.request {
+        Some(r) => format!("no diagnostic dump for request {r} in the store"),
+        None => "no diagnostic dumps in the store (nothing has failed yet)".to_string(),
+    })
+}
+
+/// `fgbs flightrec dump`: the selected dump as machine-readable JSON.
+fn cmd_flightrec_dump(cli: &Cli) -> Result<(), String> {
+    let (_, doc) = load_flightrec_dump(cli)?;
+    println!("{}", doc.render());
+    Ok(())
+}
+
+/// `fgbs flightrec show`: the selected dump as a human-readable event
+/// table — what the failing request (and its neighbours) did in the
+/// moments before the trigger fired.
+fn cmd_flightrec_show(cli: &Cli) -> Result<(), String> {
+    let (key, doc) = load_flightrec_dump(cli)?;
+    let reason = doc.get("reason").and_then(fgbs::trace::Json::as_str).unwrap_or("?");
+    let request = doc.get("request").and_then(fgbs::trace::Json::as_u64).unwrap_or(0);
+    let events = doc
+        .get("events")
+        .and_then(fgbs::trace::Json::as_arr)
+        .ok_or_else(|| format!("dump {key} has no event array"))?;
+    println!(
+        "flight recorder dump {key}: reason {reason}, request {request}, {} event(s)",
+        events.len()
+    );
+    let t0 = events
+        .first()
+        .and_then(|e| e.get("ts_ns"))
+        .and_then(fgbs::trace::Json::as_u64)
+        .unwrap_or(0);
+    println!(
+        "{:>12} {:>6} {:>4} {:<8} {:<28} {:>12}",
+        "t+us", "req", "tid", "kind", "name", "value"
+    );
+    for e in events {
+        let f = |k: &str| e.get(k).and_then(fgbs::trace::Json::as_u64).unwrap_or(0);
+        println!(
+            "{:>12.1} {:>6} {:>4} {:<8} {:<28} {:>12}",
+            f("ts_ns").saturating_sub(t0) as f64 / 1e3,
+            f("req"),
+            f("tid"),
+            e.get("kind").and_then(fgbs::trace::Json::as_str).unwrap_or("?"),
+            e.get("name").and_then(fgbs::trace::Json::as_str).unwrap_or("?"),
+            f("value"),
+        );
+    }
+    Ok(())
+}
+
+/// One blocking `GET /metrics` against a running daemon.
+fn fetch_metrics(addr: &str) -> Result<fgbs::trace::Json, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e} (is `fgbs serve` running?)"))?;
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: fgbs\r\nConnection: close\r\n\r\n")
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .ok_or_else(|| format!("{addr}: malformed /metrics response"))?;
+    fgbs::trace::Json::parse(body).map_err(|e| format!("{addr}: /metrics is not JSON: {e}"))
+}
+
+/// `fgbs top`: poll `/metrics` and render a compact live view —
+/// per-series throughput and latency quantiles, store and fault
+/// counters, in-flight requests.
+fn cmd_top(cli: &Cli) -> Result<(), String> {
+    let mut prev: Option<(std::time::Instant, Vec<(String, u64)>)> = None;
+    let mut polls = 0u64;
+    loop {
+        let doc = fetch_metrics(&cli.addr)?;
+        let now = std::time::Instant::now();
+        let g = |path: &[&str]| -> u64 {
+            let mut node = &doc;
+            for k in path {
+                match node.get(k) {
+                    Some(n) => node = n,
+                    None => return 0,
+                }
+            }
+            node.as_u64().unwrap_or(0)
+        };
+        println!(
+            "fgbs top — {} | in-flight {} | computations {} | coalesced {}",
+            cli.addr,
+            g(&["in_flight"]),
+            g(&["computations"]),
+            g(&["flight", "coalesced"])
+        );
+        println!(
+            "store: {} hits / {} misses / {} puts, {} quarantine(s), {} artifact(s)",
+            g(&["store", "hits"]),
+            g(&["store", "misses"]),
+            g(&["store", "puts"]),
+            g(&["store", "quarantines"]),
+            g(&["store", "artifacts"])
+        );
+        println!(
+            "faults: {} injected, {} retries, {} deadline(s) expired, {} panic(s)",
+            g(&["trace", "stats", "fault.injected"]),
+            g(&["trace", "stats", "fault.retries"]),
+            g(&["trace", "stats", "serve.deadline_expired"]),
+            g(&["trace", "stats", "serve.panics"])
+        );
+        println!(
+            "{:<16} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            "series", "count", "req/s", "p50_us", "p95_us", "p99_us", "ewma_us"
+        );
+        let mut counts: Vec<(String, u64)> = Vec::new();
+        if let Some(fgbs::trace::Json::Obj(series)) = doc.get("requests") {
+            for (name, s) in series {
+                let v = |k: &str| s.get(k).and_then(fgbs::trace::Json::as_u64).unwrap_or(0);
+                let count = v("count");
+                counts.push((name.clone(), count));
+                if count == 0 {
+                    continue;
+                }
+                let rate = prev
+                    .as_ref()
+                    .and_then(|(t, cs)| {
+                        let old = cs.iter().find(|(n, _)| n == name)?.1;
+                        let dt = now.duration_since(*t).as_secs_f64();
+                        (dt > 0.0).then(|| (count.saturating_sub(old)) as f64 / dt)
+                    })
+                    .unwrap_or(0.0);
+                let ewma = s
+                    .get("ewma_micros")
+                    .and_then(fgbs::trace::Json::as_f64)
+                    .unwrap_or(0.0);
+                println!(
+                    "{:<16} {:>8} {:>8.1} {:>10} {:>10} {:>10} {:>10.1}",
+                    name,
+                    count,
+                    rate,
+                    v("p50"),
+                    v("p95"),
+                    v("p99"),
+                    ewma
+                );
+            }
+        }
+        prev = Some((now, counts));
+        polls += 1;
+        if cli.count != 0 && polls >= cli.count {
+            return Ok(());
+        }
+        println!();
+        std::thread::sleep(std::time::Duration::from_millis(cli.interval_ms.max(50)));
+    }
+}
+
 /// Load `--registry FILE` when given, else the built-in catalogue.
 fn bench_registry(cli: &Cli) -> Result<fgbs::bench::barometer::Registry, String> {
     match &cli.bench_registry {
@@ -984,6 +1210,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Every CLI invocation is one logical request: spans, counters and
+    // flight-recorder events it emits carry this id, exactly like an
+    // HTTP request through the daemon.
+    let _request_ctx = fgbs::trace::enter_request(fgbs::trace::next_request_id());
+    // The flight recorder is armed for every invocation: recording is
+    // bounded (per-thread rings) and cheap enough to leave on — the
+    // `obs/flightrec_record` barometer entry gates it under 50 ns/event
+    // — so a failure anywhere always has a recent-events window.
+    fgbs::trace::flightrec::arm(true);
     // `--trace` turns the collector on for any command; `features`
     // always records so it can report per-generation GA progress.
     if cli.trace.is_some() || cli.command == Command::Features {
@@ -1029,6 +1264,9 @@ fn main() {
         Command::SnippetVerify => cmd_snippet_verify(&cli),
         Command::SnippetReplay => cmd_snippet_replay(&cli),
         Command::TraceSummary => cmd_trace_summary(&cli),
+        Command::FlightrecDump => cmd_flightrec_dump(&cli),
+        Command::FlightrecShow => cmd_flightrec_show(&cli),
+        Command::Top => cmd_top(&cli),
         Command::BenchRun => cmd_bench_run(&cli),
         Command::BenchCmp => cmd_bench_cmp(&cli),
     };
@@ -1214,10 +1452,38 @@ mod tests {
         for cmd in [
             "info", "show", "reduce", "predict", "select", "features", "serve", "store ls",
             "store gc", "snippet pack", "snippet unpack", "snippet ls", "snippet verify",
-            "snippet replay", "trace summary", "bench", "bench cmp", "help",
+            "snippet replay", "trace summary", "flightrec dump", "flightrec show", "top",
+            "bench", "bench cmp", "help",
         ] {
             assert!(HELP.contains(cmd), "help must describe `{cmd}`");
         }
+    }
+
+    #[test]
+    fn parses_observability_subcommands() {
+        let c = parse(&argv("flightrec dump")).unwrap();
+        assert_eq!(c.command, Command::FlightrecDump);
+        assert_eq!(c.request, None, "newest dump by default");
+
+        let c = parse(&argv("flightrec show --request 42 --results-dir /tmp/x")).unwrap();
+        assert_eq!(c.command, Command::FlightrecShow);
+        assert_eq!(c.request, Some(42));
+        assert_eq!(c.results_dir, "/tmp/x");
+
+        let c = parse(&argv("top")).unwrap();
+        assert_eq!(c.command, Command::Top);
+        assert_eq!(c.interval_ms, 1000);
+        assert_eq!(c.count, 0, "poll forever by default");
+
+        let c = parse(&argv("top --addr 127.0.0.1:9000 --interval 250 --count 3")).unwrap();
+        assert_eq!(c.addr, "127.0.0.1:9000");
+        assert_eq!(c.interval_ms, 250);
+        assert_eq!(c.count, 3);
+
+        assert!(parse(&argv("flightrec")).is_err(), "flightrec needs a subcommand");
+        assert!(parse(&argv("flightrec replay")).is_err());
+        assert!(parse(&argv("flightrec show --request soon")).is_err());
+        assert!(parse(&argv("top --interval fast")).is_err());
     }
 
     #[test]

@@ -25,8 +25,8 @@ fn traced_bench(threads: usize) -> Trace {
     .expect("bench run succeeds");
     assert_eq!(
         out.record.benchmarks.len(),
-        2,
-        "the filter selects the plain and the traced pipeline benchmark"
+        3,
+        "the filter selects the plain, traced, and traced+armed pipeline benchmarks"
     );
     trace::set_enabled(false);
     trace::drain()
@@ -48,8 +48,8 @@ fn bench_trace_digest_is_thread_invariant() {
     // deterministic arguments (id + sample count, never timings or the
     // thread count).
     let cases = parallel.spans_named("bench.case");
-    assert_eq!(cases.len(), 2);
-    assert_eq!(parallel.counter("bench.cases"), 2);
+    assert_eq!(cases.len(), 3);
+    assert_eq!(parallel.counter("bench.cases"), 3);
     for c in &cases {
         assert!(c.args.iter().any(|(k, _)| *k == "id"));
         assert!(c.args.iter().any(|(k, _)| *k == "samples"));
