@@ -124,8 +124,9 @@ pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Resu
         }
         Stage::Distance => {
             let data = observations(def.size, 14);
+            let pool = WorkPool::new(threads);
             run_samples(batch, samples, |_| {
-                black_box(DistanceMatrix::euclidean(&data));
+                black_box(DistanceMatrix::euclidean_with(&data, &pool));
             })
         }
         Stage::LinkageNnChain => {
@@ -164,13 +165,14 @@ pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Resu
             let mut flipped = all.clone();
             flipped.remove(3);
             flipped.push(70);
+            let pool = WorkPool::new(threads);
             let mut cache = MaskedDistanceCache::new(z);
-            let _ = cache.distances(&all);
+            let _ = cache.distances_with(&all, &pool);
             let mut turn = false;
             run_samples(batch, samples, move |_| {
                 // Alternate two masks two bits apart: every op patches.
                 turn = !turn;
-                black_box(cache.distances(if turn { &flipped } else { &all }));
+                black_box(cache.distances_with(if turn { &flipped } else { &all }, &pool));
             })
         }
         Stage::GaSelect => {

@@ -1,6 +1,9 @@
-//! Condensed pairwise distance matrices.
+//! Condensed pairwise distance matrices, built by a cache-blocked tile
+//! scheduler over the SIMD strip kernels.
 
-use fgbs_matrix::{kernel, Condensed, Matrix};
+use fgbs_matrix::simd;
+use fgbs_matrix::tile::{ColMajor, DisjointCells, TileMap};
+use fgbs_matrix::{Condensed, Matrix};
 use fgbs_pool::WorkPool;
 
 /// A symmetric pairwise distance matrix over `n` observations, stored in
@@ -16,33 +19,57 @@ impl DistanceMatrix {
         DistanceMatrix::euclidean_with(data, &WorkPool::serial())
     }
 
-    /// Euclidean distances between rows of `data`, with the O(n²) row
-    /// chunks of the condensed triangle fanned out over `pool`.
+    /// Euclidean distances between rows of `data`, with the condensed
+    /// triangle partitioned into cache-sized tiles fanned out over
+    /// `pool`.
     ///
-    /// Each row of the triangle is an independent contiguous span of the
-    /// condensed vector, so rows map onto the pool and concatenate back
-    /// in index order — the result is bitwise identical to
-    /// [`DistanceMatrix::euclidean`] for any thread count. Row shape was
-    /// validated when `data` was built, so the inner loop is pure
-    /// arithmetic over contiguous row slices ([`kernel::dist`]).
+    /// The tile decomposition ([`TileMap::for_observations`]) is a pure
+    /// function of `(n, d)` — never the worker count — and every tile
+    /// owns, per row it covers, one contiguous disjoint span of the
+    /// condensed vector, reduced in place through [`DisjointCells`].
+    /// Each pair's distance comes from the fixed norm-identity graph
+    /// ([`simd::dist_strip`]: one serial fma dot-product chain per
+    /// pair, vectorised *across* pairs over a column-major block, with
+    /// precomputed column norms), so the result is bitwise identical to
+    /// [`DistanceMatrix::euclidean`] for any thread count, tile order,
+    /// and dispatch width.
     pub fn euclidean_with(data: &Matrix, pool: &WorkPool) -> DistanceMatrix {
         let n = data.nrows();
         let mut build_span = fgbs_trace::span("cluster.distance");
         build_span.arg_u64("observations", n as u64);
-        let rows = pool.map_indexed(n.saturating_sub(1), |i| {
-            let a = data.row(i);
-            let mut row = Vec::with_capacity(n - 1 - i);
-            for j in (i + 1)..n {
-                row.push(kernel::dist(a, data.row(j)));
-            }
-            // Pair counts sum identically for any scheduling.
-            fgbs_trace::counter("cluster.pairs", (n - 1 - i) as u64);
-            row
-        });
-        let mut d = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-        for row in rows {
-            d.extend(row);
+        let tiles = TileMap::for_observations(n, data.ncols());
+        let cols = ColMajor::from_matrix(data);
+        // Squared row norms, once, through the same dispatched graph
+        // every tile shares. LANES extra zero cells: tail padding the
+        // strip kernel's full-width partial blocks read past column n.
+        let mut norms = vec![0.0f64; n + simd::LANES];
+        simd::norm_strip(cols.as_slice(), cols.stride(), data.ncols(), 0, &mut norms[..n]);
+        let norms = &norms;
+        let npairs = n * n.saturating_sub(1) / 2;
+        let mut d: Vec<f64> = Vec::with_capacity(npairs);
+        {
+            // SAFETY (from_uninit): the tiles cover every condensed cell
+            // exactly once, each cell is written before `set_len`, and
+            // the strip kernel writes a span fully before reading it.
+            let cells = unsafe { DisjointCells::from_uninit(d.spare_capacity_mut()) };
+            let cells = &cells;
+            pool.for_each_indexed(tiles.len(), |t| {
+                let mut tile_span = fgbs_trace::span("cluster.tile");
+                tile_span.arg_u64("tile", t as u64);
+                // SAFETY: `cells` wraps the condensed triangle of
+                // `tiles.n()` observations, and the pool runs each tile
+                // index exactly once — the `dist_tile` contract.
+                let pairs = unsafe {
+                    simd::dist_tile(data, norms, cols.as_slice(), cols.stride(), &tiles, t, cells)
+                };
+                // Deterministic per-tile pair count; totals sum
+                // identically for any scheduling.
+                tile_span.arg_u64("pairs", pairs);
+                fgbs_trace::counter("cluster.pairs", pairs);
+            });
         }
+        // SAFETY: every one of the `npairs` cells was written above.
+        unsafe { d.set_len(npairs) };
         DistanceMatrix {
             d: Condensed::from_vec(n, d),
         }

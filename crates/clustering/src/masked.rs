@@ -24,7 +24,9 @@
 //! deterministic even when a shared cache is raced over by a thread
 //! pool (behind a lock).
 
+use fgbs_matrix::tile::{DisjointCells, TileMap};
 use fgbs_matrix::{kernel, Condensed, Matrix};
+use fgbs_pool::WorkPool;
 
 use crate::distance::DistanceMatrix;
 
@@ -81,6 +83,20 @@ impl MaskedDistanceCache {
     ///
     /// Panics when a feature id is out of range.
     pub fn distances(&mut self, ids: &[usize]) -> DistanceMatrix {
+        self.distances_with(ids, &WorkPool::serial())
+    }
+
+    /// [`MaskedDistanceCache::distances`] with the condensed triangle
+    /// partitioned into the same cache-sized tiles the distance builder
+    /// uses ([`TileMap::for_observations`]), fanned out over `pool`.
+    ///
+    /// Each tile patches (or rebuilds) its own disjoint span of the
+    /// quantised accumulators and converts it to distances in the same
+    /// pass. Integer addition is exact and associative, so the tiled,
+    /// pooled result is bitwise identical to the serial one for every
+    /// thread count and tile order — the same exactness invariant that
+    /// makes patching anchor-independent (module docs).
+    pub fn distances_with(&mut self, ids: &[usize], pool: &WorkPool) -> DistanceMatrix {
         for &f in ids {
             assert!(f < self.z.ncols(), "feature id {f} out of range");
         }
@@ -105,38 +121,91 @@ impl MaskedDistanceCache {
         // Cardinality of the new mask (ids may repeat; added/removed are
         // computed set-wise against the cached mask).
         let next_len = self.cached_len + added.len() - removed.len();
-        if delta < next_len {
+        let npairs = n * n.saturating_sub(1) / 2;
+        let patch = delta < next_len;
+        if patch {
             // Patch the cached triangle in place. A *stat*, not a counter:
             // which anchor a genome patches from depends on evaluation
             // order (thread scheduling), even though the distances do not.
             fgbs_trace::stat("cluster.masked_incremental", 1);
-            self.patched += (n * n.saturating_sub(1) / 2) as u64 * delta as u64;
+            self.patched += npairs as u64 * delta as u64;
+        } else {
+            // From scratch: cheaper than patching, or nothing cached yet.
+            fgbs_trace::stat("cluster.masked_scratch", 1);
+            self.scratched += npairs as u64 * next_len as u64;
+        }
+
+        if pool.threads() <= 1 {
+            // Serial fast path: one flat walk over the condensed
+            // triangle (no tile bookkeeping), then one conversion sweep
+            // the compiler can vectorise. Bitwise-identical to the tiled
+            // path below — integer accumulators are exact, so the
+            // decomposition is invisible in the bits.
             let mut at = 0usize;
             for i in 0..n {
                 let a = self.z.row(i);
                 for j in (i + 1)..n {
                     let cell = &mut self.acc.as_mut_slice()[at];
-                    *cell = kernel::masked_sq_delta(*cell, a, self.z.row(j), &added, &removed);
+                    *cell = if patch {
+                        kernel::masked_sq_delta(*cell, a, self.z.row(j), &added, &removed)
+                    } else {
+                        kernel::masked_sq_acc(a, self.z.row(j), ids)
+                    };
                     at += 1;
                 }
             }
-        } else {
-            // From scratch: cheaper than patching, or nothing cached yet.
-            fgbs_trace::stat("cluster.masked_scratch", 1);
-            self.scratched += (n * n.saturating_sub(1) / 2) as u64 * next_len as u64;
-            let mut at = 0usize;
-            for i in 0..n {
-                let a = self.z.row(i);
-                for j in (i + 1)..n {
-                    self.acc.as_mut_slice()[at] = kernel::masked_sq_acc(a, self.z.row(j), ids);
-                    at += 1;
-                }
-            }
+            self.cached_len = next_len;
+            self.cached_mask = next_mask;
+            let d: Vec<f64> =
+                self.acc.as_slice().iter().map(|&a| kernel::acc_to_dist(a)).collect();
+            return DistanceMatrix::from_condensed(Condensed::from_vec(n, d));
         }
+
+        let tiles = TileMap::for_observations(n, self.z.ncols());
+        let z = &self.z;
+        let (added, removed) = (&added, &removed);
+        let mut d: Vec<f64> = Vec::with_capacity(npairs);
+        {
+            let acc_cells = DisjointCells::new(self.acc.as_mut_slice());
+            // SAFETY (from_uninit): the tiles cover every condensed cell
+            // exactly once, and each cell is written before `set_len`.
+            let out_cells = unsafe { DisjointCells::from_uninit(d.spare_capacity_mut()) };
+            let (acc_cells, out_cells) = (&acc_cells, &out_cells);
+            // Untraced: this branch only runs above one thread (the flat
+            // serial path above returns early), so an ordinary pool.map
+            // span here would make the span tree depend on the thread
+            // count — the one thing the trace digest contract forbids.
+            pool.for_each_indexed_untraced(tiles.len(), |t| {
+                let (rows, cr) = tiles.tile(t);
+                for i in rows.clone() {
+                    let j0 = cr.start.max(i + 1);
+                    if j0 >= cr.end {
+                        continue;
+                    }
+                    let (off, w) = (tiles.condensed_offset(i, j0), cr.end - j0);
+                    // SAFETY: the tile map assigns every condensed cell
+                    // to exactly one (tile, row) span, and the pool runs
+                    // each tile index exactly once, so concurrent spans
+                    // never overlap (in either buffer).
+                    let (acc, out) = unsafe {
+                        (acc_cells.slice_mut(off, w), out_cells.slice_mut(off, w))
+                    };
+                    let a = z.row(i);
+                    for (k, j) in (j0..cr.end).enumerate() {
+                        acc[k] = if patch {
+                            kernel::masked_sq_delta(acc[k], a, z.row(j), added, removed)
+                        } else {
+                            kernel::masked_sq_acc(a, z.row(j), ids)
+                        };
+                        out[k] = kernel::acc_to_dist(acc[k]);
+                    }
+                }
+            });
+        }
+        // SAFETY: every one of the `npairs` cells was written above.
+        unsafe { d.set_len(npairs) };
         self.cached_len = next_len;
         self.cached_mask = next_mask;
-
-        let d: Vec<f64> = self.acc.as_slice().iter().map(|&a| kernel::acc_to_dist(a)).collect();
         DistanceMatrix::from_condensed(Condensed::from_vec(n, d))
     }
 }
@@ -240,5 +309,37 @@ mod tests {
     fn out_of_range_feature_panics() {
         let mut cache = MaskedDistanceCache::new(z());
         let _ = cache.distances(&[99]);
+    }
+
+    #[test]
+    fn pooled_patching_is_bitwise_identical() {
+        // Big enough for several tiles; walk masks so both the patch and
+        // scratch paths run under every pool.
+        let z = Matrix::from_rows(
+            &(0..67)
+                .map(|i| {
+                    (0..12)
+                        .map(|j| ((i * 7 + j * 13) % 19) as f64 / 3.0 - 2.5)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>(),
+        );
+        let masks: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![0, 1, 2, 3, 4, 5, 6, 9],
+            vec![0, 11],
+            vec![0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+        ];
+        let mut serial = MaskedDistanceCache::new(z.clone());
+        for threads in [2, 4, 8] {
+            let pool = WorkPool::new(threads);
+            let mut pooled = MaskedDistanceCache::new(z.clone());
+            for ids in &masks {
+                let want = serial.distances(ids);
+                let got = pooled.distances_with(ids, &pool);
+                assert_eq!(want, got, "threads={threads} mask={ids:?}");
+            }
+            serial = MaskedDistanceCache::new(z.clone());
+        }
     }
 }

@@ -111,4 +111,36 @@ mod tests {
     fn centroid_of_empty_panics() {
         let _ = centroid(&data(), &[]);
     }
+
+    #[test]
+    fn squared_ordering_selects_the_same_medoid_as_true_distance() {
+        // The argmin runs over squared distances (saves the sqrt); sqrt
+        // is strictly monotone on [0, ∞), so the winner must match an
+        // explicit argmin over true distances. Generic-position rows: no
+        // ties to hide an ordering discrepancy behind.
+        let rows: Vec<Vec<f64>> = (0..41)
+            .map(|i| {
+                (0..7)
+                    .map(|j| ((i * 13 + j * 29) % 83) as f64 / 9.0)
+                    .collect()
+            })
+            .collect();
+        let data = Matrix::from_rows(&rows);
+        let labels: Vec<usize> = (0..41).map(|i| i % 3).collect();
+        let p = Partition::from_labels(&labels);
+        for c in 0..3 {
+            let members = p.members(c);
+            let cen = centroid(&data, &members);
+            let by_true = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    kernel::dist(data.row(a), &cen)
+                        .partial_cmp(&kernel::dist(data.row(b), &cen))
+                        .unwrap()
+                })
+                .unwrap();
+            assert_eq!(medoid(&data, &p, c, &[]), Some(by_true), "cluster {c}");
+        }
+    }
 }

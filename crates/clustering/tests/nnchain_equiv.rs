@@ -156,6 +156,28 @@ proptest! {
     }
 
     #[test]
+    fn linkage_agrees_over_the_tiled_distance_path(data in matrix_strategy(40, 4)) {
+        // The pooled tile scheduler must be invisible end to end: the
+        // same bitwise distance triangle at every thread count (40 rows
+        // spans several tiles at the minimum block edge), hence the
+        // same dendrogram digest through the chain.
+        let data = normalize(&data);
+        let serial = DistanceMatrix::euclidean(&data);
+        let want = dendrogram_digest(&linkage(&serial, Linkage::Ward));
+        for threads in [2, 8] {
+            let pool = fgbs_pool::WorkPool::new(threads);
+            let tiled = DistanceMatrix::euclidean_with(&data, &pool);
+            prop_assert_eq!(&tiled, &serial, "threads={}", threads);
+            prop_assert_eq!(
+                dendrogram_digest(&linkage(&tiled, Linkage::Ward)),
+                want,
+                "threads={}",
+                threads
+            );
+        }
+    }
+
+    #[test]
     fn masked_distances_feed_identical_dendrograms(
         (z, bits) in (
             matrix_strategy(10, 6),

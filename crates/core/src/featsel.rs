@@ -99,10 +99,15 @@ pub fn select_features_ga(
     };
     let z = normalize(&suite.features.matrix());
     let masked = Mutex::new(MaskedDistanceCache::new(z.clone()));
+    // The cache lock is the fitness loop's shared critical section:
+    // genomes queue on it while one patches. Fanning each patch's tiles
+    // over the pool shortens the section itself; the quantised integer
+    // accumulators keep the result bitwise identical either way.
+    let patch_pool = cfg.pool();
 
     let eval_mask = |mask: &FeatureMask| -> (f64, usize) {
         let ids = mask.ids();
-        let dist = masked.lock().distances(&ids);
+        let dist = masked.lock().distances_with(&ids, &patch_pool);
         let data = z.project_cols(&ids);
         let reduced = reduce_from_distances(suite, &inner_cfg, data, &dist, &eligible);
         let k_used = reduced.n_representatives();

@@ -3,12 +3,14 @@
 //!
 //! # Dense kernels
 //!
-//! [`sq_dist`] accumulates in four independent lanes so the compiler can
-//! keep the loop in SIMD registers without reassociating a single serial
-//! chain. The lane split is *fixed* (lane `l` owns elements `l, l+4, …`,
-//! combined as `(s0+s1) + (s2+s3)`), so results are deterministic for a
-//! given slice length — the thread-count-invariance contract of the
-//! distance stage does not depend on how rows are scheduled.
+//! [`sq_dist`] forwards to the explicit-width SIMD layer
+//! ([`crate::simd`]): one eight-lane accumulation graph (lane `l` owns
+//! elements `l, l+8, …`, combined as a fixed tree) compiled under
+//! several instruction sets and dispatched once at startup. Every
+//! dispatch path produces the same bits, so results are deterministic
+//! for a given slice length on any machine — the
+//! thread-count-invariance contract of the distance stage does not
+//! depend on how rows are scheduled or which ISA the probe picks.
 //!
 //! # Masked quantised accumulation
 //!
@@ -39,8 +41,8 @@ pub const Q_SCALE_BITS: u32 = 80;
 /// `2⁸⁰` as an exactly-representable f64.
 const Q_SCALE: f64 = (1u128 << Q_SCALE_BITS) as f64;
 
-/// Squared Euclidean distance between two equal-length rows, blocked
-/// over four accumulator lanes.
+/// Squared Euclidean distance between two equal-length rows, on the
+/// SIMD layer's active dispatch path (see [`crate::simd::sq_dist`]).
 ///
 /// # Panics
 ///
@@ -49,22 +51,7 @@ const Q_SCALE: f64 = (1u128 << Q_SCALE_BITS) as f64;
 #[inline]
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "kernel rows must have equal length");
-    let mut lanes = [0.0f64; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let at = &a[c * 4..c * 4 + 4];
-        let bt = &b[c * 4..c * 4 + 4];
-        for l in 0..4 {
-            let d = at[l] - bt[l];
-            lanes[l] += d * d;
-        }
-    }
-    let mut tail = 0.0;
-    for l in chunks * 4..a.len() {
-        let d = a[l] - b[l];
-        tail += d * d;
-    }
-    (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]) + tail
+    crate::simd::sq_dist(a, b)
 }
 
 /// Euclidean distance between two equal-length rows.

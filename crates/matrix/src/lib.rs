@@ -12,12 +12,21 @@
 //! * [`Condensed`] — upper-triangular pairwise storage (`n·(n−1)/2`
 //!   cells), generic over the cell type so both `f64` distances and the
 //!   `i128` masked-distance accumulators share the indexing math.
-//! * [`kernel`] — blocked, auto-vectorisable squared-distance kernels,
-//!   and the quantised masked-distance accumulator that makes the GA's
-//!   incremental fitness *exact*: per-feature contributions are
-//!   quantised to integers once, so adding and removing features from a
-//!   cached sum is associative and bitwise-reproducible no matter which
-//!   cached mask the update starts from.
+//! * [`kernel`] — squared-distance kernels and the quantised
+//!   masked-distance accumulator that makes the GA's incremental fitness
+//!   *exact*: per-feature contributions are quantised to integers once,
+//!   so adding and removing features from a cached sum is associative
+//!   and bitwise-reproducible no matter which cached mask the update
+//!   starts from.
+//! * [`simd`] — the explicit-width SIMD layer under `kernel`: one
+//!   arithmetic body per kernel compiled for several instruction sets
+//!   (baseline, AVX2, AVX-512F) with a fixed accumulation order, so the
+//!   path the runtime probe picks is invisible in the output bits.
+//! * [`tile`] — cache-blocked tiling of the condensed triangle
+//!   ([`tile::TileMap`]), the column-major observation layout the strip
+//!   kernels stream over ([`tile::ColMajor`]), and the disjoint-span
+//!   writer ([`tile::DisjointCells`]) that lets a work pool reduce tiles
+//!   into one `Condensed` buffer in parallel.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -25,6 +34,8 @@
 mod condensed;
 mod dense;
 pub mod kernel;
+pub mod simd;
+pub mod tile;
 
 pub use condensed::Condensed;
 pub use dense::Matrix;

@@ -1,0 +1,859 @@
+//! Explicit-width SIMD kernels with runtime ISA dispatch.
+//!
+//! # One arithmetic graph, several instruction sets
+//!
+//! Every kernel here has exactly one body, written over fixed-width
+//! `[f64; LANES]` lane arrays, and two or three dispatch wrappers that
+//! compile that same body under different `#[target_feature]` sets
+//! (baseline SSE2, AVX2, AVX-512F). The wrappers never change the
+//! arithmetic — IEEE-754 add/sub/mul/sqrt are exactly specified, so a
+//! fixed operation graph produces the same bits on every path. That is
+//! the **bitwise-dispatch contract**: which ISA the startup probe picks
+//! is invisible in the output, across machines, not just thread counts.
+//! `fgbs-matrix/tests/simd_prop.rs` proptests the contract over every
+//! supported path, odd lengths and unaligned slices.
+//!
+//! Two accumulation orders exist, both fixed:
+//!
+//! * [`sq_dist`] — the single-pair kernel splits features over
+//!   [`LANES`] independent accumulators (lane `l` owns features
+//!   `l, l+8, …`) combined as a fixed tree, plus a serial tail. This
+//!   keeps the add chains short (ILP) for latency-bound single pairs.
+//! * [`sq_dist_strip`] — the direct tile kernel gives each *pair* one
+//!   lane and accumulates its features serially in index order, so a
+//!   pair's sum is one serial chain regardless of where the strip
+//!   starts or how wide the hardware is. [`sq_dist_serial`] is its
+//!   scalar reference.
+//! * [`dist_strip`] / [`norm_strip`] — the production tile kernels use
+//!   the norm identity `d² = ‖a‖² + ‖c‖² − 2·(a·c)`: one fma per
+//!   pair-feature instead of the direct form's subtract *and* fma,
+//!   halving FMA-port pressure, with the clamp `max(0, ·)` and the
+//!   square root fused into the same fixed graph. [`dist_serial`] is
+//!   their scalar reference.
+//!
+//! Fused multiply-add is part of the fixed graph, never a contraction
+//! the compiler may or may not apply: every accumulation step is an
+//! explicit [`f64::mul_add`], which IEEE-754 specifies exactly (one
+//! rounding). Hardware FMA and the soft-float fallback on machines
+//! without it produce the same bits — slower there, never different.
+//! Rust licenses no reassociation, so the graph is the graph.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Fixed logical lane count of the kernels' accumulation schemes. Wide
+/// enough to fill one AVX-512 register or two AVX2 registers; the
+/// scalar path executes the same eight-lane graph one lane at a time.
+pub const LANES: usize = 8;
+
+/// An instruction-set dispatch path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Isa {
+    /// Baseline codegen (SSE2 on x86-64, NEON on aarch64).
+    Scalar,
+    /// 256-bit AVX2 codegen (x86-64 only).
+    Avx2,
+    /// 512-bit AVX-512F codegen (x86-64 only).
+    Avx512,
+}
+
+impl Isa {
+    /// Short stable name (used by `FGBS_SIMD` and telemetry).
+    pub fn name(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Avx2 => "avx2",
+            Isa::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse [`Isa::name`] back.
+    pub fn parse(s: &str) -> Option<Isa> {
+        Some(match s {
+            "scalar" => Isa::Scalar,
+            "avx2" => Isa::Avx2,
+            "avx512" => Isa::Avx512,
+            _ => return None,
+        })
+    }
+
+    /// Whether this machine can execute the path. The vector paths are
+    /// compiled with hardware FMA (the kernels' accumulation step), so
+    /// they require it alongside the vector width.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Every path this machine supports, widest last. Tests iterate
+    /// this to prove bitwise dispatch equality on the hardware at hand.
+    pub fn supported() -> Vec<Isa> {
+        [Isa::Scalar, Isa::Avx2, Isa::Avx512]
+            .into_iter()
+            .filter(|i| i.is_supported())
+            .collect()
+    }
+
+    /// The widest supported path (the startup default).
+    pub fn detect() -> Isa {
+        *Isa::supported().last().unwrap_or(&Isa::Scalar)
+    }
+}
+
+/// Active path, chosen once: 0 = unset, else `Isa as u8 + 1`.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn encode(isa: Isa) -> u8 {
+    match isa {
+        Isa::Scalar => 1,
+        Isa::Avx2 => 2,
+        Isa::Avx512 => 3,
+    }
+}
+
+fn decode(v: u8) -> Isa {
+    match v {
+        2 => Isa::Avx2,
+        3 => Isa::Avx512,
+        _ => Isa::Scalar,
+    }
+}
+
+/// The dispatch path every kernel call uses, resolved once per process:
+/// the widest supported ISA, unless `FGBS_SIMD=scalar|avx2|avx512`
+/// pins a narrower one (an unsupported or unknown request falls back to
+/// detection). Because all paths are bitwise-identical, this knob is an
+/// ablation/benchmark lever, never a correctness one.
+pub fn active() -> Isa {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v != 0 {
+        return decode(v);
+    }
+    let chosen = match std::env::var("FGBS_SIMD") {
+        Ok(s) => match Isa::parse(&s) {
+            Some(isa) if isa.is_supported() => isa,
+            _ => Isa::detect(),
+        },
+        Err(_) => Isa::detect(),
+    };
+    // A racing first call picks the same value: detection is pure.
+    ACTIVE.store(encode(chosen), Ordering::Relaxed);
+    chosen
+}
+
+// ---------------------------------------------------------------------
+// Kernel bodies: one arithmetic graph each, inlined into every wrapper.
+// ---------------------------------------------------------------------
+
+/// Hardware block width of the strip kernels: eight [`LANES`]-wide
+/// register groups. Each pair's serial fma chain has latency ≈ its own
+/// issue slots, so a block this wide buys the out-of-order window the
+/// slack to hide the chain latency *and* keep the square-root unit fed
+/// by the fused epilogue. Because each pair's chain is serial, grouping
+/// is invisible in the bits — it only sets how many chains run
+/// concurrently.
+const BLOCK: usize = 8 * LANES;
+
+/// Eight-lane squared distance: lane `l` owns features `l, l+8, …`,
+/// each lane accumulating by fused multiply-add, lanes combine as a
+/// fixed tree, the tail (len % 8) sums serially.
+#[inline(always)]
+fn sq_dist_body(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let mut acc = [0.0f64; LANES];
+    let chunks = n / LANES;
+    for c in 0..chunks {
+        let at = &a[c * LANES..c * LANES + LANES];
+        let bt = &b[c * LANES..c * LANES + LANES];
+        for l in 0..LANES {
+            let d = at[l] - bt[l];
+            acc[l] = d.mul_add(d, acc[l]);
+        }
+    }
+    let mut tail = 0.0;
+    for i in chunks * LANES..n {
+        let d = a[i] - b[i];
+        tail = d.mul_add(d, tail);
+    }
+    (((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))) + tail
+}
+
+/// One register block of the strip kernels: squared distances from `a`
+/// to the `W` columns at `base`. The fixed-size array lets the
+/// vectoriser keep all `W` accumulators in registers; per pair the
+/// chain is still strictly serial in feature order.
+#[inline(always)]
+fn strip_acc<const W: usize>(a: &[f64], cols: &[f64], stride: usize, base: usize) -> [f64; W] {
+    let d = a.len();
+    // One bounds proof for the whole block — the highest feature's
+    // window is the furthest access — so the inner loops run
+    // branch-free at full FMA-port throughput.
+    assert!(
+        d == 0 || (d - 1) * stride + base + W <= cols.len(),
+        "strip block escapes the column-major buffer"
+    );
+    let mut acc = [0.0f64; W];
+    for (f, &av) in a.iter().enumerate() {
+        let start = f * stride + base;
+        // SAFETY: `start + W ≤ (d−1)·stride + base + W ≤ cols.len()`,
+        // proven by the assert above.
+        let col = unsafe { cols.get_unchecked(start..start + W) };
+        for l in 0..W {
+            let d = col[l] - av;
+            acc[l] = d.mul_add(d, acc[l]);
+        }
+    }
+    acc
+}
+
+/// Pair-per-lane strip: `out[k]` gets the squared distance between `a`
+/// and column `j0 + k` of the column-major block `cols` (feature `f` of
+/// column `j` lives at `cols[f * stride + j]`). Each pair's features
+/// accumulate serially in index order — one fused-multiply-add chain
+/// per pair — so the result is independent of `j0` alignment, strip
+/// width, block grouping and lane width.
+///
+/// A final partial block is computed at full [`LANES`] width into the
+/// tail padding the column block carries (see [`crate::tile::ColMajor`])
+/// and only the live prefix is copied out — serial scalar pairs are
+/// latency-bound and would dominate narrow strips.
+#[inline(always)]
+fn sq_dist_strip_body(a: &[f64], cols: &[f64], stride: usize, j0: usize, out: &mut [f64]) {
+    let width = out.len();
+    let mut k = 0;
+    while k + BLOCK <= width {
+        out[k..k + BLOCK].copy_from_slice(&strip_acc::<BLOCK>(a, cols, stride, j0 + k));
+        k += BLOCK;
+    }
+    while k + LANES <= width {
+        out[k..k + LANES].copy_from_slice(&strip_acc::<LANES>(a, cols, stride, j0 + k));
+        k += LANES;
+    }
+    if k < width {
+        let acc = strip_acc::<LANES>(a, cols, stride, j0 + k);
+        out[k..width].copy_from_slice(&acc[..width - k]);
+    }
+}
+
+/// One register block of the dot-product strip: inner products of `a`
+/// with the `W` columns at `base`, one serial fused-multiply-add chain
+/// per column.
+#[inline(always)]
+fn dot_acc<const W: usize>(a: &[f64], cols: &[f64], stride: usize, base: usize) -> [f64; W] {
+    let d = a.len();
+    assert!(
+        d == 0 || (d - 1) * stride + base + W <= cols.len(),
+        "strip block escapes the column-major buffer"
+    );
+    let mut acc = [0.0f64; W];
+    for (f, &av) in a.iter().enumerate() {
+        let start = f * stride + base;
+        // SAFETY: `start + W ≤ (d−1)·stride + base + W ≤ cols.len()`,
+        // proven by the assert above.
+        let col = unsafe { cols.get_unchecked(start..start + W) };
+        for l in 0..W {
+            acc[l] = col[l].mul_add(av, acc[l]);
+        }
+    }
+    acc
+}
+
+/// One register block of the norm strip: squared norms of the `W`
+/// columns at `base`, one serial fused-multiply-add chain per column.
+#[inline(always)]
+fn norm_acc<const W: usize>(cols: &[f64], stride: usize, d: usize, base: usize) -> [f64; W] {
+    assert!(
+        d == 0 || (d - 1) * stride + base + W <= cols.len(),
+        "strip block escapes the column-major buffer"
+    );
+    let mut acc = [0.0f64; W];
+    for f in 0..d {
+        let start = f * stride + base;
+        // SAFETY: bounded by the assert above.
+        let col = unsafe { cols.get_unchecked(start..start + W) };
+        for l in 0..W {
+            acc[l] = col[l].mul_add(col[l], acc[l]);
+        }
+    }
+    acc
+}
+
+/// Squared norms of a strip of columns: `out[k] = ‖column(j0 + k)‖²`,
+/// each a serial feature-order fma chain (the `a == column` special
+/// case of the dot strip, without needing a row-major copy). The tail
+/// runs at full width into the column block's padding, like
+/// [`sq_dist_strip_body`].
+#[inline(always)]
+fn norm_strip_body(cols: &[f64], stride: usize, d: usize, j0: usize, out: &mut [f64]) {
+    let width = out.len();
+    let mut k = 0;
+    while k + LANES <= width {
+        out[k..k + LANES].copy_from_slice(&norm_acc::<LANES>(cols, stride, d, j0 + k));
+        k += LANES;
+    }
+    if k < width {
+        let acc = norm_acc::<LANES>(cols, stride, d, j0 + k);
+        out[k..width].copy_from_slice(&acc[..width - k]);
+    }
+}
+
+/// Euclidean distances from `a` to a strip of columns by the norm
+/// identity `d²(a, c) = ‖a‖² + ‖c‖² − 2·(a·c)`, fused end to end: dot
+/// strip, then per pair the fixed epilogue
+/// `sqrt(max(0, fma(−2, a·c, ‖a‖² + ‖c‖²)))` while the block is
+/// cache-hot. One fma per pair-feature — half the FMA-port pressure of
+/// the subtract-then-square form — at the price of the usual norm-trick
+/// cancellation for nearly-identical columns (absolute error
+/// ~ulp(‖a‖² + ‖c‖²); the clamp makes exact duplicates come out 0, not
+/// NaN). The whole graph is fixed, so every path agrees bitwise.
+#[inline(always)]
+fn dist_strip_body(
+    a: &[f64],
+    norm_a: f64,
+    cols: &[f64],
+    norms: &[f64],
+    stride: usize,
+    j0: usize,
+    out: &mut [f64],
+) {
+    // Per register block: dot strip, then the epilogue immediately,
+    // while the block is in registers. The square-root unit grinds one
+    // block's epilogue while the FMA port issues the next block's dot
+    // products — a strip-wide epilogue pass would serialise the two.
+    #[inline(always)]
+    fn block<const W: usize>(
+        a: &[f64],
+        norm_a: f64,
+        cols: &[f64],
+        nj: &[f64],
+        stride: usize,
+        base: usize,
+    ) -> [f64; W] {
+        let mut acc = dot_acc::<W>(a, cols, stride, base);
+        dist_epilogue(&mut acc, norm_a, nj);
+        acc
+    }
+    let width = out.len();
+    let mut k = 0;
+    while k + BLOCK <= width {
+        let b = block::<BLOCK>(a, norm_a, cols, &norms[j0 + k..j0 + k + BLOCK], stride, j0 + k);
+        out[k..k + BLOCK].copy_from_slice(&b);
+        k += BLOCK;
+    }
+    while k + LANES <= width {
+        let b = block::<LANES>(a, norm_a, cols, &norms[j0 + k..j0 + k + LANES], stride, j0 + k);
+        out[k..k + LANES].copy_from_slice(&b);
+        k += LANES;
+    }
+    if k < width {
+        // Full-width partial block into the padding `cols` and `norms`
+        // carry past the data (zeros ⇒ the surplus lanes compute
+        // `sqrt(max(0, ·))` of finite junk — discarded, never UB).
+        let b = block::<LANES>(a, norm_a, cols, &norms[j0 + k..j0 + k + LANES], stride, j0 + k);
+        out[k..width].copy_from_slice(&b[..width - k]);
+    }
+}
+
+/// In-place square root over a buffer. `sqrt` is correctly rounded on
+/// every path, so vector and scalar codegen agree bit for bit.
+#[inline(always)]
+fn sqrt_body(v: &mut [f64]) {
+    for x in v.iter_mut() {
+        *x = x.sqrt();
+    }
+}
+
+/// The norm-identity epilogue of one register block: `sqrt(max(0,
+/// fma(−2, dot, norm_a + norm_c)))`, lane-wise over a fixed array.
+#[inline(always)]
+fn dist_epilogue<const W: usize>(acc: &mut [f64; W], norm_a: f64, nj: &[f64]) {
+    for l in 0..W {
+        let d2 = (-2.0f64).mul_add(acc[l], norm_a + nj[l]);
+        acc[l] = d2.max(0.0).sqrt();
+    }
+}
+
+/// A whole condensed tile of [`dist_strip_body`] strips: the row loop
+/// runs *inside* the dispatched function, so a tile costs one dispatch
+/// (and one cold `#[target_feature]` prologue) instead of one per row.
+/// Returns the tile's pair count (a pure function of `(tiles, t)`, for
+/// deterministic telemetry).
+///
+/// The body discharges [`DisjointCells::slice_mut`]'s aliasing
+/// obligation with the tile map's exactly-once cell assignment; the
+/// caller contract for that step is documented on [`dist_tile`].
+#[inline(always)]
+fn dist_tile_body(
+    data: &crate::Matrix,
+    norms: &[f64],
+    cols: &[f64],
+    stride: usize,
+    tiles: &crate::tile::TileMap,
+    t: usize,
+    cells: &crate::tile::DisjointCells<'_, f64>,
+) -> u64 {
+    let (rows, cr) = tiles.tile(t);
+    let mut pairs = 0u64;
+    for i in rows {
+        let j0 = cr.start.max(i + 1);
+        if j0 >= cr.end {
+            continue;
+        }
+        let width = cr.end - j0;
+        // SAFETY: the tile map assigns every condensed cell to exactly
+        // one (tile, row) span ([`TileMap`] coverage invariant), and
+        // the caller promises each tile index is in flight at most
+        // once, so concurrent spans never overlap.
+        let out = unsafe { cells.slice_mut(tiles.condensed_offset(i, j0), width) };
+        dist_strip_body(data.row(i), norms[i], cols, norms, stride, j0, out);
+        pairs += width as u64;
+    }
+    pairs
+}
+
+// ---------------------------------------------------------------------
+// Dispatch wrappers. Same body, different codegen features; calling one
+// requires the feature to be present (checked by `active()`/`_with`).
+// ---------------------------------------------------------------------
+
+macro_rules! dispatch_paths {
+    ($body:ident => $scalar:ident, $avx2:ident, $avx512:ident,
+     ($($arg:ident : $ty:ty),*) -> $ret:ty) => {
+        fn $scalar($($arg: $ty),*) -> $ret {
+            $body($($arg),*)
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2,fma")]
+        unsafe fn $avx2($($arg: $ty),*) -> $ret {
+            $body($($arg),*)
+        }
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx512f,fma")]
+        unsafe fn $avx512($($arg: $ty),*) -> $ret {
+            $body($($arg),*)
+        }
+    };
+}
+
+dispatch_paths!(sq_dist_body => sq_dist_scalar, sq_dist_avx2, sq_dist_avx512,
+    (a: &[f64], b: &[f64]) -> f64);
+dispatch_paths!(sq_dist_strip_body => strip_scalar, strip_avx2, strip_avx512,
+    (a: &[f64], cols: &[f64], stride: usize, j0: usize, out: &mut [f64]) -> ());
+dispatch_paths!(norm_strip_body => norm_scalar, norm_avx2, norm_avx512,
+    (cols: &[f64], stride: usize, d: usize, j0: usize, out: &mut [f64]) -> ());
+dispatch_paths!(dist_strip_body => dstrip_scalar, dstrip_avx2, dstrip_avx512,
+    (a: &[f64], norm_a: f64, cols: &[f64], norms: &[f64], stride: usize, j0: usize,
+     out: &mut [f64]) -> ());
+dispatch_paths!(sqrt_body => sqrt_scalar, sqrt_avx2, sqrt_avx512,
+    (v: &mut [f64]) -> ());
+dispatch_paths!(dist_tile_body => dtile_scalar, dtile_avx2, dtile_avx512,
+    (data: &crate::Matrix, norms: &[f64], cols: &[f64], stride: usize,
+     tiles: &crate::tile::TileMap, t: usize,
+     cells: &crate::tile::DisjointCells<'_, f64>) -> u64);
+
+#[cfg(not(target_arch = "x86_64"))]
+macro_rules! run_path {
+    ($isa:expr, $scalar:ident, $avx2:ident, $avx512:ident, ($($arg:expr),*)) => {{
+        let _ = $isa;
+        $scalar($($arg),*)
+    }};
+}
+
+#[cfg(target_arch = "x86_64")]
+macro_rules! run_path {
+    ($isa:expr, $scalar:ident, $avx2:ident, $avx512:ident, ($($arg:expr),*)) => {
+        match $isa {
+            Isa::Scalar => $scalar($($arg),*),
+            // SAFETY: dispatch only reaches a vector path after
+            // `is_supported` confirmed the CPU feature.
+            Isa::Avx2 => unsafe { $avx2($($arg),*) },
+            Isa::Avx512 => unsafe { $avx512($($arg),*) },
+        }
+    };
+}
+
+/// Squared Euclidean distance between two rows on an explicit path.
+///
+/// # Panics
+///
+/// Panics when `isa` is not supported by this machine.
+pub fn sq_dist_with(isa: Isa, a: &[f64], b: &[f64]) -> f64 {
+    assert!(isa.is_supported(), "{} is not supported here", isa.name());
+    run_path!(isa, sq_dist_scalar, sq_dist_avx2, sq_dist_avx512, (a, b))
+}
+
+/// Squared Euclidean distance between two rows on the active path.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    run_path!(active(), sq_dist_scalar, sq_dist_avx2, sq_dist_avx512, (a, b))
+}
+
+/// The strip kernels' scalar reference: one serial feature-order
+/// fused-multiply-add chain per pair. Every [`sq_dist_strip`] output
+/// cell equals this bit for bit, on every path, at every strip offset;
+/// every [`dist_strip`] cell equals its square root.
+pub fn sq_dist_serial(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = y - x;
+        acc = d.mul_add(d, acc);
+    }
+    acc
+}
+
+/// Squared distances from `a` to a strip of columns on an explicit path
+/// (see [`sq_dist_strip`]).
+///
+/// # Panics
+///
+/// Panics when `isa` is not supported by this machine.
+pub fn sq_dist_strip_with(
+    isa: Isa,
+    a: &[f64],
+    cols: &[f64],
+    stride: usize,
+    j0: usize,
+    out: &mut [f64],
+) {
+    assert!(isa.is_supported(), "{} is not supported here", isa.name());
+    run_path!(isa, strip_scalar, strip_avx2, strip_avx512, (a, cols, stride, j0, out))
+}
+
+/// Squared distances from row `a` to the `out.len()` columns starting
+/// at `j0` of a column-major block (`cols[f * stride + j]` holds
+/// feature `f` of column `j`), on the active path. Each output cell is
+/// bitwise-equal to [`sq_dist_serial`] of the same pair.
+///
+/// `cols` must extend [`LANES`] cells past the last feature's window
+/// (tail padding, asserted; [`crate::tile::ColMajor`] provides it) so a
+/// partial final block can run at full width.
+#[inline]
+pub fn sq_dist_strip(a: &[f64], cols: &[f64], stride: usize, j0: usize, out: &mut [f64]) {
+    run_path!(active(), strip_scalar, strip_avx2, strip_avx512, (a, cols, stride, j0, out))
+}
+
+/// Column norms for a strip on an explicit path (see [`norm_strip`]).
+///
+/// # Panics
+///
+/// Panics when `isa` is not supported by this machine.
+pub fn norm_strip_with(
+    isa: Isa,
+    cols: &[f64],
+    stride: usize,
+    d: usize,
+    j0: usize,
+    out: &mut [f64],
+) {
+    assert!(isa.is_supported(), "{} is not supported here", isa.name());
+    run_path!(isa, norm_scalar, norm_avx2, norm_avx512, (cols, stride, d, j0, out))
+}
+
+/// Squared norms of the `out.len()` columns starting at `j0` of a
+/// column-major block with `d` features: `out[k] = ‖column(j0 + k)‖²`,
+/// each one serial feature-order fma chain, on the active path.
+/// Bitwise equal to [`sq_dist_serial`] of the column against a zero
+/// row, on every path.
+#[inline]
+pub fn norm_strip(cols: &[f64], stride: usize, d: usize, j0: usize, out: &mut [f64]) {
+    run_path!(active(), norm_scalar, norm_avx2, norm_avx512, (cols, stride, d, j0, out))
+}
+
+/// Euclidean distances for a strip on an explicit path (see
+/// [`dist_strip`]).
+///
+/// # Panics
+///
+/// Panics when `isa` is not supported by this machine.
+#[allow(clippy::too_many_arguments)]
+pub fn dist_strip_with(
+    isa: Isa,
+    a: &[f64],
+    norm_a: f64,
+    cols: &[f64],
+    norms: &[f64],
+    stride: usize,
+    j0: usize,
+    out: &mut [f64],
+) {
+    assert!(isa.is_supported(), "{} is not supported here", isa.name());
+    run_path!(
+        isa,
+        dstrip_scalar,
+        dstrip_avx2,
+        dstrip_avx512,
+        (a, norm_a, cols, norms, stride, j0, out)
+    )
+}
+
+/// Euclidean distances from row `a` (with precomputed squared norm
+/// `norm_a`) to the `out.len()` columns starting at `j0`, by the fixed
+/// norm-identity graph `sqrt(max(0, fma(−2, a·c, norm_a + norms[c])))`
+/// with one serial fma chain per dot product, on the active path.
+/// [`dist_serial`] is the scalar reference every path matches bit for
+/// bit; `norms` must come from [`norm_strip`] (or any bitwise-equal
+/// computation) for the identity to stay deterministic.
+///
+/// Both `cols` and `norms` must carry [`LANES`] cells of tail padding
+/// past the last column (zeros; [`crate::tile::ColMajor`] provides the
+/// former) so a partial final block can run at full width.
+#[inline]
+pub fn dist_strip(
+    a: &[f64],
+    norm_a: f64,
+    cols: &[f64],
+    norms: &[f64],
+    stride: usize,
+    j0: usize,
+    out: &mut [f64],
+) {
+    run_path!(
+        active(),
+        dstrip_scalar,
+        dstrip_avx2,
+        dstrip_avx512,
+        (a, norm_a, cols, norms, stride, j0, out)
+    )
+}
+
+/// One condensed tile of [`dist_strip`] strips on the active path: the
+/// row loop lives inside the dispatched function, so the whole tile
+/// costs a single dispatch. Writes, for every row `i` the tile covers,
+/// the distances to columns `max(j0, i+1)..j1` into the row's span of
+/// `cells` (the condensed triangle, located by
+/// [`crate::tile::TileMap::condensed_offset`]); returns the pair count.
+/// Output cells are bitwise-equal to [`dist_serial`], like
+/// [`dist_strip`], whose padding contract (`cols` from
+/// [`crate::tile::ColMajor`], `norms` with [`LANES`] zero tail cells)
+/// carries over.
+///
+/// # Safety
+///
+/// `cells` must wrap the condensed triangle of exactly `tiles.n()`
+/// observations, and no two calls for the same tile index `t` may run
+/// concurrently — together with the tile map's exactly-once cell
+/// assignment this makes all concurrent writes disjoint.
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn dist_tile(
+    data: &crate::Matrix,
+    norms: &[f64],
+    cols: &[f64],
+    stride: usize,
+    tiles: &crate::tile::TileMap,
+    t: usize,
+    cells: &crate::tile::DisjointCells<'_, f64>,
+) -> u64 {
+    run_path!(
+        active(),
+        dtile_scalar,
+        dtile_avx2,
+        dtile_avx512,
+        (data, norms, cols, stride, tiles, t, cells)
+    )
+}
+
+/// The [`dist_strip`] scalar reference: the same fixed norm-identity
+/// graph, one pair at a time — serial fma dot product, then
+/// `sqrt(max(0, fma(−2, a·b, norm_a + norm_b)))`.
+pub fn dist_serial(a: &[f64], b: &[f64], norm_a: f64, norm_b: f64) -> f64 {
+    let mut dot = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot = y.mul_add(*x, dot);
+    }
+    (-2.0f64).mul_add(dot, norm_a + norm_b).max(0.0).sqrt()
+}
+
+/// The [`norm_strip`] scalar reference: one serial feature-order fma
+/// chain, `acc = x·x + acc`. Every norm-strip cell equals this bit for
+/// bit, on every path — it is the row-side `norm_a` companion to
+/// [`dist_serial`] when no column-major copy of the row exists.
+pub fn norm_serial(a: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in a {
+        acc = x.mul_add(x, acc);
+    }
+    acc
+}
+
+/// In-place square root on an explicit path.
+///
+/// # Panics
+///
+/// Panics when `isa` is not supported by this machine.
+pub fn sqrt_in_place_with(isa: Isa, v: &mut [f64]) {
+    assert!(isa.is_supported(), "{} is not supported here", isa.name());
+    run_path!(isa, sqrt_scalar, sqrt_avx2, sqrt_avx512, (v))
+}
+
+/// In-place square root over a buffer on the active path (bitwise equal
+/// to scalar `f64::sqrt` — correctly rounded everywhere).
+#[inline]
+pub fn sqrt_in_place(v: &mut [f64]) {
+    run_path!(active(), sqrt_scalar, sqrt_avx2, sqrt_avx512, (v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(len: usize, seed: u64) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i as u64).wrapping_mul(seed).wrapping_add(7) % 1000) as f64 / 31.0 - 16.0)
+            .collect()
+    }
+
+    #[test]
+    fn detection_is_sane() {
+        assert!(Isa::Scalar.is_supported());
+        let all = Isa::supported();
+        assert!(all.contains(&Isa::Scalar));
+        assert!(all.contains(&Isa::detect()));
+        assert!(Isa::supported().contains(&active()));
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for isa in [Isa::Scalar, Isa::Avx2, Isa::Avx512] {
+            assert_eq!(Isa::parse(isa.name()), Some(isa));
+        }
+        assert_eq!(Isa::parse("mmx"), None);
+    }
+
+    #[test]
+    fn every_path_matches_scalar_bitwise() {
+        for len in [0, 1, 2, 7, 8, 9, 15, 16, 31, 64, 77] {
+            let a = row(len, 0x9E37);
+            let b = row(len, 0x85EB);
+            let reference = sq_dist_with(Isa::Scalar, &a, &b);
+            for isa in Isa::supported() {
+                assert_eq!(
+                    sq_dist_with(isa, &a, &b).to_bits(),
+                    reference.to_bits(),
+                    "len={len} isa={}",
+                    isa.name()
+                );
+            }
+        }
+    }
+
+    /// Tail padding the strip kernels require (see [`ColMajor`]):
+    /// `LANES` zero cells past the data.
+    fn pad(mut cols: Vec<f64>) -> Vec<f64> {
+        cols.resize(cols.len() + LANES, 0.0);
+        cols
+    }
+
+    #[test]
+    fn strip_matches_serial_reference_bitwise() {
+        // 5 features × 23 columns, deliberately odd sizes.
+        let (d, n) = (5usize, 23usize);
+        let a = row(d, 0xC2B2);
+        let cols: Vec<f64> = pad(row(d * n, 0x27D4));
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..d).map(|f| cols[f * n + j]).collect())
+            .collect();
+        for j0 in [0usize, 1, 3, 8] {
+            let width = n - j0;
+            for isa in Isa::supported() {
+                let mut out = vec![0.0; width];
+                sq_dist_strip_with(isa, &a, &cols, n, j0, &mut out);
+                for (k, got) in out.iter().enumerate() {
+                    let want = sq_dist_serial(&a, &rows[j0 + k]);
+                    assert_eq!(got.to_bits(), want.to_bits(), "j0={j0} k={k} {}", isa.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn norm_and_dist_strips_match_serial_reference_bitwise() {
+        let (d, n) = (7usize, 29usize);
+        let cols: Vec<f64> = pad(row(d * n, 0x51ED));
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|j| (0..d).map(|f| cols[f * n + j]).collect())
+            .collect();
+        let mut norms = vec![0.0; n + LANES];
+        norm_strip_with(Isa::Scalar, &cols, n, d, 0, &mut norms[..n]);
+        for (j, r) in rows.iter().enumerate() {
+            assert_eq!(norms[j].to_bits(), norm_serial(r).to_bits());
+        }
+        let a = row(d, 0x1234);
+        let norm_a = norm_serial(&a);
+        for isa in Isa::supported() {
+            let mut nn = vec![0.0; n];
+            norm_strip_with(isa, &cols, n, d, 0, &mut nn);
+            for (k, v) in nn.iter().enumerate() {
+                assert_eq!(v.to_bits(), norms[k].to_bits(), "norm k={k} {}", isa.name());
+            }
+            for j0 in [0usize, 1, 5] {
+                let width = n - j0;
+                let mut out = vec![0.0; width];
+                dist_strip_with(isa, &a, norm_a, &cols, &norms, n, j0, &mut out);
+                for (k, got) in out.iter().enumerate() {
+                    let want = dist_serial(&a, &rows[j0 + k], norm_a, norms[j0 + k]);
+                    assert_eq!(got.to_bits(), want.to_bits(), "j0={j0} k={k} {}", isa.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dist_strip_identical_columns_come_out_zero() {
+        // The norm identity cancels catastrophically for duplicates;
+        // the clamp must turn the tiny negative residue into 0, not
+        // NaN.
+        let d = 9usize;
+        let a = row(d, 0xBEEF);
+        // Two columns: an exact copy of `a`, and a near copy.
+        let n = 2usize;
+        let mut cols = vec![0.0; d * n + LANES];
+        for f in 0..d {
+            cols[f * n] = a[f];
+            // Perturb by more than the identity's cancellation floor
+            // (~ulp of the norms): below it, near-duplicates round to
+            // exactly 0 by design.
+            cols[f * n + 1] = a[f] + if f == 0 { 1e-3 } else { 0.0 };
+        }
+        let mut norms = vec![0.0; n + LANES];
+        norm_strip(&cols, n, d, 0, &mut norms[..n]);
+        let norm_a = norm_serial(&a);
+        let mut out = vec![0.0; n];
+        dist_strip(&a, norm_a, &cols, &norms, n, 0, &mut out);
+        assert_eq!(out[0], 0.0, "exact duplicate");
+        assert!(out[1].is_finite() && out[1] > 0.0, "near duplicate: {}", out[1]);
+    }
+
+    #[test]
+    fn sqrt_paths_agree() {
+        let v = row(37, 0xDEAD).iter().map(|x| x * x).collect::<Vec<_>>();
+        let mut reference = v.clone();
+        sqrt_in_place_with(Isa::Scalar, &mut reference);
+        for isa in Isa::supported() {
+            let mut w = v.clone();
+            sqrt_in_place_with(isa, &mut w);
+            for (a, b) in w.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{}", isa.name());
+            }
+        }
+    }
+
+    #[test]
+    fn single_pair_kernel_is_a_distance() {
+        let a = row(76, 3);
+        assert_eq!(sq_dist(&a, &a), 0.0);
+        let b = row(76, 11);
+        assert!((sq_dist(&a, &b) - sq_dist_serial(&a, &b)).abs() < 1e-9 * sq_dist_serial(&a, &b));
+    }
+}

@@ -1,0 +1,365 @@
+//! Cache-blocked tiling of the condensed distance triangle.
+//!
+//! The condensed triangle's natural work unit — one row `i` against all
+//! `j > i` — load-imbalances badly: row 0 carries `n − 1` pairs, row
+//! `n − 2` carries one. [`TileMap`] instead partitions the `(i, j)`
+//! upper triangle into square blocks of near-uniform pair count. Each
+//! tile owns, per row `i` it covers, one *contiguous* span of the
+//! condensed buffer, so tiles write disjoint cell sets and a pool can
+//! execute them in any order while the result stays bitwise-identical.
+//!
+//! The decomposition is a pure function of the observation count and
+//! feature width — never the worker count — so per-tile trace spans and
+//! counters keep the repo's thread-invariant digest contract.
+//!
+//! [`ColMajor`] is the transposed observation block the SIMD strip
+//! kernels stream over (consecutive `j` for one feature are adjacent),
+//! and [`DisjointCells`] is the unsafe escape hatch that lets tiles
+//! write their disjoint spans of one shared buffer concurrently.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::Matrix;
+
+/// Largest column-block working set the tile sizing targets, in bytes:
+/// a `block × d` panel at this size stays resident in L2 while every
+/// row of the tile streams over it.
+const TILE_TARGET_BYTES: usize = 128 * 1024;
+
+/// Minimum tiles-per-axis the sizing aims for, so a pool has enough
+/// tiles to balance (~`12·13/2 ≈ 78` tiles once `n` is large enough).
+const TARGET_BLOCKS: usize = 12;
+
+/// A blocked decomposition of the strict upper triangle over `n`
+/// observations into `nb·(nb+1)/2` tiles, enumerated row-major
+/// (`(b0,b0), (b0,b1), …, (b1,b1), …`) — a fixed order every consumer
+/// shares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileMap {
+    n: usize,
+    block: usize,
+    nb: usize,
+}
+
+impl TileMap {
+    /// A map with an explicit block edge (`block ≥ 1`).
+    pub fn new(n: usize, block: usize) -> TileMap {
+        let block = block.max(1);
+        // n ≤ 1 has no pairs: zero tiles, not one empty tile.
+        let nb = if n <= 1 { 0 } else { n.div_ceil(block) };
+        TileMap { n, block, nb }
+    }
+
+    /// The block edge for an `n × d` observation matrix: small enough
+    /// that a `block × d` panel fits [`TILE_TARGET_BYTES`] and that
+    /// large `n` yields at least [`TARGET_BLOCKS`] blocks per axis,
+    /// clamped to `[8, 256]` and deterministic in `(n, d)` alone.
+    pub fn for_observations(n: usize, d: usize) -> TileMap {
+        let cache_cap = TILE_TARGET_BYTES / (8 * d.max(1));
+        let balance_cap = n.div_ceil(TARGET_BLOCKS);
+        let block = cache_cap.min(balance_cap).clamp(8, 256);
+        TileMap::new(n, block)
+    }
+
+    /// Observation count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block edge length.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.nb * (self.nb + 1) / 2
+    }
+
+    /// True when there are no tiles (`n ≤ 1`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(i, j)` index ranges of tile `t` (in the fixed enumeration
+    /// order). Pairs of the tile are `{(i, j) : i ∈ rows, j ∈ cols,
+    /// i < j}`; diagonal tiles (`rows == cols`) carry the triangular
+    /// half above their diagonal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is out of range.
+    pub fn tile(&self, t: usize) -> (Range<usize>, Range<usize>) {
+        assert!(t < self.len(), "tile {t} out of range ({})", self.len());
+        // Row bi owns nb - bi tiles; walk rows until t fits.
+        let mut bi = 0;
+        let mut rem = t;
+        while rem >= self.nb - bi {
+            rem -= self.nb - bi;
+            bi += 1;
+        }
+        let bj = bi + rem;
+        let rows = bi * self.block..((bi + 1) * self.block).min(self.n);
+        let cols = bj * self.block..((bj + 1) * self.block).min(self.n);
+        (rows, cols)
+    }
+
+    /// Flat condensed-buffer index of the pair `(i, j)`, `i < j` — the
+    /// start of row `i`'s span within a tile whose column range begins
+    /// at `j`.
+    #[inline]
+    pub fn condensed_offset(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+}
+
+/// A column-major (feature-major) copy of an observation matrix:
+/// feature `f` of observation `j` lives at `as_slice()[f * stride + j]`
+/// with `stride == nrows`, so a strip of consecutive observations reads
+/// contiguously per feature — the layout the SIMD strip kernels want.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMajor {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl ColMajor {
+    /// Transpose `m` once (O(n·d), trivial next to the O(n²·d) kernels
+    /// that consume it). The buffer carries [`crate::simd::LANES`] zero
+    /// cells of tail padding past the last feature row, so the strip
+    /// kernels can compute a final partial block at full lane width and
+    /// discard the surplus lanes instead of falling back to serial
+    /// scalar pairs.
+    pub fn from_matrix(m: &Matrix) -> ColMajor {
+        let (nrows, ncols) = (m.nrows(), m.ncols());
+        let mut data = vec![0.0f64; nrows * ncols + crate::simd::LANES];
+        // Feature-outer: each destination run is contiguous (the strided
+        // source reads stay cache-resident — the whole panel is swept
+        // once per feature), and the zip elides every bounds check.
+        let src = m.as_slice();
+        for f in 0..ncols {
+            let dst = &mut data[f * nrows..(f + 1) * nrows];
+            for (d, s) in dst.iter_mut().zip(src[f..].iter().step_by(ncols.max(1))) {
+                *d = *s;
+            }
+        }
+        ColMajor { nrows, ncols, data }
+    }
+
+    /// Observations (columns of this layout).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Features (rows of this layout).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Distance between feature rows: `stride == nrows`.
+    pub fn stride(&self) -> usize {
+        self.nrows
+    }
+
+    /// The flat feature-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Shared mutable access to *disjoint* spans of one buffer.
+///
+/// The work pool's `for_each_indexed` runs every task exactly once; a
+/// tile decomposition assigns every condensed cell to exactly one tile.
+/// Under those two facts concurrent tiles never alias, but the borrow
+/// checker cannot see it — this wrapper carries the raw pointer across
+/// the closure boundary and re-materialises bounds-checked subslices.
+#[derive(Debug)]
+pub struct DisjointCells<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _life: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the wrapper only hands out subslices under the caller's
+// disjointness contract (see `slice_mut`); `T: Send` values may be
+// written from any thread.
+unsafe impl<T: Send> Sync for DisjointCells<'_, T> {}
+unsafe impl<T: Send> Send for DisjointCells<'_, T> {}
+
+impl<'a, T> DisjointCells<'a, T> {
+    /// Wrap a buffer for disjoint concurrent writes. The exclusive
+    /// borrow guarantees no one else observes the buffer while tiles
+    /// write.
+    pub fn new(cells: &'a mut [T]) -> DisjointCells<'a, T> {
+        DisjointCells {
+            ptr: cells.as_mut_ptr(),
+            len: cells.len(),
+            _life: PhantomData,
+        }
+    }
+
+    /// Wrap a buffer of *uninitialised* cells (e.g. a `Vec`'s spare
+    /// capacity) for disjoint concurrent writes, skipping the cost of
+    /// zero-filling memory that every tile overwrites anyway.
+    ///
+    /// # Safety
+    ///
+    /// In addition to the [`DisjointCells::slice_mut`] contract, every
+    /// span handed out must be **fully written before it is read** (the
+    /// strip kernels write each cell exactly once before touching it),
+    /// and the caller may only treat cells as initialised — e.g. via
+    /// `Vec::set_len` — once all tasks have completed.
+    pub unsafe fn from_uninit(
+        cells: &'a mut [std::mem::MaybeUninit<T>],
+    ) -> DisjointCells<'a, T> {
+        DisjointCells {
+            ptr: cells.as_mut_ptr().cast::<T>(),
+            len: cells.len(),
+            _life: PhantomData,
+        }
+    }
+
+    /// Cell count of the wrapped buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the wrapped buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The subslice `[start, start + len)`, writable.
+    ///
+    /// # Safety
+    ///
+    /// Callers must guarantee that ranges handed out to concurrently
+    /// running tasks never overlap, and that no range outlives the
+    /// task that requested it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range exceeds the buffer.
+    #[allow(clippy::mut_from_ref)] // the whole point, guarded by the safety contract
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "span {start}+{len} exceeds {} cells",
+            self.len
+        );
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_cover_every_pair_exactly_once() {
+        for n in [0usize, 1, 2, 3, 7, 16, 33, 100] {
+            for block in [1usize, 3, 8, 64] {
+                let map = TileMap::new(n, block);
+                let mut seen = vec![0u32; n * n.saturating_sub(1) / 2];
+                for t in 0..map.len() {
+                    let (rows, cols) = map.tile(t);
+                    for i in rows.clone() {
+                        for j in cols.clone() {
+                            if i < j {
+                                seen[map.condensed_offset(i, j)] += 1;
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "n={n} block={block}: every pair in exactly one tile"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_row_spans_are_contiguous_in_the_condensed_buffer() {
+        let map = TileMap::new(20, 6);
+        for t in 0..map.len() {
+            let (rows, cols) = map.tile(t);
+            for i in rows {
+                let j0 = cols.start.max(i + 1);
+                if j0 >= cols.end {
+                    continue;
+                }
+                let base = map.condensed_offset(i, j0);
+                for (k, j) in (j0..cols.end).enumerate() {
+                    assert_eq!(map.condensed_offset(i, j), base + k);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizing_is_deterministic_and_bounded() {
+        let a = TileMap::for_observations(1024, 14);
+        assert_eq!(a, TileMap::for_observations(1024, 14));
+        assert!((8..=256).contains(&a.block()));
+        // Large n yields enough tiles to balance a pool.
+        assert!(a.len() >= 36, "got {} tiles", a.len());
+        // Wide features shrink the block to stay cache-resident.
+        let wide = TileMap::for_observations(4096, 76);
+        assert!(wide.block() * 76 * 8 <= TILE_TARGET_BYTES);
+        // Degenerate sizes do not panic.
+        assert!(TileMap::for_observations(0, 0).is_empty());
+        assert_eq!(TileMap::for_observations(1, 5).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tile_index_is_checked() {
+        let _ = TileMap::new(10, 4).tile(99);
+    }
+
+    #[test]
+    fn colmajor_transposes() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let c = ColMajor::from_matrix(&m);
+        assert_eq!(c.stride(), 2);
+        assert_eq!(&c.as_slice()[..6], &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        // Tail padding: LANES zero cells past the data.
+        assert_eq!(c.as_slice().len(), 6 + crate::simd::LANES);
+        assert!(c.as_slice()[6..].iter().all(|&x| x == 0.0));
+        for i in 0..m.nrows() {
+            for f in 0..m.ncols() {
+                assert_eq!(c.as_slice()[f * c.stride() + i], m.get(i, f));
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_cells_write_back() {
+        let mut buf = vec![0i32; 10];
+        {
+            let w = DisjointCells::new(&mut buf);
+            assert_eq!(w.len(), 10);
+            assert!(!w.is_empty());
+            // SAFETY: the two spans are disjoint.
+            let lo = unsafe { w.slice_mut(0, 4) };
+            let hi = unsafe { w.slice_mut(4, 6) };
+            lo.copy_from_slice(&[1, 2, 3, 4]);
+            hi.copy_from_slice(&[5, 6, 7, 8, 9, 10]);
+        }
+        assert_eq!(buf, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn disjoint_cells_bounds_checked() {
+        let mut buf = vec![0u8; 4];
+        let w = DisjointCells::new(&mut buf);
+        // SAFETY: rejected before any pointer arithmetic matters.
+        let _ = unsafe { w.slice_mut(2, 3) };
+    }
+}

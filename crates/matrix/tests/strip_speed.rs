@@ -1,0 +1,136 @@
+//! Ad-hoc component timing (run manually with --ignored --nocapture).
+use fgbs_matrix::{
+    simd,
+    tile::{ColMajor, TileMap},
+    Matrix,
+};
+
+fn data(n: usize, d: usize) -> Matrix {
+    Matrix::from_rows(
+        &(0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| ((i * 31 + j * 17) % 97) as f64 / 9.0)
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+#[ignore]
+fn components() {
+    let (n, d) = (1024usize, 14usize);
+    let m = data(n, d);
+    let npairs = n * (n - 1) / 2;
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..20 {
+        std::hint::black_box(ColMajor::from_matrix(&m));
+    }
+    println!("transpose: {:?}/op", t0.elapsed() / 20);
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..20 {
+        std::hint::black_box(vec![0.0f64; npairs]);
+    }
+    println!("alloc:     {:?}/op", t0.elapsed() / 20);
+
+    let cols = ColMajor::from_matrix(&m);
+    let tiles = TileMap::for_observations(n, d);
+    let mut buf = vec![0.0f64; npairs];
+    let t0 = std::time::Instant::now();
+    for _ in 0..20 {
+        for t in 0..tiles.len() {
+            let (rows, cr) = tiles.tile(t);
+            for i in rows {
+                let j0 = cr.start.max(i + 1);
+                if j0 >= cr.end {
+                    continue;
+                }
+                let w = cr.end - j0;
+                let off = tiles.condensed_offset(i, j0);
+                simd::sq_dist_strip(
+                    m.row(i),
+                    cols.as_slice(),
+                    cols.stride(),
+                    j0,
+                    &mut buf[off..off + w],
+                );
+            }
+        }
+        std::hint::black_box(&buf);
+    }
+    println!("strip:     {:?}/op  ({} pairs)", t0.elapsed() / 20, npairs);
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..20 {
+        simd::sqrt_in_place(&mut buf);
+        std::hint::black_box(&buf);
+    }
+    println!("sqrt:      {:?}/op", t0.elapsed() / 20);
+}
+
+#[test]
+#[ignore]
+fn fused() {
+    let (n, d) = (1024usize, 14usize);
+    let m = data(n, d);
+    let npairs = n * (n - 1) / 2;
+    let cols = ColMajor::from_matrix(&m);
+    let tiles = TileMap::for_observations(n, d);
+    let mut norms = vec![0.0f64; n + simd::LANES];
+    simd::norm_strip(cols.as_slice(), cols.stride(), d, 0, &mut norms[..n]);
+    let mut buf = vec![0.0f64; npairs];
+    let t0 = std::time::Instant::now();
+    for _ in 0..20 {
+        for t in 0..tiles.len() {
+            let (rows, cr) = tiles.tile(t);
+            for i in rows {
+                let j0 = cr.start.max(i + 1);
+                if j0 >= cr.end {
+                    continue;
+                }
+                let w = cr.end - j0;
+                let off = tiles.condensed_offset(i, j0);
+                simd::dist_strip(
+                    m.row(i),
+                    norms[i],
+                    cols.as_slice(),
+                    &norms,
+                    cols.stride(),
+                    j0,
+                    &mut buf[off..off + w],
+                );
+            }
+        }
+        std::hint::black_box(&buf);
+    }
+    println!("fused dist_strip: {:?}/op  ({} pairs)", t0.elapsed() / 20, npairs);
+}
+
+#[test]
+#[ignore]
+fn tiled() {
+    use fgbs_matrix::tile::DisjointCells;
+    let (n, d) = (1024usize, 14usize);
+    let m = data(n, d);
+    let npairs = n * (n - 1) / 2;
+    let cols = ColMajor::from_matrix(&m);
+    let tiles = TileMap::for_observations(n, d);
+    let mut norms = vec![0.0f64; n + simd::LANES];
+    simd::norm_strip(cols.as_slice(), cols.stride(), d, 0, &mut norms[..n]);
+    let mut buf = vec![0.0f64; npairs];
+    let t0 = std::time::Instant::now();
+    for _ in 0..20 {
+        let cells = DisjointCells::new(&mut buf);
+        for t in 0..tiles.len() {
+            // SAFETY: serial loop; each tile runs once.
+            unsafe {
+                simd::dist_tile(&m, &norms, cols.as_slice(), cols.stride(), &tiles, t, &cells);
+            }
+        }
+        std::hint::black_box(&buf);
+    }
+    println!("dist_tile: {:?}/op  ({} pairs)", t0.elapsed() / 20, npairs);
+}
