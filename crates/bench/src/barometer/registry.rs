@@ -64,6 +64,21 @@ pub enum Stage {
     SnippetReplay,
     /// Execute the same codelets in-process (the replay baseline).
     SnippetInproc,
+    /// Mean per-request latency of a keep-alive load run against the
+    /// event-driven server (`size` concurrent connections).
+    ServeLoadEvent,
+    /// Mean per-request latency of a one-connection-per-request load
+    /// run against the blocking thread-per-connection server.
+    ServeLoadBlocking,
+    /// p99 per-request latency, event-driven server.
+    ServeLoadEventP99,
+    /// p99 per-request latency, blocking server.
+    ServeLoadBlockingP99,
+    /// Wall-clock nanoseconds per completed request (inverse
+    /// throughput), event-driven server.
+    ServeLoadEventWall,
+    /// Wall-clock nanoseconds per completed request, blocking server.
+    ServeLoadBlockingWall,
 }
 
 impl Stage {
@@ -91,6 +106,12 @@ impl Stage {
             "snippet_unpack_verify" => Stage::SnippetUnpackVerify,
             "snippet_replay" => Stage::SnippetReplay,
             "snippet_inproc" => Stage::SnippetInproc,
+            "serve_load_event" => Stage::ServeLoadEvent,
+            "serve_load_blocking" => Stage::ServeLoadBlocking,
+            "serve_load_event_p99" => Stage::ServeLoadEventP99,
+            "serve_load_blocking_p99" => Stage::ServeLoadBlockingP99,
+            "serve_load_event_wall" => Stage::ServeLoadEventWall,
+            "serve_load_blocking_wall" => Stage::ServeLoadBlockingWall,
             _ => return None,
         })
     }
@@ -311,6 +332,7 @@ mod tests {
             "pipeline",
             "snippet",
             "obs",
+            "serve",
         ] {
             assert!(
                 r.benchmarks.iter().any(|b| b.suite == suite),
@@ -351,6 +373,19 @@ mod tests {
         let gate = replay.gate.as_ref().unwrap();
         assert_eq!(gate.vs, "snippet/inproc/n3/t1");
         assert_eq!(gate.max_ratio, 1.05);
+        // The event-driven serve loop must beat the thread-per-
+        // connection baseline on mean latency, p99, and throughput at
+        // 64 concurrent connections.
+        for (event, blocking) in [
+            ("serve/hot_event/n64/t4", "serve/hot_blocking/n64/t4"),
+            ("serve/p99_event/n64/t4", "serve/p99_blocking/n64/t4"),
+            ("serve/wall_event/n64/t4", "serve/wall_blocking/n64/t4"),
+        ] {
+            let e = r.find(event).unwrap();
+            let gate = e.gate.as_ref().unwrap();
+            assert_eq!(gate.vs, blocking);
+            assert_eq!(gate.max_ratio, 1.0);
+        }
     }
 
     #[test]
@@ -411,6 +446,12 @@ mod tests {
             "snippet_unpack_verify",
             "snippet_replay",
             "snippet_inproc",
+            "serve_load_event",
+            "serve_load_blocking",
+            "serve_load_event_p99",
+            "serve_load_blocking_p99",
+            "serve_load_event_wall",
+            "serve_load_blocking_wall",
         ] {
             assert!(Stage::parse(name).is_some(), "stage `{name}` must parse");
         }

@@ -22,6 +22,7 @@ use fgbs_genetic::GaConfig;
 use fgbs_machine::{Arch, PARK_SCALE};
 use fgbs_matrix::Matrix;
 use fgbs_pool::WorkPool;
+use fgbs_serve::{loadgen, LoopOptions, ServeOptions, Server, Service};
 use fgbs_snippet::{build_pack, encode_pack, parse_pack, replay_pack, snippet_digest, verify_pack};
 use fgbs_store::{ArtifactKind, Store};
 use fgbs_suites::{bigdata_suite, nr_suite, Class};
@@ -350,6 +351,18 @@ pub fn measure(def: &BenchDef, samples: usize, effective_threads: usize) -> Resu
                 black_box(report);
             })
         }
+        Stage::ServeLoadEvent => serve_load(true, ServeStat::Mean, def.size, threads, samples)?,
+        Stage::ServeLoadBlocking => {
+            serve_load(false, ServeStat::Mean, def.size, threads, samples)?
+        }
+        Stage::ServeLoadEventP99 => serve_load(true, ServeStat::P99, def.size, threads, samples)?,
+        Stage::ServeLoadBlockingP99 => {
+            serve_load(false, ServeStat::P99, def.size, threads, samples)?
+        }
+        Stage::ServeLoadEventWall => serve_load(true, ServeStat::Wall, def.size, threads, samples)?,
+        Stage::ServeLoadBlockingWall => {
+            serve_load(false, ServeStat::Wall, def.size, threads, samples)?
+        }
         Stage::SnippetInproc => {
             // The replay gate's baseline: the same codelets and contexts
             // executed straight from the in-process suite, no pack in
@@ -379,6 +392,79 @@ fn bench_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("fgbs-bench-{}-{tag}", std::process::id()))
 }
 
+/// Which statistic of a load run a serve stage samples.
+#[derive(Debug, Clone, Copy)]
+enum ServeStat {
+    /// Mean per-request latency.
+    Mean,
+    /// 99th-percentile per-request latency.
+    P99,
+    /// Wall-clock nanoseconds per completed request — the reciprocal
+    /// of throughput, kept in ns/op so gates and `cmp` read naturally
+    /// (lower is better, like every other row).
+    Wall,
+}
+
+/// Requests each loadgen connection issues per run. Fixed so the
+/// `serve/*` row ids (keyed by connection count) stay comparable.
+const SERVE_REQUESTS_PER_CONN: usize = 8;
+
+/// One serve-load sample: spin up an in-process server (event loop or
+/// blocking thread-per-connection), drive `conns` concurrent clients
+/// through `fgbs_serve::loadgen`, and report the chosen statistic.
+/// Keep-alive follows the server mode: the event loop is measured with
+/// connection reuse (its strength), the blocking baseline with one
+/// connection per request (its natural gait).
+fn serve_load(
+    event_loop: bool,
+    stat: ServeStat,
+    conns: usize,
+    threads: usize,
+    samples: usize,
+) -> Result<Vec<f64>, String> {
+    let dir = bench_dir(if event_loop { "serve-event" } else { "serve-blocking" });
+    let store =
+        std::sync::Arc::new(Store::open(&dir).map_err(|e| format!("bench serve store: {e}"))?);
+    let service = std::sync::Arc::new(Service::new(
+        PipelineConfig::fast().with_threads(1),
+        store,
+    ));
+    let tuning = LoopOptions {
+        event_loop,
+        ..LoopOptions::default()
+    };
+    let server = Server::start_tuned(
+        "127.0.0.1:0",
+        threads,
+        service,
+        ServeOptions::default(),
+        tuning,
+    )
+    .map_err(|e| format!("bench serve bind: {e}"))?;
+    let opts = loadgen::LoadOptions {
+        conns,
+        requests: SERVE_REQUESTS_PER_CONN,
+        keep_alive: event_loop,
+        target: "/health".to_string(),
+    };
+    let _ = loadgen::run(server.addr(), &opts); // warm-up
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let report = loadgen::run(server.addr(), &opts);
+        if report.ok == 0 {
+            return Err("bench serve load: no request completed".to_string());
+        }
+        out.push(match stat {
+            ServeStat::Mean => report.mean_ns(),
+            ServeStat::P99 => report.p99_ns() as f64,
+            ServeStat::Wall => report.elapsed.as_nanos() as f64 / report.ok as f64,
+        });
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +481,11 @@ mod tests {
             }
             let mut small = def.clone();
             small.batch = small.batch.min(64);
+            // Serve rows spin real TCP servers: shrink the client fleet
+            // so the smoke test stays a smoke test.
+            if small.suite == "serve" {
+                small.size = 4;
+            }
             let samples = measure(&small, 1, 1).expect("workload runs");
             assert_eq!(samples.len(), 1);
             assert!(samples[0].is_finite() && samples[0] >= 0.0, "{}", def.id);

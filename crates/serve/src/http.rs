@@ -1,10 +1,15 @@
-//! Minimal HTTP/1.1 over `std::io` streams.
+//! Minimal HTTP/1.1 over `std::io` streams and byte buffers.
 //!
 //! The service speaks just enough HTTP for its JSON endpoints: request
 //! line + headers + optional `Content-Length` body in, status line +
-//! fixed headers + body out, one request per connection
-//! (`Connection: close`). No chunked encoding, no keep-alive, no TLS —
-//! the daemon fronts a deterministic compute cache, not the internet.
+//! fixed headers + body out. Framing is `Content-Length` only — no
+//! chunked encoding, no TLS — but connections are HTTP/1.1
+//! keep-alive by default: [`try_parse`] consumes one request at a time
+//! out of a growing connection buffer (the event loop's pipelining
+//! primitive), and [`Response::render`] emits either
+//! `connection: keep-alive` or `connection: close`. The blocking
+//! [`read_request_limited`] wrapper and one-shot `write_to` remain for
+//! the fallback path and tests.
 
 use std::io::{self, Read, Write};
 
@@ -154,29 +159,60 @@ pub fn read_request_limited(
     stream: &mut impl Read,
     max_body: usize,
 ) -> Result<Request, RequestError> {
-    // Read the head byte-by-byte groupings until CRLFCRLF; the residue
-    // after the head belongs to the body.
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEAD {
-            return Err(RequestError::TooLarge {
-                what: "head",
-                len: buf.len(),
-                limit: MAX_HEAD,
-            });
+    loop {
+        if let Some(parsed) = try_parse(&buf, max_body)? {
+            return Ok(parsed.request);
         }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
+            let what = if find_head_end(&buf).is_some() {
+                "connection closed mid-body"
+            } else {
+                "connection closed mid-request"
+            };
             return Err(RequestError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
-                "connection closed mid-request",
+                what,
             )));
         }
         buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// One request carved out of a connection buffer by [`try_parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Parsed {
+    /// The parsed request.
+    pub request: Request,
+    /// How many bytes of the buffer this request occupied; the caller
+    /// drains them and may find the next pipelined request behind.
+    pub consumed: usize,
+    /// The client asked for the connection to close after the response
+    /// (`Connection: close`, or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
+}
+
+/// Try to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix (more bytes
+/// needed), `Ok(Some(_))` with the consumed length once a full frame is
+/// present, and an error as soon as one is *knowable*: an oversized or
+/// conflicting head fails without waiting for the body to arrive.
+pub fn try_parse(buf: &[u8], max_body: usize) -> Result<Option<Parsed>, RequestError> {
+    let head_end = match find_head_end(buf) {
+        Some(pos) => pos,
+        None => {
+            if buf.len() > MAX_HEAD {
+                return Err(RequestError::TooLarge {
+                    what: "head",
+                    len: buf.len(),
+                    limit: MAX_HEAD,
+                });
+            }
+            return Ok(None);
+        }
     };
 
     let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
@@ -190,18 +226,40 @@ pub fn read_request_limited(
     let uri = parts
         .next()
         .ok_or_else(|| malformed("missing request target"))?;
+    let http10 = parts.next() == Some("HTTP/1.0");
 
-    let mut content_length = 0usize;
+    // Duplicate `Content-Length` headers with different values are a
+    // request-smuggling vector (RFC 9112 §6.3): reject instead of
+    // silently letting the last one win. Identical repeats are allowed.
+    let mut content_length: Option<usize> = None;
+    let mut close = http10;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let parsed = value
                     .trim()
                     .parse()
                     .map_err(|_| malformed("bad content-length"))?;
+                match content_length {
+                    Some(prev) if prev != parsed => {
+                        return Err(malformed("conflicting content-length headers"));
+                    }
+                    _ => content_length = Some(parsed),
+                }
+            } else if name.eq_ignore_ascii_case("connection") {
+                for token in value.split(',') {
+                    let token = token.trim();
+                    if token.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if token.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(RequestError::TooLarge {
             what: "body",
@@ -210,30 +268,28 @@ pub fn read_request_limited(
         });
     }
 
-    let mut body = buf[head_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(RequestError::Io(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
-            )));
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = head_end + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return Ok(None);
     }
-    body.truncate(content_length);
+    let body = buf[body_start..consumed].to_vec();
 
     let (path, query) = match uri.split_once('?') {
         Some((p, q)) => (p.to_string(), parse_query(q)),
         None => (uri.to_string(), Vec::new()),
     };
 
-    Ok(Request {
-        method,
-        path,
-        query,
-        body,
-    })
+    Ok(Some(Parsed {
+        request: Request {
+            method,
+            path,
+            query,
+            body,
+        },
+        consumed,
+        close,
+    }))
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
@@ -332,24 +388,36 @@ impl Response {
         }
     }
 
-    /// Serialise status line, headers and body onto `w`.
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+    /// Serialise status line, headers and body into one frame. The
+    /// `connection` header advertises whether the server will keep the
+    /// connection open afterwards — the event loop decides per
+    /// connection, the blocking path always closes.
+    pub fn render(&self, keep_alive: bool) -> Vec<u8> {
+        use std::io::Write as _;
+        let mut out = Vec::with_capacity(self.body.len() + 160);
+        let _ = write!(
+            out,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
             self.status,
             self.status_text(),
             self.content_type.unwrap_or("application/json"),
-            self.body.len()
-        )?;
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
         if let Some(source) = self.source {
-            write!(w, "x-fgbs-source: {source}\r\n")?;
+            let _ = write!(out, "x-fgbs-source: {source}\r\n");
         }
         if self.request_id != 0 {
-            write!(w, "x-fgbs-request-id: {}\r\n", self.request_id)?;
+            let _ = write!(out, "x-fgbs-request-id: {}\r\n", self.request_id);
         }
-        w.write_all(b"\r\n")?;
-        w.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialise one close-delimited frame onto `w` (blocking path).
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.render(false))?;
         w.flush()
     }
 }
@@ -470,6 +538,67 @@ mod tests {
         Response::json(&Json::U64(7)).write_to(&mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(!text.contains("x-fgbs-request-id"), "{text}");
+    }
+
+    #[test]
+    fn try_parse_waits_for_a_full_frame_then_reports_consumed() {
+        let raw = b"POST /reduce HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /x";
+        // Every strict prefix of the frame is "more bytes, please".
+        let frame_len = raw.len() - b"GET /x".len();
+        for cut in 0..frame_len {
+            assert!(
+                try_parse(&raw[..cut], 1024).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let parsed = try_parse(raw, 1024).unwrap().unwrap();
+        assert_eq!(parsed.request.body, b"hello");
+        assert_eq!(parsed.consumed, frame_len);
+        assert!(!parsed.close, "HTTP/1.1 defaults to keep-alive");
+        // The residue behind `consumed` is the next pipelined request.
+        assert_eq!(&raw[parsed.consumed..], b"GET /x");
+    }
+
+    #[test]
+    fn try_parse_honours_connection_and_version_close_semantics() {
+        let close = b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(try_parse(close, 1024).unwrap().unwrap().close);
+        let old = b"GET /health HTTP/1.0\r\n\r\n";
+        assert!(try_parse(old, 1024).unwrap().unwrap().close);
+        let old_keep = b"GET /health HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n";
+        assert!(!try_parse(old_keep, 1024).unwrap().unwrap().close);
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let raw = b"POST /reduce HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nhello!";
+        let err = try_parse(raw, 1024).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.to_string().contains("conflicting content-length"), "{err}");
+        // The blocking reader surfaces the same rejection.
+        assert!(read_request_limited(&mut &raw[..], 1024).is_err());
+        // Identical repeats are harmless and accepted.
+        let raw = b"POST /reduce HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let parsed = try_parse(raw, 1024).unwrap().unwrap();
+        assert_eq!(parsed.request.body, b"hello");
+    }
+
+    #[test]
+    fn oversize_declared_bodies_fail_before_the_body_arrives() {
+        let raw = b"POST /reduce HTTP/1.1\r\nContent-Length: 100\r\n\r\n";
+        let err = try_parse(raw, 64).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn render_advertises_the_connection_decision() {
+        let keep = String::from_utf8(Response::json(&Json::U64(7)).render(true)).unwrap();
+        assert!(keep.contains("connection: keep-alive\r\n"), "{keep}");
+        let close = String::from_utf8(Response::json(&Json::U64(7)).render(false)).unwrap();
+        assert!(close.contains("connection: close\r\n"), "{close}");
+        let mut via_write = Vec::new();
+        Response::json(&Json::U64(7)).write_to(&mut via_write).unwrap();
+        assert_eq!(via_write, close.as_bytes(), "write_to is render(false)");
     }
 
     #[test]

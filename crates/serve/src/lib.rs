@@ -2,8 +2,14 @@
 //! pipeline.
 //!
 //! The daemon speaks minimal HTTP/1.1 + JSON over
-//! [`std::net::TcpListener`] and dispatches connections onto a
-//! fixed-size [`fgbs_pool::Executor`]. Endpoints:
+//! [`std::net::TcpListener`]. On Linux it runs a readiness-driven
+//! event loop (`fgbs-reactor` over epoll) with per-connection state
+//! machines: HTTP/1.1 keep-alive and pipelining, per-connection request
+//! budgets, admission-controlled load shedding, and cross-key request
+//! batching onto a shared [`fgbs_pool::WorkPool`] pass. Elsewhere (or
+//! with [`LoopOptions::event_loop`] off) it falls back to a blocking
+//! accept loop dispatching one-shot connections onto a fixed-size
+//! [`fgbs_pool::Executor`]. Endpoints:
 //!
 //! | endpoint         | purpose                                        |
 //! |------------------|------------------------------------------------|
@@ -41,14 +47,18 @@ use std::time::Duration;
 
 use fgbs_pool::Executor;
 
+mod conn;
+#[cfg(target_os = "linux")]
+mod event;
 mod http;
+pub mod loadgen;
 mod metrics;
 mod service;
 
 pub use fgbs_trace::Json;
 pub use http::{
-    parse_query, read_request, read_request_limited, Request, RequestError, Response,
-    DEFAULT_MAX_BODY,
+    parse_query, read_request, read_request_limited, try_parse, Parsed, Request, RequestError,
+    Response, DEFAULT_MAX_BODY,
 };
 pub use metrics::{Metrics, N_BUCKETS, SERIES};
 pub use service::{install_diagnostic_sink, Service};
@@ -79,13 +89,48 @@ impl Default for ServeOptions {
     }
 }
 
-/// A running server: a bound listener, an accept thread, and a worker
-/// pool draining connections. Dropping the server shuts it down and
-/// joins every thread.
+/// Event-loop tuning, kept separate from [`ServeOptions`] so that
+/// struct stays literally constructible in existing callers. Defaults
+/// apply under [`Server::start`] and [`Server::start_with`]; pass your
+/// own via [`Server::start_tuned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopOptions {
+    /// Use the readiness-driven event loop (keep-alive, pipelining,
+    /// batching, admission control) when the platform supports it;
+    /// `false` forces the blocking one-request-per-connection path.
+    pub event_loop: bool,
+    /// How many requests one keep-alive connection may carry before the
+    /// server closes it (`connection: close` on the last response); a
+    /// rebalancing guard against permanently-pinned connections.
+    pub max_requests_per_conn: u32,
+    /// Shrink accepted sockets' kernel send buffer (`SO_SNDBUF`) to
+    /// this many bytes. An ops/test knob: the stalled-reader suite uses
+    /// it to hit [`ServeOptions::write_timeout`] deterministically.
+    pub sndbuf: Option<usize>,
+}
+
+impl Default for LoopOptions {
+    fn default() -> LoopOptions {
+        LoopOptions {
+            event_loop: true,
+            max_requests_per_conn: 256,
+            sndbuf: None,
+        }
+    }
+}
+
+/// A running server: a bound listener, a reactor (or accept) thread,
+/// and a worker pool draining requests. Dropping the server shuts it
+/// down and joins every thread.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// The event loop's wake fd — the explicit shutdown signal. `None`
+    /// on the blocking path, which polls the flag instead; neither
+    /// relies on the old self-connect poke (which could race, or
+    /// silently fail on wildcard/IPv6 binds).
+    wake: Option<fgbs_reactor::Waker>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -97,31 +142,88 @@ impl Server {
         Server::start_with(addr, threads, service, ServeOptions::default())
     }
 
-    /// [`Server::start`] with explicit timeouts and request limits.
+    /// [`Server::start`] with explicit timeouts and request limits and
+    /// default [`LoopOptions`].
     pub fn start_with(
         addr: &str,
         threads: usize,
         service: Arc<Service>,
         opts: ServeOptions,
     ) -> io::Result<Server> {
+        Server::start_tuned(addr, threads, service, opts, LoopOptions::default())
+    }
+
+    /// [`Server::start_with`] plus explicit event-loop tuning.
+    ///
+    /// Prefers the event-driven loop (epoll reactor); where that is
+    /// unsupported — or disabled via [`LoopOptions::event_loop`] — it
+    /// falls back to a blocking accept loop with a non-blocking
+    /// listener polled against the shutdown flag.
+    pub fn start_tuned(
+        addr: &str,
+        threads: usize,
+        service: Arc<Service>,
+        opts: ServeOptions,
+        tuning: LoopOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        #[cfg(not(target_os = "linux"))]
+        let _ = tuning;
+
+        #[cfg(target_os = "linux")]
+        if tuning.event_loop {
+            if let Ok(dup) = listener.try_clone() {
+                if let Ok(handle) = event::spawn(
+                    dup,
+                    threads,
+                    Arc::clone(&service),
+                    opts,
+                    tuning,
+                    Arc::clone(&shutdown),
+                ) {
+                    return Ok(Server {
+                        addr: local,
+                        shutdown,
+                        wake: Some(handle.waker),
+                        accept: Some(handle.thread),
+                    });
+                }
+            }
+        }
+
+        // Blocking fallback: one request per connection on executor
+        // workers. The listener is non-blocking so the accept loop can
+        // observe the shutdown flag without being poked.
+        listener.set_nonblocking(true)?;
         let flag = Arc::clone(&shutdown);
         let accept = std::thread::Builder::new()
             .name("fgbs-accept".to_string())
             .spawn(move || {
                 let exec = Executor::new(threads);
-                for stream in listener.incoming() {
+                loop {
                     if flag.load(Ordering::Acquire) {
                         break;
                     }
-                    let Ok(stream) = stream else { continue };
-                    // Chaos failpoint: a `delay` rule stalls the accept
-                    // loop, simulating listener backpressure.
-                    fgbs_fault::maybe_delay("serve.accept");
-                    let svc = Arc::clone(&service);
-                    exec.submit(move || handle_connection(stream, &svc, opts));
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Chaos failpoint: a `delay` rule stalls the
+                            // accept loop, simulating backpressure.
+                            fgbs_fault::maybe_delay("serve.accept");
+                            // Accepted sockets must block: the workers
+                            // use plain timed reads/writes.
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            let svc = Arc::clone(&service);
+                            exec.submit(move || handle_connection(stream, &svc, opts));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                    }
                 }
                 // `exec` drops here: the queue drains and workers join,
                 // so in-flight responses finish before shutdown returns.
@@ -129,6 +231,7 @@ impl Server {
         Ok(Server {
             addr: local,
             shutdown,
+            wake: None,
             accept: Some(accept),
         })
     }
@@ -148,9 +251,12 @@ impl Server {
             return;
         };
         self.shutdown.store(true, Ordering::Release);
-        // The accept loop blocks in `incoming()`; poke it with a
-        // throwaway connection so it observes the flag.
-        let _ = TcpStream::connect(self.addr);
+        // The event loop blocks in `wait()`: signal its wake fd. The
+        // blocking fallback polls the flag on a short cadence, so
+        // neither path needs (racy) self-connect trickery.
+        if let Some(waker) = &self.wake {
+            let _ = waker.wake();
+        }
         let _ = handle.join();
     }
 }
@@ -196,7 +302,7 @@ fn serve_one(stream: &mut TcpStream, service: &Service, opts: &ServeOptions) -> 
 
 /// Dispatch into the service with a panic firewall: a handler bug takes
 /// down one request (500 with a JSON body), never the worker thread.
-fn guarded_handle(service: &Service, request: &Request) -> Response {
+pub(crate) fn guarded_handle(service: &Service, request: &Request) -> Response {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| service.handle(request)))
         .unwrap_or_else(|_| {
             fgbs_trace::stat("serve.panics", 1);
@@ -228,7 +334,13 @@ mod tests {
 
     fn get(addr: SocketAddr, target: &str) -> (String, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        // `read_to_string` needs the server to close the connection, so
+        // opt out of keep-alive explicitly.
+        write!(
+            stream,
+            "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
         let mut raw = String::new();
         stream.read_to_string(&mut raw).unwrap();
         let (head, body) = raw.split_once("\r\n\r\n").unwrap();
@@ -310,6 +422,58 @@ mod tests {
         assert!(raw.contains("4096 bytes exceeds the 64-byte limit"), "{raw}");
 
         server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_control_sheds_only_doomed_deadline_requests() {
+        let dir = std::env::temp_dir().join(format!("fgbs-serve-adm-{}", std::process::id()));
+        let service = test_service(&dir);
+        let req = |target: &str| {
+            let (path, qs) = target.split_once('?').unwrap_or((target, ""));
+            Request {
+                method: "GET".to_string(),
+                path: path.to_string(),
+                query: parse_query(qs),
+                body: Vec::new(),
+            }
+        };
+
+        // No deadline, or no queue, or no latency history: never shed.
+        assert!(service.admission_check(&req("/predict?suite=nr"), 9).is_none());
+        assert!(service
+            .admission_check(&req("/predict?suite=nr&deadline_ms=1"), 0)
+            .is_none());
+        assert!(service
+            .admission_check(&req("/predict?suite=nr&deadline_ms=1"), 9)
+            .is_none());
+
+        // With history: 10 queued × ~5ms each cannot meet a 1ms budget…
+        service.metrics().record("predict", 5_000);
+        let shed = service
+            .admission_check(&req("/predict?suite=nr&deadline_ms=1"), 10)
+            .expect("predicted delay exceeds the deadline");
+        assert_eq!(shed.status, 503);
+        let body = String::from_utf8(shed.body.clone()).unwrap();
+        assert!(body.contains(r#""stage":"admission""#), "{body}");
+        assert_eq!(service.shed(), 1);
+
+        // …but a roomy deadline sails through, as do endpoints outside
+        // the admission contract even when doomed.
+        assert!(service
+            .admission_check(&req("/predict?suite=nr&deadline_ms=60000"), 10)
+            .is_none());
+        assert!(service
+            .admission_check(&req("/health?deadline_ms=1"), 10)
+            .is_none());
+        assert_eq!(service.shed(), 1, "only the doomed /predict shed");
+
+        // Batch accounting: singles don't count, groups do.
+        service.note_batch(1);
+        service.note_batch(3);
+        service.note_batch(2);
+        assert_eq!(service.batches(), 2);
+        assert_eq!(service.batched_requests(), 5);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

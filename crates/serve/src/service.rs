@@ -220,6 +220,9 @@ pub struct Service {
     profiles: Mutex<HashMap<String, Arc<ProfiledSuite>>>,
     computations: AtomicU64,
     in_flight: AtomicU64,
+    shed: AtomicU64,
+    batches: AtomicU64,
+    batched: AtomicU64,
 }
 
 impl std::fmt::Debug for Service {
@@ -249,6 +252,9 @@ impl Service {
             profiles: Mutex::new(HashMap::new()),
             computations: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
         }
     }
 
@@ -278,6 +284,76 @@ impl Service {
     /// gauge).
     pub fn in_flight(&self) -> u64 {
         self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Requests shed by admission control (503 before dispatch).
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Cross-key batches the event loop has run (groups of ≥2 requests
+    /// sharing one work-pool pass).
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Requests that were part of a cross-key batch.
+    pub fn batched_requests(&self) -> u64 {
+        self.batched.load(Ordering::Relaxed)
+    }
+
+    /// The event loop reports each submit group's size here; only
+    /// genuine batches (≥2 requests in one pass) move the counters.
+    pub fn note_batch(&self, size: u64) {
+        if size > 1 {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            self.batched.fetch_add(size, Ordering::Relaxed);
+        }
+    }
+
+    /// Admission control for deadline-carrying requests: with `depth`
+    /// requests already queued ahead and the endpoint's EWMA latency
+    /// ([`crate::Metrics::ewma_micros`]) per request, a request whose
+    /// predicted queueing delay alone exceeds its `deadline_ms` budget
+    /// cannot be answered in time — shed it *now* with the same
+    /// structured `503` the pipeline's deadline machinery produces
+    /// (stage `admission`), instead of letting it rot in the queue and
+    /// time out after consuming compute.
+    ///
+    /// Requests without a deadline never shed, and an idle queue
+    /// (`depth == 0`) or an endpoint with no latency history predicts
+    /// zero delay — so `deadline_ms=0` still reaches the pipeline and
+    /// exercises the in-flight deadline path.
+    pub fn admission_check(&self, req: &Request, depth: u64) -> Option<Response> {
+        let deadline_ms: u64 = req.param("deadline_ms")?.parse().ok()?;
+        let series = match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/predict") => "predict",
+            ("GET", "/sweep") => "sweep",
+            ("POST", "/reduce") => "reduce",
+            _ => return None,
+        };
+        let ewma = self.metrics.ewma_micros(series);
+        let predicted_us = depth as f64 * ewma;
+        if predicted_us <= deadline_ms as f64 * 1000.0 {
+            return None;
+        }
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        fgbs_trace::stat("serve.shed", 1);
+        let request = fgbs_trace::next_request_id();
+        fgbs_trace::flightrec::trigger("deadline", request);
+        Some(Response {
+            status: 503,
+            source: None,
+            request_id: request,
+            content_type: None,
+            body: Json::obj(vec![
+                ("error", Json::str("deadline exceeded")),
+                ("stage", Json::str("admission")),
+                ("request", Json::U64(request)),
+            ])
+            .render()
+            .into_bytes(),
+        })
     }
 
     /// Handle one parsed request: assign the next request id, install it
@@ -921,6 +997,27 @@ impl Service {
         let _ = writeln!(out, "fgbs_computations_total {}", self.computations());
         family(
             &mut out,
+            "fgbs_shed_requests_total",
+            "Requests shed by admission control before dispatch.",
+            "counter",
+        );
+        let _ = writeln!(out, "fgbs_shed_requests_total {}", self.shed());
+        family(
+            &mut out,
+            "fgbs_request_batches_total",
+            "Cross-key request batches run as one work-pool pass.",
+            "counter",
+        );
+        let _ = writeln!(out, "fgbs_request_batches_total {}", self.batches());
+        family(
+            &mut out,
+            "fgbs_batched_requests_total",
+            "Requests handled as part of a cross-key batch.",
+            "counter",
+        );
+        let _ = writeln!(out, "fgbs_batched_requests_total {}", self.batched_requests());
+        family(
+            &mut out,
             "fgbs_in_flight_requests",
             "Requests currently being handled.",
             "gauge",
@@ -981,6 +1078,14 @@ impl Service {
                     ("coalesced", Json::U64(self.flight.coalesced())),
                 ]),
             ),
+            (
+                "batch",
+                Json::obj(vec![
+                    ("batches", Json::U64(self.batches())),
+                    ("requests", Json::U64(self.batched_requests())),
+                ]),
+            ),
+            ("shed", Json::U64(self.shed())),
             ("computations", Json::U64(self.computations())),
             ("in_flight", Json::U64(self.in_flight())),
         ]))

@@ -24,6 +24,7 @@
 //! | [`clustering`] | `fgbs-clustering` | Ward hierarchical clustering + elbow |
 //! | [`genetic`] | `fgbs-genetic` | GA feature selection |
 //! | [`pool`] | `fgbs-pool` | shared work-stealing pool + memoization cache |
+//! | [`reactor`] | `fgbs-reactor` | minimal epoll readiness reactor (wake fd, interest sets) |
 //! | [`suites`] | `fgbs-suites` | Numerical Recipes + NAS-like benchmark suites |
 //! | [`core`] | `fgbs-core` | the five-step pipeline and prediction model |
 //! | [`snippet`] | `fgbs-snippet` | portable, versioned, replayable codelet-snippet packs |
@@ -68,6 +69,7 @@ pub use fgbs_isa as isa;
 pub use fgbs_machine as machine;
 pub use fgbs_matrix as matrix;
 pub use fgbs_pool as pool;
+pub use fgbs_reactor as reactor;
 pub use fgbs_serve as serve;
 pub use fgbs_snippet as snippet;
 pub use fgbs_store as store;
